@@ -1,0 +1,87 @@
+// Ablation A3: architecture scaling (paper §V/§VI setup choices).
+//
+// Sweeps the PE-group count (the paper fixes 168 PEs = 56 groups × 3) and
+// the buffer size (the paper fixes 386 KB) and reports SparseTrain latency
+// and speedup over the equally-provisioned dense baseline, on
+// ResNet-18/CIFAR with the Table II p=90% profile.
+#include <cstdio>
+
+#include "baseline/eyeriss_like.hpp"
+#include "compiler/compiler.hpp"
+#include "sim/accelerator.hpp"
+#include "util/table.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+using namespace sparsetrain;
+
+int main() {
+  const auto net = workload::resnet18_cifar();
+  const auto profile = workload::SparsityProfile::calibrated(
+      net, workload::paper_act_density(workload::ModelFamily::ResNet),
+      workload::paper_table2_do_density(workload::ModelFamily::ResNet, false,
+                                        0.9),
+      "table2-p90");
+  const auto dense_profile = workload::SparsityProfile::dense(net);
+  const auto sparse_prog = compiler::compile(net, profile);
+  const auto dense_prog = compiler::compile(net, dense_profile);
+
+  std::printf(
+      "Architecture scaling ablation on ResNet-18/CIFAR (p=90%% profile).\n\n"
+      "PE-group sweep (3 PEs per group, 386 KB buffer):\n");
+  TextTable pe_table({"PE groups", "PEs", "SparseTrain cycles", "speedup",
+                      "PE utilisation"});
+  for (std::size_t groups : {14u, 28u, 56u, 112u, 224u}) {
+    sim::ArchConfig sc;
+    sc.pe_groups = groups;
+    sim::ArchConfig dc = baseline::eyeriss_like_config();
+    dc.pe_groups = groups;
+    const auto rs = sim::Accelerator(sc).run(sparse_prog, net, profile);
+    const auto rd = sim::Accelerator(dc).run(dense_prog, net, dense_profile);
+    pe_table.add_row(
+        {std::to_string(groups), std::to_string(groups * 3),
+         std::to_string(rs.total_cycles),
+         TextTable::times(static_cast<double>(rd.total_cycles) /
+                          static_cast<double>(rs.total_cycles)),
+         TextTable::pct(rs.utilization(groups * 3), 0)});
+  }
+  std::printf("%s\n", pe_table.to_string().c_str());
+
+  // The CIFAR workload fits in every buffer size, so sweep the buffer on
+  // the ImageNet-scale workload where working sets actually spill.
+  const auto big_net = workload::resnet18_imagenet();
+  const auto big_profile = workload::SparsityProfile::calibrated(
+      big_net, workload::paper_act_density(workload::ModelFamily::ResNet),
+      workload::paper_table2_do_density(workload::ModelFamily::ResNet, true,
+                                        0.9),
+      "table2-p90");
+  const auto big_dense_profile = workload::SparsityProfile::dense(big_net);
+  const auto big_sparse_prog = compiler::compile(big_net, big_profile);
+  const auto big_dense_prog = compiler::compile(big_net, big_dense_profile);
+
+  std::printf("Buffer sweep on ResNet-18/ImageNet (56 groups; working sets\n"
+              "that spill refetch weights from DRAM):\n");
+  TextTable buf_table({"buffer KB", "SparseTrain DRAM uJ", "baseline DRAM uJ",
+                       "baseline/SparseTrain DRAM"});
+  for (std::size_t kb : {48u, 96u, 192u, 386u, 772u, 1544u}) {
+    sim::ArchConfig sc;
+    sc.buffer_bytes = kb * 1024;
+    sim::ArchConfig dc = baseline::eyeriss_like_config();
+    dc.buffer_bytes = kb * 1024;
+    const auto rs =
+        sim::Accelerator(sc).run(big_sparse_prog, big_net, big_profile);
+    const auto rd = sim::Accelerator(dc).run(big_dense_prog, big_net,
+                                             big_dense_profile);
+    buf_table.add_row(
+        {std::to_string(kb), TextTable::num(rs.energy.dram_pj * 1e-6, 1),
+         TextTable::num(rd.energy.dram_pj * 1e-6, 1),
+         TextTable::times(rd.energy.dram_pj / rs.energy.dram_pj)});
+  }
+  std::printf("%s\n", buf_table.to_string().c_str());
+  std::printf(
+      "Reading: speedup is roughly flat across PE counts (both sides\n"
+      "scale), utilisation drops as groups outnumber ready tasks for the\n"
+      "small CIFAR layers; compression lets SparseTrain tolerate smaller\n"
+      "buffers with less DRAM refetch than the dense baseline.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces the §VI-B convergence study: training-loss curves with and
+// without gradient pruning. The paper's claim: with reasonable p the
+// pruned run has the same convergence behaviour as the dense baseline.
+#include <cstdio>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "nn/init.hpp"
+#include "nn/models/model_builder.hpp"
+#include "nn/trainer.hpp"
+#include "pruning/attach.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace sparsetrain;
+
+namespace {
+
+std::vector<double> loss_curve(double p, std::size_t epochs) {
+  data::SyntheticConfig dcfg;
+  dcfg.classes = 6;
+  dcfg.samples = 360;
+  dcfg.height = 12;
+  dcfg.width = 12;
+  dcfg.noise = 0.3f;
+  dcfg.seed = 33;
+  const data::SyntheticDataset train(dcfg);
+
+  nn::models::ModelInput mi{dcfg.channels, dcfg.height, dcfg.width,
+                            dcfg.classes};
+  auto net = nn::models::resnet_s(mi, 1, 6);
+  Rng rng(34);
+  nn::kaiming_init(*net, rng);
+
+  pruning::AttachedPruners attached;
+  if (p > 0.0) {
+    pruning::PruningConfig pcfg;
+    pcfg.target_sparsity = p;
+    pcfg.fifo_depth = 2;
+    attached = pruning::attach_gradient_pruners(*net, pcfg, rng);
+  }
+
+  nn::TrainConfig tcfg;
+  tcfg.batch_size = 18;
+  tcfg.epochs = epochs;
+  tcfg.sgd.learning_rate = 0.04f;
+  nn::Trainer trainer(*net, tcfg);
+  const nn::TrainResult result = trainer.fit(train, train);
+
+  std::vector<double> losses;
+  losses.reserve(result.epochs.size());
+  for (const auto& e : result.epochs) losses.push_back(e.train_loss);
+  return losses;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Convergence study (paper SVI-B): training loss per epoch,\n"
+      "ResNet-S on synthetic data, baseline vs pruned runs.\n\n");
+
+  const std::size_t epochs = 10;
+  const double rates[] = {0.0, 0.7, 0.9, 0.99};
+  std::vector<std::vector<double>> curves;
+  for (double p : rates) curves.push_back(loss_curve(p, epochs));
+
+  TextTable table({"epoch", "baseline", "p=70%", "p=90%", "p=99%"});
+  CsvWriter csv("convergence.csv",
+                {"epoch", "baseline", "p70", "p90", "p99"});
+  for (std::size_t e = 0; e < epochs; ++e) {
+    std::vector<std::string> row = {std::to_string(e + 1)};
+    std::vector<std::string> csv_row = {std::to_string(e + 1)};
+    for (std::size_t c = 0; c < curves.size(); ++c) {
+      row.push_back(TextTable::num(curves[c][e], 4));
+      csv_row.push_back(TextTable::num(curves[c][e], 6));
+    }
+    table.add_row(row);
+    csv.add_row(csv_row);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Simple quantitative check printed for the record: final-loss gap.
+  for (std::size_t c = 1; c < curves.size(); ++c) {
+    std::printf("final-loss gap vs baseline at p=%s: %+.4f\n",
+                c == 1 ? "70%" : (c == 2 ? "90%" : "99%"),
+                curves[c].back() - curves[0].back());
+  }
+  std::printf(
+      "\nExpected (paper): pruned curves track the baseline closely for\n"
+      "reasonable p; only aggressive pruning slows convergence slightly.\n"
+      "CSV written to convergence.csv.\n");
+  return 0;
+}

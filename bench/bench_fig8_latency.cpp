@@ -1,0 +1,95 @@
+// Reproduces Fig. 8: average training latency per sample for each
+// model × dataset, on the dense Eyeriss-like baseline and on SparseTrain,
+// plus the speedup. Densities come from the paper's published Table II
+// operating points (p = 90%); a natural-sparsity-only row is included for
+// AlexNet since the paper's abstract quotes that configuration.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/session.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+using namespace sparsetrain;
+using workload::ModelFamily;
+
+int main() {
+  std::printf(
+      "Fig. 8 reproduction: training latency per sample (ms) and speedup.\n"
+      "168 PEs / 386 KB buffer on both architectures; densities from the\n"
+      "paper's Table II at p = 90%%.\n\n");
+
+  struct W {
+    workload::NetworkConfig net;
+    ModelFamily family;
+    bool imagenet;
+  };
+  const std::vector<W> workloads = {
+      {workload::alexnet_cifar(), ModelFamily::AlexNet, false},
+      {workload::resnet18_cifar(), ModelFamily::ResNet, false},
+      {workload::resnet34_cifar(), ModelFamily::ResNet, false},
+      {workload::alexnet_imagenet(), ModelFamily::AlexNet, true},
+      {workload::resnet18_imagenet(), ModelFamily::ResNet, true},
+      {workload::resnet34_imagenet(), ModelFamily::ResNet, true},
+  };
+
+  core::Session session;
+  TextTable table({"workload", "baseline ms", "SparseTrain ms", "speedup",
+                   "Fwd cyc%", "GTA cyc%", "GTW cyc%"});
+  CsvWriter csv("fig8_latency.csv",
+                {"workload", "dense_ms", "sparse_ms", "speedup"});
+
+  double log_speedup_sum = 0.0;
+  double max_speedup = 0.0;
+  std::string max_name;
+
+  for (const auto& w : workloads) {
+    const double p = 0.9;
+    const auto profile = workload::SparsityProfile::calibrated(
+        w.net, workload::paper_act_density(w.family),
+        workload::paper_table2_do_density(w.family, w.imagenet, p),
+        "table2-p90");
+    const auto result = session.compare(w.net, profile);
+    const double speedup = result.speedup();
+    log_speedup_sum += std::log(speedup);
+    if (speedup > max_speedup) {
+      max_speedup = speedup;
+      max_name = w.net.name;
+    }
+
+    const auto total = static_cast<double>(result.sparse.total_cycles);
+    auto pct = [&](isa::Stage s) {
+      return TextTable::pct(
+          static_cast<double>(result.sparse.stage_cycles(s)) / total, 0);
+    };
+    table.add_row({w.net.name, TextTable::num(result.dense_latency_ms(), 3),
+                   TextTable::num(result.sparse_latency_ms(), 3),
+                   TextTable::times(speedup), pct(isa::Stage::Forward),
+                   pct(isa::Stage::GTA), pct(isa::Stage::GTW)});
+    csv.add_row({w.net.name, TextTable::num(result.dense_latency_ms(), 5),
+                 TextTable::num(result.sparse_latency_ms(), 5),
+                 TextTable::num(speedup, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const double geomean =
+      std::exp(log_speedup_sum / static_cast<double>(workloads.size()));
+  std::printf("geomean speedup: %.2fx (paper: ~2.7x average)\n", geomean);
+  std::printf("max speedup: %.2fx on %s (paper: 4.5x max, on AlexNet)\n",
+              max_speedup, max_name.c_str());
+
+  // The abstract's AlexNet-with-natural-sparsity configuration.
+  const auto alex = workload::alexnet_cifar();
+  const auto natural = workload::SparsityProfile::natural(
+      alex, workload::paper_act_density(ModelFamily::AlexNet));
+  const auto nat_result = session.compare(alex, natural);
+  std::printf(
+      "\nAlexNet/CIFAR with natural sparsity only (no pruning): %.2fx "
+      "speedup\n",
+      nat_result.speedup());
+  std::printf("CSV written to fig8_latency.csv.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Fig. 9: average energy per sample broken down by component
+// (combinational logic, registers, SRAM; DRAM reported separately), for
+// the dense baseline and SparseTrain, plus the energy-efficiency ratio and
+// the paper's headline reduction percentages.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/session.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+using namespace sparsetrain;
+using workload::ModelFamily;
+
+int main() {
+  std::printf(
+      "Fig. 9 reproduction: energy per sample (uJ) by component.\n"
+      "\"Comb\" = combinational logic (MACs + PE control), on-chip =\n"
+      "Comb + Reg + SRAM (the synthesised design + buffer, as in the\n"
+      "paper); DRAM is reported separately.\n\n");
+
+  struct W {
+    workload::NetworkConfig net;
+    ModelFamily family;
+    bool imagenet;
+  };
+  const std::vector<W> workloads = {
+      {workload::alexnet_cifar(), ModelFamily::AlexNet, false},
+      {workload::resnet18_cifar(), ModelFamily::ResNet, false},
+      {workload::resnet34_cifar(), ModelFamily::ResNet, false},
+      {workload::alexnet_imagenet(), ModelFamily::AlexNet, true},
+      {workload::resnet18_imagenet(), ModelFamily::ResNet, true},
+      {workload::resnet34_imagenet(), ModelFamily::ResNet, true},
+  };
+
+  core::Session session;
+  TextTable table({"workload", "arch", "Comb uJ", "Reg uJ", "SRAM uJ",
+                   "on-chip uJ", "DRAM uJ", "SRAM share"});
+  CsvWriter csv("fig9_energy.csv",
+                {"workload", "arch", "comb_uj", "reg_uj", "sram_uj",
+                 "dram_uj", "efficiency"});
+
+  double log_eff_sum = 0.0;
+  double min_eff = 1e9, max_eff = 0.0;
+  double min_sram_red = 1.0, max_sram_red = 0.0;
+  double min_comb_red = 1.0, max_comb_red = 0.0;
+
+  for (const auto& w : workloads) {
+    const auto profile = workload::SparsityProfile::calibrated(
+        w.net, workload::paper_act_density(w.family),
+        workload::paper_table2_do_density(w.family, w.imagenet, 0.9),
+        "table2-p90");
+    const auto r = session.compare(w.net, profile);
+
+    auto add = [&](const char* arch, const sim::EnergyBreakdown& e,
+                   double eff) {
+      table.add_row({w.net.name, arch, TextTable::num(e.comb_pj * 1e-6, 1),
+                     TextTable::num(e.reg_pj * 1e-6, 1),
+                     TextTable::num(e.sram_pj * 1e-6, 1),
+                     TextTable::num(e.on_chip_pj() * 1e-6, 1),
+                     TextTable::num(e.dram_pj * 1e-6, 1),
+                     TextTable::pct(e.sram_pj / e.on_chip_pj(), 0)});
+      csv.add_row({w.net.name, arch, TextTable::num(e.comb_pj * 1e-6, 3),
+                   TextTable::num(e.reg_pj * 1e-6, 3),
+                   TextTable::num(e.sram_pj * 1e-6, 3),
+                   TextTable::num(e.dram_pj * 1e-6, 3),
+                   TextTable::num(eff, 3)});
+    };
+    const double eff = r.energy_efficiency();
+    add("baseline", r.dense.energy, 1.0);
+    add("SparseTrain", r.sparse.energy, eff);
+
+    log_eff_sum += std::log(eff);
+    min_eff = std::min(min_eff, eff);
+    max_eff = std::max(max_eff, eff);
+    const double sram_red =
+        1.0 - r.sparse.energy.sram_pj / r.dense.energy.sram_pj;
+    const double comb_red =
+        1.0 - r.sparse.energy.comb_pj / r.dense.energy.comb_pj;
+    min_sram_red = std::min(min_sram_red, sram_red);
+    max_sram_red = std::max(max_sram_red, sram_red);
+    min_comb_red = std::min(min_comb_red, comb_red);
+    max_comb_red = std::max(max_comb_red, comb_red);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  const double geomean =
+      std::exp(log_eff_sum / static_cast<double>(workloads.size()));
+  std::printf("energy efficiency: %.2fx-%.2fx, geomean %.2fx "
+              "(paper: 1.5x-2.8x, avg 2.2x)\n",
+              min_eff, max_eff, geomean);
+  std::printf("SRAM energy reduction: %.0f%%-%.0f%% (paper: 30%%-59%%)\n",
+              min_sram_red * 100.0, max_sram_red * 100.0);
+  std::printf("Comb energy reduction: %.0f%%-%.0f%% (paper: 53%%-88%%)\n",
+              min_comb_red * 100.0, max_comb_red * 100.0);
+  std::printf("CSV written to fig9_energy.csv.\n");
+  return 0;
+}

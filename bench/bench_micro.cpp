@@ -1,0 +1,149 @@
+// Microbenchmarks (google-benchmark): throughput of the core primitives —
+// stochastic pruning, threshold determination, compression, the three row
+// ops, dense conv forward/backward, and the full-network simulator.
+#include <benchmark/benchmark.h>
+
+#include "compiler/compiler.hpp"
+#include "dataflow/row_ops.hpp"
+#include "nn/conv2d.hpp"
+#include "pruning/gradient_pruner.hpp"
+#include "pruning/stochastic_pruner.hpp"
+#include "pruning/threshold.hpp"
+#include "sim/accelerator.hpp"
+#include "tensor/sparse_row.hpp"
+#include "util/rng.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+namespace {
+
+using namespace sparsetrain;
+
+std::vector<float> normal_data(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void BM_ThresholdDetermination(benchmark::State& state) {
+  const auto g = normal_data(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pruning::determine_threshold(g, 0.9));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ThresholdDetermination)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StochasticPrune(benchmark::State& state) {
+  const auto base = normal_data(static_cast<std::size_t>(state.range(0)), 2);
+  Rng rng(3);
+  for (auto _ : state) {
+    auto g = base;
+    benchmark::DoNotOptimize(pruning::stochastic_prune(g, 1.0, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StochasticPrune)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_GradientPrunerFusedPass(benchmark::State& state) {
+  pruning::PruningConfig cfg;
+  cfg.fifo_depth = 1;
+  pruning::GradientPruner pruner(cfg, Rng(4));
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Tensor g(Shape::vec(static_cast<std::size_t>(state.range(0))));
+    g.fill_normal(rng, 0.0f, 1.0f);
+    state.ResumeTiming();
+    pruner.apply(g);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GradientPrunerFusedPass)->Arg(1 << 16);
+
+void BM_CompressRow(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<float> dense(1024, 0.0f);
+  for (auto& x : dense)
+    if (rng.bernoulli(0.4)) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress_row(dense));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CompressRow);
+
+void BM_SrcRowConv(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<float> dense(256, 0.0f);
+  for (auto& x : dense)
+    if (rng.bernoulli(static_cast<double>(state.range(0)) / 100.0))
+      x = static_cast<float>(rng.normal());
+  const SparseRow row = compress_row(dense);
+  const std::vector<float> kernel = {0.5f, 1.0f, -0.5f};
+  dataflow::RowGeometry geo{3, 1, 1};
+  std::vector<float> out(256, 0.0f);
+  for (auto _ : state) {
+    src_row_conv(row, kernel, geo, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SrcRowConv)->Arg(10)->Arg(45)->Arg(100);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  nn::Conv2DConfig cfg;
+  cfg.in_channels = 16;
+  cfg.out_channels = 16;
+  nn::Conv2D conv(cfg);
+  Rng rng(8);
+  for (auto* p : conv.params()) p->value.fill_normal(rng, 0.0f, 0.2f);
+  Tensor in(Shape{1, 16, 16, 16});
+  in.fill_sparse_normal(rng, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(in, false));
+  }
+}
+BENCHMARK(BM_Conv2DForward);
+
+void BM_Conv2DBackward(benchmark::State& state) {
+  nn::Conv2DConfig cfg;
+  cfg.in_channels = 16;
+  cfg.out_channels = 16;
+  nn::Conv2D conv(cfg);
+  Rng rng(9);
+  for (auto* p : conv.params()) p->value.fill_normal(rng, 0.0f, 0.2f);
+  Tensor in(Shape{1, 16, 16, 16});
+  in.fill_sparse_normal(rng, 0.5);
+  (void)conv.forward(in, true);
+  Tensor grad(conv.output_shape(in.shape()));
+  grad.fill_sparse_normal(rng, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.backward(grad));
+  }
+}
+BENCHMARK(BM_Conv2DBackward);
+
+void BM_SimulateResnet18Cifar(benchmark::State& state) {
+  const auto net = workload::resnet18_cifar();
+  const auto profile = workload::SparsityProfile::pruned(net, 0.9);
+  const auto prog = compiler::compile(net, profile);
+  sim::Accelerator accel((sim::ArchConfig()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.run(prog, net, profile));
+  }
+}
+BENCHMARK(BM_SimulateResnet18Cifar);
+
+void BM_CompileResnet34Imagenet(benchmark::State& state) {
+  const auto net = workload::resnet34_imagenet();
+  const auto profile = workload::SparsityProfile::pruned(net, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::compile(net, profile));
+  }
+}
+BENCHMARK(BM_CompileResnet34Imagenet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

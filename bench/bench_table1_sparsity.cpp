@@ -1,0 +1,99 @@
+// Reproduces Table I: sparsity of the six data types involved in training.
+//
+// Trains the two canonical structures (CONV-ReLU like AlexNet, and
+// CONV-BN-ReLU like ResNet) on synthetic data, with and without gradient
+// pruning, and reports the measured mean density of W / dW / I / dI / O /
+// dO over all conv layers and steps. Expected pattern (Table I):
+//   W dense, dW dense, I sparse, dI dense (pre-pruning), O dense,
+//   dO sparse — and pruning makes dO sparse even for CONV-BN-ReLU.
+#include <cstdio>
+#include <memory>
+
+#include "data/synthetic.hpp"
+#include "nn/init.hpp"
+#include "nn/models/model_builder.hpp"
+#include "nn/trainer.hpp"
+#include "pruning/attach.hpp"
+#include "pruning/sparsity_meter.hpp"
+#include "util/table.hpp"
+
+using namespace sparsetrain;
+
+namespace {
+
+struct RunResult {
+  pruning::LayerSparsitySummary overall;
+};
+
+RunResult run(bool resnet_style, bool prune) {
+  data::SyntheticConfig dcfg;
+  dcfg.classes = 4;
+  dcfg.samples = 128;
+  dcfg.height = 16;
+  dcfg.width = 16;
+  dcfg.seed = 11;
+  const data::SyntheticDataset train(dcfg);
+
+  nn::models::ModelInput mi{dcfg.channels, dcfg.height, dcfg.width,
+                            dcfg.classes};
+  std::unique_ptr<nn::Sequential> net =
+      resnet_style ? nn::models::resnet_s(mi, 1, 6)
+                   : nn::models::alexnet_s(mi, 8);
+  Rng rng(21);
+  nn::kaiming_init(*net, rng);
+
+  auto meter = std::make_shared<pruning::SparsityMeter>();
+  pruning::SparsityMeter::attach(*net, meter);
+
+  pruning::AttachedPruners attached;
+  if (prune) {
+    pruning::PruningConfig pcfg;
+    pcfg.target_sparsity = 0.9;
+    pcfg.fifo_depth = 2;
+    attached = pruning::attach_gradient_pruners(*net, pcfg, rng);
+  }
+
+  nn::TrainConfig tcfg;
+  tcfg.batch_size = 16;
+  tcfg.epochs = 3;
+  tcfg.sgd.learning_rate = 0.03f;
+  nn::Trainer trainer(*net, tcfg);
+  (void)trainer.fit(train, train);
+
+  return RunResult{meter->overall()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table I reproduction: density of the six training operands\n");
+  std::printf("(mean over all conv layers and steps; 1.00 = dense)\n\n");
+
+  TextTable table({"structure", "pruning", "W", "dW", "I", "dI", "O", "dO"});
+  const struct {
+    const char* name;
+    bool resnet;
+    bool prune;
+  } configs[] = {
+      {"CONV-ReLU (AlexNet-style)", false, false},
+      {"CONV-ReLU + grad pruning", false, true},
+      {"CONV-BN-ReLU (ResNet-style)", true, false},
+      {"CONV-BN-ReLU + grad pruning", true, true},
+  };
+  for (const auto& cfg : configs) {
+    const RunResult r = run(cfg.resnet, cfg.prune);
+    table.add_row({cfg.name, cfg.prune ? "p=0.9" : "off",
+                   TextTable::num(r.overall.weights),
+                   TextTable::num(r.overall.weight_grads),
+                   TextTable::num(r.overall.input_acts),
+                   TextTable::num(r.overall.input_grads),
+                   TextTable::num(r.overall.output_acts),
+                   TextTable::num(r.overall.output_grads)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Paper's Table I expectation: W dense, dW dense, I sparse, dI dense,\n"
+      "O dense, dO sparse. Gradient pruning sparsifies the gradients even\n"
+      "for CONV-BN-ReLU networks, whose dO would otherwise be dense.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Reproduces Table II: training accuracy and gradient density (ρ_nnz)
+// across models × datasets × pruning rates p ∈ {baseline, 70, 80, 90, 99%}.
+//
+// Substitution (see DESIGN.md): the paper trains full AlexNet/ResNet on
+// CIFAR-10/100 and ImageNet for 180–300 epochs; here scaled-down models
+// with the same operator structures are trained on synthetic datasets with
+// CIFAR-like class counts. The claims under test are the paper's:
+//   (1) accuracy with pruning ≈ baseline accuracy for moderate p,
+//   (2) gradient density drops several-fold and shrinks as p grows,
+//   (3) deeper networks reach lower densities.
+#include <cstdio>
+#include <memory>
+
+#include "data/synthetic.hpp"
+#include "nn/init.hpp"
+#include "nn/models/model_builder.hpp"
+#include "nn/trainer.hpp"
+#include "pruning/attach.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace sparsetrain;
+
+namespace {
+
+struct Setup {
+  const char* model;
+  const char* dataset;
+  std::size_t classes;
+  std::size_t blocks;     // residual blocks per stage (0 = AlexNet-style)
+  std::size_t width;
+  std::uint64_t seed;
+};
+
+struct Outcome {
+  double accuracy = 0.0;
+  double density = 1.0;  // ρ_nnz of activation gradients after pruning
+};
+
+Outcome run(const Setup& s, double p) {
+  data::SyntheticConfig dcfg;
+  dcfg.classes = s.classes;
+  dcfg.samples = 36 * s.classes;
+  // AlexNet-S needs >= 16x16 (three pooling stages); ResNet-S trains
+  // faster at 12x12.
+  dcfg.height = s.blocks == 0 ? 16 : 12;
+  dcfg.width = dcfg.height;
+  dcfg.noise = 0.3f;
+  dcfg.seed = s.seed;
+  const data::SyntheticDataset train(dcfg);
+  const data::SyntheticDataset test = train.held_out(18 * s.classes,
+                                                     s.seed + 1);
+
+  nn::models::ModelInput mi{dcfg.channels, dcfg.height, dcfg.width,
+                            dcfg.classes};
+  std::unique_ptr<nn::Sequential> net =
+      s.blocks == 0 ? nn::models::alexnet_s(mi, s.width)
+                    : nn::models::resnet_s(mi, s.blocks, s.width);
+  Rng rng(s.seed + 2);
+  nn::kaiming_init(*net, rng);
+
+  pruning::AttachedPruners attached;
+  if (p > 0.0) {
+    pruning::PruningConfig pcfg;
+    pcfg.target_sparsity = p;
+    pcfg.fifo_depth = 2;
+    attached = pruning::attach_gradient_pruners(*net, pcfg, rng);
+  }
+
+  nn::TrainConfig tcfg;
+  tcfg.batch_size = 16;
+  tcfg.epochs = 4;
+  // AlexNet-S (larger head, no BN) needs a gentler rate to stay stable
+  // across all pruning levels.
+  tcfg.sgd.learning_rate = s.blocks == 0 ? 0.015f : 0.03f;
+  nn::Trainer trainer(*net, tcfg);
+
+  // Track mean gradient density over the final epoch.
+  double density_sum = 0.0;
+  std::size_t density_count = 0;
+  trainer.set_step_hook([&] {
+    if (!attached.pruners.empty()) {
+      density_sum += attached.mean_last_density();
+      ++density_count;
+    }
+  });
+
+  const nn::TrainResult result = trainer.fit(train, test);
+  Outcome out;
+  out.accuracy = result.test_accuracy;
+  out.density =
+      density_count == 0 ? 1.0 : density_sum / static_cast<double>(density_count);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table II reproduction: accuracy (acc%%) and gradient density (rho)\n"
+      "for scaled models on synthetic datasets (see DESIGN.md for the\n"
+      "substitution rationale).\n\n");
+
+  const Setup setups[] = {
+      {"AlexNet-S", "cifar10-like", 10, 0, 8, 100},
+      {"ResNet-S18", "cifar10-like", 10, 2, 5, 200},
+      {"ResNet-S34", "cifar10-like", 10, 3, 5, 300},
+      {"AlexNet-S", "cifar100-like", 15, 0, 8, 400},
+      {"ResNet-S18", "cifar100-like", 15, 2, 5, 500},
+      {"ResNet-S34", "cifar100-like", 15, 3, 5, 600},
+      {"AlexNet-S", "imagenet-like", 20, 0, 8, 700},
+      {"ResNet-S18", "imagenet-like", 20, 2, 6, 800},
+  };
+  const double rates[] = {0.0, 0.7, 0.8, 0.9, 0.99};
+
+  TextTable table({"model", "dataset", "metric", "baseline", "p=70%", "p=80%",
+                   "p=90%", "p=99%"});
+  CsvWriter csv("table2_accuracy.csv",
+                {"model", "dataset", "p", "accuracy", "density"});
+
+  for (const Setup& s : setups) {
+    std::vector<std::string> acc_row = {s.model, s.dataset, "acc%"};
+    std::vector<std::string> rho_row = {s.model, s.dataset, "rho"};
+    for (double p : rates) {
+      const Outcome o = run(s, p);
+      acc_row.push_back(TextTable::num(o.accuracy * 100.0, 1));
+      rho_row.push_back(p == 0.0 ? "1.00" : TextTable::num(o.density));
+      csv.add_row({s.model, s.dataset, TextTable::num(p),
+                   TextTable::num(o.accuracy, 4), TextTable::num(o.density, 4)});
+    }
+    table.add_row(acc_row);
+    table.add_row(rho_row);
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape (paper Table II): accuracy roughly flat across p\n"
+      "(small drop only at p=99%%); density falls well below 1 and\n"
+      "decreases with p. CSV written to table2_accuracy.csv.\n");
+  return 0;
+}

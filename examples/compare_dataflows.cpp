@@ -1,0 +1,75 @@
+// Demonstrates the 1-D convolution dataflow on a real layer: the SRC /
+// MSRC / OSRC decomposition produces bit-identical results to the dense
+// layer for all three training stages, while doing a fraction of the work.
+#include <cstdio>
+
+#include "dataflow/conv_decompose.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/relu.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace sparsetrain;
+
+  // One CONV-ReLU pair with sparse inputs/gradients, like mid-AlexNet.
+  Rng rng(42);
+  nn::Conv2DConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 16;
+  nn::Conv2D conv(cfg);
+  for (auto* p : conv.params()) p->value.fill_normal(rng, 0.0f, 0.2f);
+
+  nn::ReLU prev_relu;
+  Tensor pre_act(Shape{1, 8, 24, 24});
+  pre_act.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor acts = prev_relu.forward(pre_act, true);  // sparse I + mask
+
+  dataflow::ConvGeometry geo;
+  geo.in_channels = cfg.in_channels;
+  geo.out_channels = cfg.out_channels;
+
+  // Forward: dense layer vs SRC row decomposition.
+  const Tensor out_dense = conv.forward(acts, true);
+  const Tensor out_rows = dataflow::forward_by_rows(
+      acts, conv.weight().value, &conv.bias_param().value, geo);
+  std::printf("Forward  max |dense - rows| = %.2e  (I density %.2f)\n",
+              static_cast<double>(max_abs_diff(out_dense, out_rows)),
+              acts.density());
+
+  // Backward operands: a sparse dO.
+  Tensor grad_out(out_dense.shape());
+  grad_out.fill_sparse_normal(rng, 0.3);
+
+  // GTA: dense backward + ReLU mask vs MSRC with mask skipping.
+  const Tensor dI_dense = conv.backward(grad_out);
+  const Tensor d_pre_dense = prev_relu.backward(dI_dense);
+  const Tensor mask = prev_relu.mask();
+  const Tensor dI_rows = dataflow::gta_by_rows(grad_out, conv.weight().value,
+                                               acts.shape(), &mask, geo);
+  const Tensor d_pre_rows = prev_relu.backward(dI_rows);
+  std::printf("GTA      max |dense - rows| = %.2e  (dO density %.2f)\n",
+              static_cast<double>(max_abs_diff(d_pre_dense, d_pre_rows)),
+              grad_out.density());
+
+  // GTW: accumulated dW vs OSRC decomposition.
+  Tensor dbias(Shape::vec(cfg.out_channels));
+  const Tensor dW_rows = dataflow::gtw_by_rows(grad_out, acts, &dbias, geo);
+  std::printf("GTW      max |dense - rows| = %.2e\n",
+              static_cast<double>(max_abs_diff(conv.weight().grad, dW_rows)));
+
+  // Work counting: what the sparsity actually saves.
+  const auto fwd = dataflow::forward_work(acts, geo);
+  const auto gta = dataflow::gta_work(grad_out, acts.shape(), &mask, geo);
+  const auto gtw = dataflow::gtw_work(grad_out, acts, geo);
+  const double dense_fwd_macs = static_cast<double>(
+      geo.out_channels * 24 * 24 * geo.in_channels * 9);
+  std::printf(
+      "\nwork (useful MACs vs dense):\n"
+      "  Forward %8zu MACs (%.0f%% of dense)\n"
+      "  GTA     %8zu MACs, %zu inputs skipped whole by mask look-ahead\n"
+      "  GTW     %8zu MACs (sparse x sparse)\n",
+      fwd.work.macs, 100.0 * static_cast<double>(fwd.work.macs) /
+                         dense_fwd_macs,
+      gta.work.macs, gta.work.skipped_inputs, gtw.work.macs);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Quickstart: evaluate a workload on SparseTrain vs the dense baseline.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+#include <cstdio>
+
+#include "core/session.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+int main() {
+  using namespace sparsetrain;
+
+  // 1. Pick a workload: the layer geometry of AlexNet at CIFAR input size.
+  const workload::NetworkConfig net = workload::alexnet_cifar();
+
+  // 2. Pick an operand sparsity profile. `pruned` stacks ReLU natural
+  //    sparsity with the analytic effect of stochastic gradient pruning at
+  //    rate p (here 90%).
+  const auto profile = workload::SparsityProfile::pruned(net, /*p=*/0.9,
+                                                         /*act_density=*/0.45);
+
+  // 3. Compare: compiles the workload to the accelerator ISA, runs the
+  //    cycle-level SparseTrain simulator and the Eyeriss-like dense
+  //    baseline (both 168 PEs, 386 KB buffer).
+  core::Session session;
+  const core::ComparisonResult result = session.compare(net, profile);
+
+  std::printf("workload: %s\n", net.name.c_str());
+  std::printf("  dense baseline : %8.3f ms/sample, %8.1f uJ on-chip\n",
+              result.dense_latency_ms(),
+              result.dense.energy.on_chip_pj() * 1e-6);
+  std::printf("  SparseTrain    : %8.3f ms/sample, %8.1f uJ on-chip\n",
+              result.sparse_latency_ms(),
+              result.sparse.energy.on_chip_pj() * 1e-6);
+  std::printf("  speedup %.2fx, energy efficiency %.2fx\n", result.speedup(),
+              result.energy_efficiency());
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "baseline/eyeriss_like.hpp"
+
+#include "util/require.hpp"
+
+namespace sparsetrain::baseline {
+
+sim::ArchConfig eyeriss_like_config() {
+  sim::ArchConfig cfg;
+  cfg.name = "Eyeriss-like dense";
+  cfg.sparse = false;
+  // Same 168-PE / 386 KB budget as the SparseTrain configuration.
+  cfg.pe_groups = 56;
+  cfg.pes_per_group = 3;
+  cfg.buffer_bytes = 386 * 1024;
+  return cfg;
+}
+
+EyerissLikeBaseline::EyerissLikeBaseline(sim::ArchConfig cfg)
+    : accel_([&] {
+        ST_REQUIRE(!cfg.sparse, "the baseline must run in dense mode");
+        return std::move(cfg);
+      }()) {}
+
+}  // namespace sparsetrain::baseline

@@ -1,0 +1,31 @@
+// Compiler: network description + sparsity profile → instruction program.
+//
+// This plays the role of the paper's Python compiler that converted PyTorch
+// models into the accelerator's internal instructions. For every conv (or
+// FC-as-conv) layer it emits the three training stages:
+//   Forward  — SRC blocks over the input activations,
+//   GTA      — MSRC blocks over dO with the layer's input-side ReLU mask
+//              (skipped for the first layer, which needs no dI), and
+//   GTW      — OSRC blocks pairing dO with I.
+#pragma once
+
+#include "isa/instruction.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+namespace sparsetrain::compiler {
+
+struct CompileOptions {
+  std::size_t batch = 1;       ///< samples per iteration
+  bool forward = true;
+  bool gta = true;
+  bool gtw = true;
+};
+
+/// Lowers `net` with operand densities from `profile` (must have one entry
+/// per layer) into an executable Program.
+isa::Program compile(const workload::NetworkConfig& net,
+                     const workload::SparsityProfile& profile,
+                     const CompileOptions& options = {});
+
+}  // namespace sparsetrain::compiler

@@ -1,0 +1,64 @@
+#include "core/session.hpp"
+
+#include "compiler/compiler.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain::core {
+
+SessionConfig::SessionConfig()
+    : baseline_arch(baseline::eyeriss_like_config()) {
+  sparse_arch.name = "SparseTrain";
+  sparse_arch.sparse = true;
+}
+
+double ComparisonResult::speedup() const {
+  ST_REQUIRE(sparse.total_cycles > 0, "sparse run produced no cycles");
+  return static_cast<double>(dense.total_cycles) /
+         static_cast<double>(sparse.total_cycles);
+}
+
+double ComparisonResult::energy_efficiency() const {
+  ST_REQUIRE(sparse.energy.on_chip_pj() > 0.0,
+             "sparse run produced no energy");
+  // The paper's Fig. 9 breakdown covers the synthesised design + buffer
+  // (combinational, register, SRAM); off-chip DRAM is outside the design
+  // and identical pressure-wise for both sides, so the efficiency claim is
+  // compared on on-chip energy. DRAM is still reported separately.
+  return dense.energy.on_chip_pj() / sparse.energy.on_chip_pj();
+}
+
+Session::Session(SessionConfig cfg)
+    : cfg_(std::move(cfg)),
+      sparse_accel_(cfg_.sparse_arch),
+      baseline_(cfg_.baseline_arch) {
+  ST_REQUIRE(cfg_.batch > 0, "batch must be positive");
+}
+
+ComparisonResult Session::compare(
+    const workload::NetworkConfig& net,
+    const workload::SparsityProfile& profile) const {
+  ComparisonResult result;
+  result.net = net;
+  result.sparse = run_sparse(net, profile);
+  result.dense = run_dense(net);
+  return result;
+}
+
+sim::SimReport Session::run_sparse(
+    const workload::NetworkConfig& net,
+    const workload::SparsityProfile& profile) const {
+  compiler::CompileOptions opts;
+  opts.batch = cfg_.batch;
+  const isa::Program program = compiler::compile(net, profile, opts);
+  return sparse_accel_.run(program, net, profile);
+}
+
+sim::SimReport Session::run_dense(const workload::NetworkConfig& net) const {
+  const auto dense_profile = workload::SparsityProfile::dense(net);
+  compiler::CompileOptions opts;
+  opts.batch = cfg_.batch;
+  const isa::Program program = compiler::compile(net, dense_profile, opts);
+  return baseline_.run(program, net, dense_profile);
+}
+
+}  // namespace sparsetrain::core

@@ -1,0 +1,73 @@
+// Top-level SparseTrain API.
+//
+// A Session owns the architecture configurations of the SparseTrain
+// accelerator and the dense baseline and evaluates workloads on both —
+// the comparison behind the paper's Fig. 8 (latency/speedup) and Fig. 9
+// (energy breakdown/efficiency).
+//
+// Typical use (see examples/quickstart.cpp):
+//   core::Session session;
+//   auto net = workload::alexnet_cifar();
+//   auto profile = workload::SparsityProfile::pruned(net, 0.9);
+//   auto result = session.compare(net, profile);
+//   result.speedup();            // SparseTrain vs dense baseline
+//   result.energy_efficiency();  // dense baseline energy / SparseTrain
+#pragma once
+
+#include "baseline/eyeriss_like.hpp"
+#include "sim/accelerator.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+namespace sparsetrain::core {
+
+struct SessionConfig {
+  sim::ArchConfig sparse_arch;            ///< defaults to SparseTrain 168 PE
+  sim::ArchConfig baseline_arch;          ///< defaults to the dense baseline
+  std::size_t batch = 1;                  ///< samples per iteration
+
+  SessionConfig();
+};
+
+/// Both simulators' results on one workload.
+struct ComparisonResult {
+  workload::NetworkConfig net;
+  sim::SimReport sparse;
+  sim::SimReport dense;
+
+  /// Training latency improvement (dense cycles / sparse cycles).
+  double speedup() const;
+
+  /// Energy improvement (dense total energy / sparse total energy).
+  double energy_efficiency() const;
+
+  /// Per-sample latency in milliseconds.
+  double sparse_latency_ms() const { return sparse.latency_ms(); }
+  double dense_latency_ms() const { return dense.latency_ms(); }
+};
+
+class Session {
+ public:
+  explicit Session(SessionConfig cfg = SessionConfig{});
+
+  const SessionConfig& config() const { return cfg_; }
+
+  /// Runs `net` with `profile` on SparseTrain and with a dense profile on
+  /// the baseline.
+  ComparisonResult compare(const workload::NetworkConfig& net,
+                           const workload::SparsityProfile& profile) const;
+
+  /// Runs only the SparseTrain side (for sweeps/ablations).
+  sim::SimReport run_sparse(const workload::NetworkConfig& net,
+                            const workload::SparsityProfile& profile) const;
+
+  /// Runs only the dense baseline.
+  sim::SimReport run_dense(const workload::NetworkConfig& net) const;
+
+ private:
+  SessionConfig cfg_;
+  sim::Accelerator sparse_accel_;
+  baseline::EyerissLikeBaseline baseline_;
+};
+
+}  // namespace sparsetrain::core

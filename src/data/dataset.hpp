@@ -1,0 +1,32 @@
+// Labelled image dataset interface + batch view.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sparsetrain::data {
+
+/// One minibatch: images {N,C,H,W} and integer labels.
+struct Batch {
+  Tensor images;
+  std::vector<std::uint32_t> labels;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// In-memory labelled image dataset.
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+
+  virtual std::size_t size() const = 0;
+  virtual std::size_t num_classes() const = 0;
+  virtual Shape sample_shape() const = 0;  ///< {1,C,H,W}
+
+  /// Copies samples [first, first+count) into a batch (wraps around).
+  virtual Batch batch(std::size_t first, std::size_t count) const = 0;
+};
+
+}  // namespace sparsetrain::data

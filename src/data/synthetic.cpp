@@ -1,0 +1,130 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::data {
+
+namespace {
+
+/// Smooth random field: coarse 4×4 noise grid, bilinearly upsampled.
+Tensor make_templates(const SyntheticConfig& cfg, Rng& rng) {
+  const std::size_t GH = 4, GW = 4;
+  Tensor out(Shape{cfg.classes, cfg.channels, cfg.height, cfg.width});
+  for (std::size_t k = 0; k < cfg.classes; ++k) {
+    for (std::size_t c = 0; c < cfg.channels; ++c) {
+      float grid[GH][GW];
+      for (auto& row : grid)
+        for (auto& v : row) v = static_cast<float>(rng.normal());
+      for (std::size_t y = 0; y < cfg.height; ++y) {
+        for (std::size_t x = 0; x < cfg.width; ++x) {
+          const float gy = static_cast<float>(y) /
+                           static_cast<float>(cfg.height - 1) *
+                           static_cast<float>(GH - 1);
+          const float gx = static_cast<float>(x) /
+                           static_cast<float>(cfg.width - 1) *
+                           static_cast<float>(GW - 1);
+          const auto y0 = static_cast<std::size_t>(gy);
+          const auto x0 = static_cast<std::size_t>(gx);
+          const std::size_t y1 = std::min(y0 + 1, GH - 1);
+          const std::size_t x1 = std::min(x0 + 1, GW - 1);
+          const float fy = gy - static_cast<float>(y0);
+          const float fx = gx - static_cast<float>(x0);
+          const float v = grid[y0][x0] * (1 - fy) * (1 - fx) +
+                          grid[y1][x0] * fy * (1 - fx) +
+                          grid[y0][x1] * (1 - fy) * fx +
+                          grid[y1][x1] * fy * fx;
+          out.at(k, c, y, x) = v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SyntheticDataset::SyntheticDataset(const SyntheticConfig& cfg)
+    : cfg_(cfg), templates_(Shape{1, 1, 1, 1}) {
+  ST_REQUIRE(cfg_.classes >= 2, "need at least two classes");
+  ST_REQUIRE(cfg_.height >= 4 && cfg_.width >= 4, "images must be >= 4x4");
+  Rng rng(cfg_.seed);
+  templates_ = make_templates(cfg_, rng);
+  generate(rng, cfg_.samples);
+}
+
+SyntheticDataset::SyntheticDataset(const SyntheticConfig& cfg,
+                                   const Tensor& templates, std::uint64_t seed,
+                                   std::size_t samples)
+    : cfg_(cfg), templates_(templates) {
+  Rng rng(seed);
+  generate(rng, samples);
+}
+
+void SyntheticDataset::generate(Rng& rng, std::size_t samples) {
+  images_.reserve(samples);
+  labels_.reserve(samples);
+  const auto shift_range = static_cast<std::ptrdiff_t>(cfg_.max_shift);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto label =
+        static_cast<std::uint32_t>(rng.uniform_index(cfg_.classes));
+    const std::ptrdiff_t dy =
+        shift_range == 0
+            ? 0
+            : static_cast<std::ptrdiff_t>(
+                  rng.uniform_index(2 * cfg_.max_shift + 1)) -
+                  shift_range;
+    const std::ptrdiff_t dx =
+        shift_range == 0
+            ? 0
+            : static_cast<std::ptrdiff_t>(
+                  rng.uniform_index(2 * cfg_.max_shift + 1)) -
+                  shift_range;
+
+    Tensor img(Shape{1, cfg_.channels, cfg_.height, cfg_.width});
+    for (std::size_t c = 0; c < cfg_.channels; ++c) {
+      for (std::size_t y = 0; y < cfg_.height; ++y) {
+        for (std::size_t x = 0; x < cfg_.width; ++x) {
+          const std::ptrdiff_t sy = static_cast<std::ptrdiff_t>(y) + dy;
+          const std::ptrdiff_t sx = static_cast<std::ptrdiff_t>(x) + dx;
+          float v = 0.0f;
+          if (sy >= 0 && sy < static_cast<std::ptrdiff_t>(cfg_.height) &&
+              sx >= 0 && sx < static_cast<std::ptrdiff_t>(cfg_.width)) {
+            v = templates_.at(label, c, static_cast<std::size_t>(sy),
+                              static_cast<std::size_t>(sx));
+          }
+          img.at(0, c, y, x) =
+              v + static_cast<float>(rng.normal(0.0, cfg_.noise));
+        }
+      }
+    }
+    images_.push_back(std::move(img));
+    labels_.push_back(label);
+  }
+}
+
+Batch SyntheticDataset::batch(std::size_t first, std::size_t count) const {
+  ST_REQUIRE(count > 0, "batch count must be positive");
+  ST_REQUIRE(!images_.empty(), "dataset is empty");
+  Batch b;
+  b.images = Tensor(Shape{count, cfg_.channels, cfg_.height, cfg_.width});
+  b.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t src = (first + i) % images_.size();
+    const Tensor& img = images_[src];
+    for (std::size_t c = 0; c < cfg_.channels; ++c)
+      for (std::size_t y = 0; y < cfg_.height; ++y)
+        for (std::size_t x = 0; x < cfg_.width; ++x)
+          b.images.at(i, c, y, x) = img.at(0, c, y, x);
+    b.labels[i] = labels_[src];
+  }
+  return b;
+}
+
+SyntheticDataset SyntheticDataset::held_out(std::size_t samples,
+                                            std::uint64_t seed) const {
+  return SyntheticDataset(cfg_, templates_, seed, samples);
+}
+
+}  // namespace sparsetrain::data

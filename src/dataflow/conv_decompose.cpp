@@ -1,0 +1,226 @@
+#include "dataflow/conv_decompose.hpp"
+
+#include "util/require.hpp"
+
+namespace sparsetrain::dataflow {
+
+namespace {
+
+RowGeometry row_geo(const ConvGeometry& geo) {
+  RowGeometry rg;
+  rg.kernel = static_cast<std::uint32_t>(geo.kernel);
+  rg.stride = static_cast<std::uint32_t>(geo.stride);
+  rg.padding = static_cast<std::uint32_t>(geo.padding);
+  return rg;
+}
+
+/// Input row index iy = oy·S + ky − P, or false when it lies in padding.
+bool input_row_index(std::size_t oy, std::size_t ky, const ConvGeometry& geo,
+                     std::size_t in_h, std::size_t& iy) {
+  const std::int64_t v = static_cast<std::int64_t>(oy * geo.stride + ky) -
+                         static_cast<std::int64_t>(geo.padding);
+  if (v < 0 || v >= static_cast<std::int64_t>(in_h)) return false;
+  iy = static_cast<std::size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+Shape conv_output_shape(const ConvGeometry& geo, const Shape& input) {
+  ST_REQUIRE(input.c == geo.in_channels, "decompose: channel mismatch");
+  ST_REQUIRE(input.h + 2 * geo.padding >= geo.kernel &&
+                 input.w + 2 * geo.padding >= geo.kernel,
+             "decompose: input smaller than kernel");
+  return Shape{input.n, geo.out_channels,
+               (input.h + 2 * geo.padding - geo.kernel) / geo.stride + 1,
+               (input.w + 2 * geo.padding - geo.kernel) / geo.stride + 1};
+}
+
+Tensor forward_by_rows(const Tensor& input, const Tensor& weights,
+                       const Tensor* bias, const ConvGeometry& geo) {
+  const Shape out_shape = conv_output_shape(geo, input.shape());
+  ST_REQUIRE(weights.shape() ==
+                 (Shape{geo.out_channels, geo.in_channels, geo.kernel,
+                        geo.kernel}),
+             "decompose: weight shape mismatch");
+  Tensor output(out_shape);
+  const RowGeometry rg = row_geo(geo);
+
+  for (std::size_t n = 0; n < input.shape().n; ++n) {
+    for (std::size_t f = 0; f < geo.out_channels; ++f) {
+      for (std::size_t oy = 0; oy < out_shape.h; ++oy) {
+        auto out_row = output.row(n, f, oy);
+        for (std::size_t c = 0; c < geo.in_channels; ++c) {
+          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+            std::size_t iy;
+            if (!input_row_index(oy, ky, geo, input.shape().h, iy)) continue;
+            const SparseRow in_row = compress_row(input.row(n, c, iy));
+            src_row_conv(in_row, weights.row(f, c, ky), rg, out_row);
+          }
+        }
+        if (bias != nullptr) {
+          const float b = (*bias)[f];
+          for (float& x : out_row) x += b;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor gta_by_rows(const Tensor& grad_output, const Tensor& weights,
+                   const Shape& input_shape, const Tensor* prev_mask,
+                   const ConvGeometry& geo) {
+  ST_REQUIRE(grad_output.shape().c == geo.out_channels,
+             "decompose: dO channel mismatch");
+  if (prev_mask != nullptr)
+    ST_REQUIRE(prev_mask->shape() == input_shape,
+               "decompose: mask shape must match input shape");
+  Tensor grad_in(input_shape);
+  const RowGeometry rg = row_geo(geo);
+  const Shape& out = grad_output.shape();
+
+  for (std::size_t n = 0; n < out.n; ++n) {
+    for (std::size_t c = 0; c < geo.in_channels; ++c) {
+      for (std::size_t f = 0; f < geo.out_channels; ++f) {
+        for (std::size_t oy = 0; oy < out.h; ++oy) {
+          const SparseRow go_row = compress_row(grad_output.row(n, f, oy));
+          if (go_row.empty()) continue;
+          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+            std::size_t iy;
+            if (!input_row_index(oy, ky, geo, input_shape.h, iy)) continue;
+            auto gi_row = grad_in.row(n, c, iy);
+            MaskRow mask;
+            if (prev_mask != nullptr) {
+              mask = mask_from_dense(prev_mask->row(n, c, iy));
+            } else {
+              mask.length = static_cast<std::uint32_t>(gi_row.size());
+              mask.offsets.resize(gi_row.size());
+              for (std::uint32_t i = 0; i < gi_row.size(); ++i)
+                mask.offsets[i] = i;
+            }
+            msrc_row_conv(go_row, weights.row(f, c, ky), mask, rg, gi_row);
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor gtw_by_rows(const Tensor& grad_output, const Tensor& input,
+                   Tensor* dbias, const ConvGeometry& geo) {
+  const Shape& out = grad_output.shape();
+  const Shape& in = input.shape();
+  Tensor dW(Shape{geo.out_channels, geo.in_channels, geo.kernel, geo.kernel});
+  const RowGeometry rg = row_geo(geo);
+
+  for (std::size_t n = 0; n < out.n; ++n) {
+    for (std::size_t f = 0; f < geo.out_channels; ++f) {
+      for (std::size_t oy = 0; oy < out.h; ++oy) {
+        const SparseRow go_row = compress_row(grad_output.row(n, f, oy));
+        if (dbias != nullptr)
+          for (float v : go_row.values) (*dbias)[f] += v;
+        if (go_row.empty()) continue;
+        for (std::size_t c = 0; c < geo.in_channels; ++c) {
+          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+            std::size_t iy;
+            if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
+            const SparseRow in_row = compress_row(input.row(n, c, iy));
+            osrc_row_conv(in_row, go_row, rg, dW.row(f, c, ky));
+          }
+        }
+      }
+    }
+  }
+  return dW;
+}
+
+StageWork forward_work(const Tensor& input, const ConvGeometry& geo) {
+  const Shape out_shape = conv_output_shape(geo, input.shape());
+  const RowGeometry rg = row_geo(geo);
+  StageWork sw;
+  for (std::size_t n = 0; n < input.shape().n; ++n) {
+    for (std::size_t f = 0; f < geo.out_channels; ++f) {
+      for (std::size_t oy = 0; oy < out_shape.h; ++oy) {
+        for (std::size_t c = 0; c < geo.in_channels; ++c) {
+          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+            std::size_t iy;
+            if (!input_row_index(oy, ky, geo, input.shape().h, iy)) continue;
+            const SparseRow in_row = compress_row(input.row(n, c, iy));
+            const RowOpWork w = src_work(in_row, rg, out_shape.w);
+            ++sw.row_ops;
+            sw.work.macs += w.macs;
+            sw.work.active_inputs += w.active_inputs;
+            sw.work.skipped_inputs += w.skipped_inputs;
+          }
+        }
+      }
+    }
+  }
+  return sw;
+}
+
+StageWork gta_work(const Tensor& grad_output, const Shape& input_shape,
+                   const Tensor* prev_mask, const ConvGeometry& geo) {
+  const RowGeometry rg = row_geo(geo);
+  const Shape& out = grad_output.shape();
+  StageWork sw;
+  for (std::size_t n = 0; n < out.n; ++n) {
+    for (std::size_t c = 0; c < geo.in_channels; ++c) {
+      for (std::size_t f = 0; f < geo.out_channels; ++f) {
+        for (std::size_t oy = 0; oy < out.h; ++oy) {
+          const SparseRow go_row = compress_row(grad_output.row(n, f, oy));
+          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+            std::size_t iy;
+            if (!input_row_index(oy, ky, geo, input_shape.h, iy)) continue;
+            MaskRow mask;
+            if (prev_mask != nullptr) {
+              mask = mask_from_dense(prev_mask->row(n, c, iy));
+            } else {
+              mask.length = static_cast<std::uint32_t>(input_shape.w);
+              mask.offsets.resize(input_shape.w);
+              for (std::uint32_t i = 0; i < input_shape.w; ++i)
+                mask.offsets[i] = i;
+            }
+            const RowOpWork w = msrc_work(go_row, mask, rg, input_shape.w);
+            ++sw.row_ops;
+            sw.work.macs += w.macs;
+            sw.work.active_inputs += w.active_inputs;
+            sw.work.skipped_inputs += w.skipped_inputs;
+          }
+        }
+      }
+    }
+  }
+  return sw;
+}
+
+StageWork gtw_work(const Tensor& grad_output, const Tensor& input,
+                   const ConvGeometry& geo) {
+  const RowGeometry rg = row_geo(geo);
+  const Shape& out = grad_output.shape();
+  StageWork sw;
+  for (std::size_t n = 0; n < out.n; ++n) {
+    for (std::size_t f = 0; f < geo.out_channels; ++f) {
+      for (std::size_t oy = 0; oy < out.h; ++oy) {
+        const SparseRow go_row = compress_row(grad_output.row(n, f, oy));
+        for (std::size_t c = 0; c < geo.in_channels; ++c) {
+          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+            std::size_t iy;
+            if (!input_row_index(oy, ky, geo, input.shape().h, iy)) continue;
+            const SparseRow in_row = compress_row(input.row(n, c, iy));
+            const RowOpWork w = osrc_work(in_row, go_row, rg);
+            ++sw.row_ops;
+            sw.work.macs += w.macs;
+            sw.work.active_inputs += w.active_inputs;
+            sw.work.skipped_inputs += w.skipped_inputs;
+          }
+        }
+      }
+    }
+  }
+  return sw;
+}
+
+}  // namespace sparsetrain::dataflow

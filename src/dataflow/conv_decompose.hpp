@@ -1,0 +1,63 @@
+// Whole-stage reference computations built purely from the 1-D row ops.
+//
+// These functions compute the Forward / GTA / GTW results of a conv layer
+// by disassembling the 2-D convolutions into SRC / MSRC / OSRC row ops —
+// the paper's Fig. 6 decomposition — and are tested for bit-level
+// equivalence against the dense nn::Conv2D implementation. The cycle
+// simulator schedules exactly these row ops, so this module is the bridge
+// between functional correctness and performance modelling.
+#pragma once
+
+#include <optional>
+
+#include "dataflow/row_ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sparsetrain::dataflow {
+
+/// Conv geometry needed by the decomposition (a subset of Conv2DConfig,
+/// kept separate so this module does not depend on the nn layer classes).
+struct ConvGeometry {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 1;
+};
+
+/// Output spatial shape of the conv.
+Shape conv_output_shape(const ConvGeometry& geo, const Shape& input);
+
+/// Forward stage via SRC ops. `weights` is {F,C,K,K}; `bias` optional
+/// length-F tensor.
+Tensor forward_by_rows(const Tensor& input, const Tensor& weights,
+                       const Tensor* bias, const ConvGeometry& geo);
+
+/// GTA stage via MSRC ops: dI = Σ_f dO_f ∗ rot180(W_f,c). When
+/// `prev_mask` (same shape as the conv input) is given, positions it
+/// disallows are skipped — they would be zeroed by the preceding layer's
+/// ReLU anyway. Pass nullptr to compute all positions.
+Tensor gta_by_rows(const Tensor& grad_output, const Tensor& weights,
+                   const Shape& input_shape, const Tensor* prev_mask,
+                   const ConvGeometry& geo);
+
+/// GTW stage via OSRC ops: dW[f,c] = dO_f ★ I_c (+ db accumulation).
+/// Returns dW shaped {F,C,K,K}; if `dbias` is non-null it receives the
+/// per-filter gradient sums.
+Tensor gtw_by_rows(const Tensor& grad_output, const Tensor& input,
+                   Tensor* dbias, const ConvGeometry& geo);
+
+/// Aggregate row-op work of a full layer stage (used by tests to validate
+/// the simulator's closed-form counts).
+struct StageWork {
+  std::size_t row_ops = 0;
+  RowOpWork work;
+};
+
+StageWork forward_work(const Tensor& input, const ConvGeometry& geo);
+StageWork gta_work(const Tensor& grad_output, const Shape& input_shape,
+                   const Tensor* prev_mask, const ConvGeometry& geo);
+StageWork gtw_work(const Tensor& grad_output, const Tensor& input,
+                   const ConvGeometry& geo);
+
+}  // namespace sparsetrain::dataflow

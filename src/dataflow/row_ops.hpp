@@ -1,0 +1,75 @@
+// The three 1-D row convolution primitives of the SparseTrain dataflow
+// (paper §IV-B, Fig. 6). All 2-D convolutions in the three training stages
+// decompose into these:
+//
+//   SRC  (Forward): one sparse activation row × one dense K-length kernel
+//        row, accumulated into one dense output row.
+//   MSRC (GTA): one sparse dO row scattered through a rotated kernel row
+//        into a dI row, skipping positions the forward ReLU mask zeroes.
+//   OSRC (GTW): two sparse rows (I and dO) correlated into a K-length dW
+//        row that lives in a scratchpad for the whole row pair.
+//
+// These are the *functional references*: bit-exact semantics used both to
+// validate the dense layer implementations and as the ground truth for the
+// cycle simulator's work counting.
+#pragma once
+
+#include <span>
+
+#include "tensor/sparse_row.hpp"
+
+namespace sparsetrain::dataflow {
+
+/// Geometry shared by the row ops: kernel size K, stride S, left padding P.
+struct RowGeometry {
+  std::uint32_t kernel = 3;
+  std::uint32_t stride = 1;
+  std::uint32_t padding = 1;
+};
+
+/// SRC — Forward-step row convolution.
+/// out[ox] += Σ_k kernel[k] · in[ox·S + k − P], for ox in [0, out.size()).
+/// `input` is the compressed activation row; `kernel` must have length K.
+/// Implementation iterates input nonzeros only (the PE's zero skipping).
+void src_row_conv(const SparseRow& input, std::span<const float> kernel,
+                  const RowGeometry& geo, std::span<float> out);
+
+/// MSRC — GTA-step row convolution with output masking.
+/// out[p·S + k − P] += Σ in[p] · kernel[k], but positions not allowed by
+/// `mask` are skipped entirely (their value is forced to zero by the
+/// following ReLU, so computing them is wasted work). `mask.length` must
+/// equal out.size(). Pass a full mask to disable skipping.
+void msrc_row_conv(const SparseRow& input, std::span<const float> kernel,
+                   const MaskRow& mask, const RowGeometry& geo,
+                   std::span<float> out);
+
+/// OSRC — GTW-step row correlation.
+/// dw[k] += Σ_ox dO[ox] · I[ox·S + k − P] for k in [0, K).
+/// Both operands are sparse; `dw` must have length K.
+void osrc_row_conv(const SparseRow& input_acts, const SparseRow& grad_out,
+                   const RowGeometry& geo, std::span<float> dw);
+
+/// Work counters used by the cycle model: how many multiply-accumulates a
+/// row op actually performs given the operand sparsity, and how many input
+/// elements contribute at least one MAC (the PE ingests one such element
+/// per cycle).
+struct RowOpWork {
+  std::size_t macs = 0;            ///< useful multiplies
+  std::size_t active_inputs = 0;   ///< nonzeros that produced >= 1 MAC
+  std::size_t skipped_inputs = 0;  ///< nonzeros skipped via mask look-ahead
+};
+
+/// Work of an SRC op (mask-free).
+RowOpWork src_work(const SparseRow& input, const RowGeometry& geo,
+                   std::size_t out_len);
+
+/// Work of an MSRC op: per-input-window mask intersection.
+RowOpWork msrc_work(const SparseRow& input, const MaskRow& mask,
+                    const RowGeometry& geo, std::size_t out_len);
+
+/// Work of an OSRC op: pairs of nonzeros whose offset difference lands in
+/// the K-length scratchpad.
+RowOpWork osrc_work(const SparseRow& input_acts, const SparseRow& grad_out,
+                    const RowGeometry& geo);
+
+}  // namespace sparsetrain::dataflow

@@ -1,0 +1,38 @@
+#include "isa/instruction.hpp"
+
+namespace sparsetrain::isa {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::Forward:
+      return "Forward";
+    case Stage::GTA:
+      return "GTA";
+    case Stage::GTW:
+      return "GTW";
+  }
+  return "?";
+}
+
+const char* row_op_name(RowOpKind k) {
+  switch (k) {
+    case RowOpKind::SRC:
+      return "SRC";
+    case RowOpKind::MSRC:
+      return "MSRC";
+    case RowOpKind::OSRC:
+      return "OSRC";
+    case RowOpKind::FC:
+      return "FC";
+  }
+  return "?";
+}
+
+std::size_t Program::count(Opcode op) const {
+  std::size_t n = 0;
+  for (const auto& inst : instructions)
+    if (inst.op == op) ++n;
+  return n;
+}
+
+}  // namespace sparsetrain::isa

@@ -1,0 +1,77 @@
+// Internal instruction set of the SparseTrain accelerator.
+//
+// The compiler lowers a network description into a linear program of these
+// instructions; the controller of the (simulated) accelerator executes
+// them. Run instructions carry *homogeneous row-op blocks*: a count of
+// identical-geometry 1-D row convolutions plus the operand densities, which
+// is all the cycle/energy model needs. (Materialising millions of
+// individual row tasks for ImageNet-scale layers would be pure overhead.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sparsetrain::isa {
+
+/// Training stage a block belongs to.
+enum class Stage : std::uint8_t { Forward, GTA, GTW };
+
+const char* stage_name(Stage s);
+
+/// Which dataflow primitive the PEs run. SRC/MSRC/OSRC are the paper's
+/// three row convolutions; FC is the dot-product mapping used for
+/// fully-connected layers (the PE streams the compressed operand vector
+/// and multiplies each element into `fc_lanes` output accumulators, with
+/// only the weight columns of nonzero operands fetched).
+enum class RowOpKind : std::uint8_t { SRC, MSRC, OSRC, FC };
+
+const char* row_op_name(RowOpKind k);
+
+/// A homogeneous block of row ops (one layer-stage's worth of work).
+struct RowBlock {
+  RowOpKind kind = RowOpKind::SRC;
+  /// Number of *group tasks*: one task = one output row (all contributing
+  /// kernel rows and input channels), the unit the controller dispatches.
+  std::size_t tasks = 0;
+  /// Row ops per task (C·K for conv stages).
+  std::size_t ops_per_task = 0;
+  std::size_t in_len = 0;     ///< dense length of the streamed operand row
+  std::size_t out_len = 0;    ///< output row length (K for OSRC)
+  std::size_t second_len = 0; ///< OSRC second-operand (I) row length
+  std::uint32_t kernel = 3;
+  std::uint32_t stride = 1;
+  std::uint32_t padding = 0;
+  double density_in = 1.0;      ///< streamed operand density (I or dO)
+  double density_mask = 1.0;    ///< MSRC output-mask density (1 = off)
+  double density_second = 1.0;  ///< OSRC second operand (I) density
+  std::size_t fc_lanes = 4;     ///< FC: output accumulators per PE
+};
+
+enum class Opcode : std::uint8_t {
+  ConfigLayer,   ///< select layer geometry / stage
+  LoadWeights,   ///< stream weights into the array (bytes)
+  Run,           ///< execute a RowBlock across the PE groups
+  StoreOutputs,  ///< drain PPU outputs to the buffer (dense element count)
+  Barrier,       ///< wait for all groups (end of a layer stage)
+};
+
+struct Instruction {
+  Opcode op = Opcode::Barrier;
+  std::size_t layer_index = 0;
+  Stage stage = Stage::Forward;
+  RowBlock block;              ///< valid when op == Run
+  std::size_t elements = 0;    ///< LoadWeights / StoreOutputs element count
+  double store_density = 1.0;  ///< compressed-store density for StoreOutputs
+};
+
+/// A compiled workload: the instruction stream plus bookkeeping.
+struct Program {
+  std::string name;
+  std::vector<Instruction> instructions;
+
+  std::size_t count(Opcode op) const;
+};
+
+}  // namespace sparsetrain::isa

@@ -1,0 +1,55 @@
+#include "nn/avgpool.hpp"
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+AvgPool2D::AvgPool2D(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {
+  ST_REQUIRE(kernel_ > 0 && stride_ > 0, "avgpool needs kernel/stride > 0");
+}
+
+Shape AvgPool2D::output_shape(const Shape& input) const {
+  ST_REQUIRE(input.h >= kernel_ && input.w >= kernel_,
+             "avgpool input smaller than window");
+  return Shape{input.n, input.c, (input.h - kernel_) / stride_ + 1,
+               (input.w - kernel_) / stride_ + 1};
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, bool training) {
+  (void)training;
+  input_shape_ = input.shape();
+  const Shape out_shape = output_shape(input_shape_);
+  Tensor out(out_shape);
+  const float scale = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (std::size_t n = 0; n < out_shape.n; ++n)
+    for (std::size_t c = 0; c < out_shape.c; ++c)
+      for (std::size_t oy = 0; oy < out_shape.h; ++oy)
+        for (std::size_t ox = 0; ox < out_shape.w; ++ox) {
+          float acc = 0.0f;
+          for (std::size_t ky = 0; ky < kernel_; ++ky)
+            for (std::size_t kx = 0; kx < kernel_; ++kx)
+              acc += input.at(n, c, oy * stride_ + ky, ox * stride_ + kx);
+          out.at(n, c, oy, ox) = acc * scale;
+        }
+  return out;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  const Shape out_shape = output_shape(input_shape_);
+  ST_REQUIRE(grad_output.shape() == out_shape, "avgpool grad shape mismatch");
+  Tensor grad_in(input_shape_);
+  const float scale = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (std::size_t n = 0; n < out_shape.n; ++n)
+    for (std::size_t c = 0; c < out_shape.c; ++c)
+      for (std::size_t oy = 0; oy < out_shape.h; ++oy)
+        for (std::size_t ox = 0; ox < out_shape.w; ++ox) {
+          const float g = grad_output.at(n, c, oy, ox) * scale;
+          for (std::size_t ky = 0; ky < kernel_; ++ky)
+            for (std::size_t kx = 0; kx < kernel_; ++kx)
+              grad_in.at(n, c, oy * stride_ + ky, ox * stride_ + kx) += g;
+        }
+  return grad_in;
+}
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,24 @@
+// Windowed average pooling (kernel/stride), complementing the global
+// variant in pooling_misc.hpp.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace sparsetrain::nn {
+
+class AvgPool2D final : public Layer {
+ public:
+  explicit AvgPool2D(std::size_t kernel = 2, std::size_t stride = 2);
+
+  std::string name() const override { return "avgpool"; }
+  Shape output_shape(const Shape& input) const override;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  Shape input_shape_{};
+};
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,114 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+BatchNorm2D::BatchNorm2D(std::size_t channels, float eps, float momentum)
+    : channels_(channels),
+      eps_(eps),
+      momentum_(momentum),
+      gamma_("gamma", Shape::vec(channels)),
+      beta_("beta", Shape::vec(channels)),
+      running_mean_(Shape::vec(channels)),
+      running_var_(Shape::vec(channels)),
+      batch_inv_std_(Shape::vec(channels)) {
+  ST_REQUIRE(channels_ > 0, "batchnorm needs channels > 0");
+  gamma_.value.fill(1.0f);
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2D::forward(const Tensor& input, bool training) {
+  const Shape& s = input.shape();
+  ST_REQUIRE(s.c == channels_, "batchnorm channel mismatch");
+  const std::size_t per_channel = s.n * s.h * s.w;
+  ST_REQUIRE(per_channel > 0, "batchnorm needs non-empty spatial extent");
+
+  Tensor out(s);
+  Tensor x_hat(s);
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    float mean;
+    float var;
+    if (training) {
+      double sum = 0.0;
+      for (std::size_t n = 0; n < s.n; ++n)
+        for (std::size_t y = 0; y < s.h; ++y)
+          for (std::size_t x = 0; x < s.w; ++x) sum += input.at(n, c, y, x);
+      mean = static_cast<float>(sum / static_cast<double>(per_channel));
+      double sq = 0.0;
+      for (std::size_t n = 0; n < s.n; ++n)
+        for (std::size_t y = 0; y < s.h; ++y)
+          for (std::size_t x = 0; x < s.w; ++x) {
+            const double d = input.at(n, c, y, x) - mean;
+            sq += d * d;
+          }
+      var = static_cast<float>(sq / static_cast<double>(per_channel));
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * mean;
+      running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * var;
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    batch_inv_std_[c] = inv_std;
+    const float g = gamma_.value[c];
+    const float b = beta_.value[c];
+    for (std::size_t n = 0; n < s.n; ++n)
+      for (std::size_t y = 0; y < s.h; ++y)
+        for (std::size_t x = 0; x < s.w; ++x) {
+          const float xh = (input.at(n, c, y, x) - mean) * inv_std;
+          x_hat.at(n, c, y, x) = xh;
+          out.at(n, c, y, x) = g * xh + b;
+        }
+  }
+
+  if (training) {
+    x_hat_ = std::move(x_hat);
+  } else {
+    x_hat_.reset();
+  }
+  return out;
+}
+
+Tensor BatchNorm2D::backward(const Tensor& grad_output) {
+  ST_REQUIRE(x_hat_.has_value(), "batchnorm backward without training forward");
+  const Shape& s = grad_output.shape();
+  ST_REQUIRE(s == x_hat_->shape(), "batchnorm grad shape mismatch");
+  const auto m = static_cast<float>(s.n * s.h * s.w);
+
+  Tensor grad_in(s);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // Standard BN backward: dx = (γ/σ)·(dy − mean(dy) − x̂·mean(dy·x̂)).
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (std::size_t n = 0; n < s.n; ++n)
+      for (std::size_t y = 0; y < s.h; ++y)
+        for (std::size_t x = 0; x < s.w; ++x) {
+          const float dy = grad_output.at(n, c, y, x);
+          sum_dy += dy;
+          sum_dy_xhat += dy * x_hat_->at(n, c, y, x);
+        }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+
+    const float g_inv_std = gamma_.value[c] * batch_inv_std_[c];
+    const float mean_dy = static_cast<float>(sum_dy) / m;
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat) / m;
+    for (std::size_t n = 0; n < s.n; ++n)
+      for (std::size_t y = 0; y < s.h; ++y)
+        for (std::size_t x = 0; x < s.w; ++x) {
+          const float dy = grad_output.at(n, c, y, x);
+          const float xh = x_hat_->at(n, c, y, x);
+          grad_in.at(n, c, y, x) =
+              g_inv_std * (dy - mean_dy - xh * mean_dy_xhat);
+        }
+  }
+  return grad_in;
+}
+
+}  // namespace sparsetrain::nn

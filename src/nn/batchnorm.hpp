@@ -1,0 +1,39 @@
+// Per-channel batch normalisation (2-D feature maps).
+//
+// Matters for the paper because the CONV-BN-ReLU structure changes where
+// gradients are sparse: BN's backward redistributes mass, so dO at the CONV
+// is dense until the pruning algorithm sparsifies it.
+#pragma once
+
+#include <optional>
+
+#include "nn/layer.hpp"
+
+namespace sparsetrain::nn {
+
+class BatchNorm2D final : public Layer {
+ public:
+  explicit BatchNorm2D(std::size_t channels, float eps = 1e-5f,
+                       float momentum = 0.1f);
+
+  std::string name() const override { return "batchnorm"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+
+ private:
+  std::size_t channels_;
+  float eps_;
+  float momentum_;
+  Param gamma_;  ///< scale, initialised to 1
+  Param beta_;   ///< shift, initialised to 0
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Cached training-forward state for backward.
+  std::optional<Tensor> x_hat_;
+  Tensor batch_inv_std_;
+};
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,88 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53545030;  // "STP0"
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool read_u32(std::ifstream& in, std::uint32_t& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
+void write_string(std::ofstream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool read_string(std::ifstream& in, std::string& s) {
+  std::uint32_t len = 0;
+  if (!read_u32(in, len)) return false;
+  s.resize(len);
+  in.read(s.data(), len);
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool save_checkpoint(Layer& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const auto params = net.params();
+  write_u32(out, kMagic);
+  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const Param* p : params) {
+    write_string(out, p->name);
+    const Shape& s = p->value.shape();
+    write_u32(out, static_cast<std::uint32_t>(s.n));
+    write_u32(out, static_cast<std::uint32_t>(s.c));
+    write_u32(out, static_cast<std::uint32_t>(s.h));
+    write_u32(out, static_cast<std::uint32_t>(s.w));
+    out.write(reinterpret_cast<const char*>(p->value.flat().data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool load_checkpoint(Layer& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint32_t magic = 0, count = 0;
+  if (!read_u32(in, magic) || !read_u32(in, count)) return false;
+  ST_REQUIRE(magic == kMagic, "not a sparsetrain checkpoint: " + path);
+
+  const auto params = net.params();
+  ST_REQUIRE(params.size() == count,
+             "checkpoint parameter count mismatch for " + path);
+  for (Param* p : params) {
+    std::string name;
+    if (!read_string(in, name)) return false;
+    ST_REQUIRE(name == p->name,
+               "checkpoint parameter name mismatch: expected " + p->name +
+                   ", found " + name);
+    std::uint32_t n, c, h, w;
+    if (!read_u32(in, n) || !read_u32(in, c) || !read_u32(in, h) ||
+        !read_u32(in, w))
+      return false;
+    const Shape s{n, c, h, w};
+    ST_REQUIRE(s == p->value.shape(),
+               "checkpoint shape mismatch for " + name + ": " + s.to_string() +
+                   " vs " + p->value.shape().to_string());
+    in.read(reinterpret_cast<char*>(p->value.flat().data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!in) return false;
+  }
+  return true;
+}
+
+}  // namespace sparsetrain::nn

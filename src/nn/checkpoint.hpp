@@ -1,0 +1,20 @@
+// Model checkpointing: save/load all parameters of a network to a simple
+// binary format (magic, param count, then name/shape/data records).
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace sparsetrain::nn {
+
+/// Writes every parameter reachable from `net` to `path`.
+/// Returns false on I/O failure.
+bool save_checkpoint(Layer& net, const std::string& path);
+
+/// Loads parameters into `net`. The network must have the same parameter
+/// sequence (names and shapes) as the one that was saved; mismatches throw
+/// ContractError. Returns false on I/O failure.
+bool load_checkpoint(Layer& net, const std::string& path);
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,212 @@
+#include "nn/conv2d.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+Conv2D::Conv2D(Conv2DConfig cfg, std::string name)
+    : cfg_(cfg),
+      name_(std::move(name)),
+      weight_("weight",
+              Shape{cfg.out_channels, cfg.in_channels, cfg.kernel, cfg.kernel}),
+      bias_("bias", Shape::vec(cfg.out_channels)) {
+  ST_REQUIRE(cfg_.in_channels > 0 && cfg_.out_channels > 0,
+             "conv needs positive channel counts");
+  ST_REQUIRE(cfg_.kernel > 0 && cfg_.stride > 0, "conv needs kernel/stride > 0");
+  if (name_.empty()) {
+    std::ostringstream os;
+    os << "conv" << cfg_.kernel << "x" << cfg_.kernel << "-"
+       << cfg_.out_channels;
+    name_ = os.str();
+  }
+}
+
+Shape Conv2D::output_shape(const Shape& input) const {
+  ST_REQUIRE(input.c == cfg_.in_channels,
+             name_ + ": input channel mismatch, got " + input.to_string());
+  ST_REQUIRE(input.h + 2 * cfg_.padding >= cfg_.kernel &&
+                 input.w + 2 * cfg_.padding >= cfg_.kernel,
+             name_ + ": input smaller than kernel");
+  const std::size_t oh = (input.h + 2 * cfg_.padding - cfg_.kernel) / cfg_.stride + 1;
+  const std::size_t ow = (input.w + 2 * cfg_.padding - cfg_.kernel) / cfg_.stride + 1;
+  return Shape{input.n, cfg_.out_channels, oh, ow};
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool training) {
+  const Shape out_shape = output_shape(input.shape());
+  Tensor output(out_shape);
+
+  const std::size_t K = cfg_.kernel;
+  const std::size_t S = cfg_.stride;
+  const std::size_t P = cfg_.padding;
+  const Shape& in = input.shape();
+
+  for (std::size_t n = 0; n < in.n; ++n) {
+    for (std::size_t f = 0; f < cfg_.out_channels; ++f) {
+      const float b = cfg_.bias ? bias_.value[f] : 0.0f;
+      for (std::size_t oy = 0; oy < out_shape.h; ++oy) {
+        for (std::size_t ox = 0; ox < out_shape.w; ++ox) {
+          float acc = b;
+          for (std::size_t c = 0; c < cfg_.in_channels; ++c) {
+            for (std::size_t ky = 0; ky < K; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * S + ky) -
+                  static_cast<std::ptrdiff_t>(P);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in.h)) continue;
+              for (std::size_t kx = 0; kx < K; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * S + kx) -
+                    static_cast<std::ptrdiff_t>(P);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in.w))
+                  continue;
+                acc += weight_.value.at(f, c, ky, kx) *
+                       input.at(n, c, static_cast<std::size_t>(iy),
+                                static_cast<std::size_t>(ix));
+              }
+            }
+          }
+          output.at(n, f, oy, ox) = acc;
+        }
+      }
+    }
+  }
+
+  if (training) {
+    cached_input_ = input;  // GTW needs I
+  } else {
+    cached_input_.reset();
+  }
+  return output;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  ST_REQUIRE(cached_input_.has_value(),
+             name_ + ": backward without training forward");
+  ST_REQUIRE(grad_output.shape() == output_shape(cached_input_->shape()),
+             name_ + ": grad_output shape mismatch");
+
+  // CONV-BN-ReLU pruning position: transform dO before it is consumed by
+  // both GTA and GTW (this is what makes both steps sparse).
+  Tensor grad_out = grad_output;
+  if (output_grad_transform_) output_grad_transform_->apply(grad_out);
+
+  grad_to_weights(grad_out);
+  Tensor grad_in = grad_to_input(grad_out);
+
+  // CONV-ReLU pruning position: transform dI before it propagates to the
+  // previous layer (i.e. before it is "sent back to memory").
+  if (input_grad_transform_) input_grad_transform_->apply(grad_in);
+
+  if (probe_) {
+    ConvStepDensities d;
+    d.weights = weight_.value.density();
+    d.weight_grads = weight_.grad.density();
+    d.input_acts = cached_input_->density();
+    d.input_grads = grad_in.density();
+    d.output_acts = 1.0;  // pre-activation outputs are dense by construction
+    d.output_grads = grad_out.density();
+    probe_->record(name_, d);
+  }
+  return grad_in;
+}
+
+Tensor Conv2D::grad_to_input(const Tensor& grad_output) const {
+  const Shape& in = cached_input_->shape();
+  const Shape out = grad_output.shape();
+  Tensor grad_in(in);
+
+  const std::size_t K = cfg_.kernel;
+  const std::size_t S = cfg_.stride;
+  const std::size_t P = cfg_.padding;
+
+  // dI[n,c,iy,ix] = Σ_{f,ky,kx} dO[n,f,oy,ox] · W[f,c,ky,kx]
+  // with iy = oy·S + ky − P. Iterating over dO and scattering is the same
+  // sum and keeps the inner loops dense.
+  for (std::size_t n = 0; n < out.n; ++n) {
+    for (std::size_t f = 0; f < out.c; ++f) {
+      for (std::size_t oy = 0; oy < out.h; ++oy) {
+        for (std::size_t ox = 0; ox < out.w; ++ox) {
+          const float g = grad_output.at(n, f, oy, ox);
+          if (g == 0.0f) continue;  // the sparsity the paper exploits
+          for (std::size_t c = 0; c < cfg_.in_channels; ++c) {
+            for (std::size_t ky = 0; ky < K; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * S + ky) -
+                  static_cast<std::ptrdiff_t>(P);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in.h)) continue;
+              for (std::size_t kx = 0; kx < K; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * S + kx) -
+                    static_cast<std::ptrdiff_t>(P);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in.w))
+                  continue;
+                grad_in.at(n, c, static_cast<std::size_t>(iy),
+                           static_cast<std::size_t>(ix)) +=
+                    g * weight_.value.at(f, c, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2D::grad_to_weights(const Tensor& grad_output) {
+  const Tensor& input = *cached_input_;
+  const Shape& in = input.shape();
+  const Shape out = grad_output.shape();
+
+  const std::size_t K = cfg_.kernel;
+  const std::size_t S = cfg_.stride;
+  const std::size_t P = cfg_.padding;
+
+  // dW[f,c,ky,kx] = Σ_{n,oy,ox} dO[n,f,oy,ox] · I[n,c,oy·S+ky−P,ox·S+kx−P]
+  for (std::size_t n = 0; n < out.n; ++n) {
+    for (std::size_t f = 0; f < out.c; ++f) {
+      float bias_acc = 0.0f;
+      for (std::size_t oy = 0; oy < out.h; ++oy) {
+        for (std::size_t ox = 0; ox < out.w; ++ox) {
+          const float g = grad_output.at(n, f, oy, ox);
+          if (g == 0.0f) continue;
+          bias_acc += g;
+          for (std::size_t c = 0; c < cfg_.in_channels; ++c) {
+            for (std::size_t ky = 0; ky < K; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * S + ky) -
+                  static_cast<std::ptrdiff_t>(P);
+              if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in.h)) continue;
+              for (std::size_t kx = 0; kx < K; ++kx) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * S + kx) -
+                    static_cast<std::ptrdiff_t>(P);
+                if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in.w))
+                  continue;
+                weight_.grad.at(f, c, ky, kx) +=
+                    g * input.at(n, c, static_cast<std::size_t>(iy),
+                                 static_cast<std::size_t>(ix));
+              }
+            }
+          }
+        }
+      }
+      if (cfg_.bias) bias_.grad[f] += bias_acc;
+    }
+  }
+}
+
+std::vector<Param*> Conv2D::params() {
+  std::vector<Param*> ps{&weight_};
+  if (cfg_.bias) ps.push_back(&bias_);
+  return ps;
+}
+
+const Tensor& Conv2D::cached_input() const {
+  ST_REQUIRE(cached_input_.has_value(), name_ + ": no cached input");
+  return *cached_input_;
+}
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,107 @@
+// 2-D convolution layer with explicit Forward / GTA / GTW passes.
+//
+// backward() computes the two steps the paper separates:
+//   GTA:  dI_j = Σ_i dO_i ∗ W⁺_{i,j}   (full convolution with the kernel
+//                                        rotated 180°, i.e. transposed conv)
+//   GTW:  dW_{i,j} = dO_i ∗ I_j, db_i = Σ dO_i
+//
+// The layer also hosts the paper's two pruning positions (Fig. 4):
+//   * output_grad_transform — applied to the incoming dO before GTA/GTW
+//     (the CONV-BN-ReLU position), and
+//   * input_grad_transform — applied to the produced dI before it is
+//     handed to the previous layer (the CONV-ReLU position),
+// plus an optional SparsityProbe that records the densities of all six
+// operand tensors (Table I instrumentation).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace sparsetrain::nn {
+
+/// Densities of the six training operands of one conv layer at one step.
+/// This is exactly the paper's Table I row set.
+struct ConvStepDensities {
+  double weights = 1.0;       ///< W
+  double weight_grads = 1.0;  ///< dW
+  double input_acts = 1.0;    ///< I
+  double input_grads = 1.0;   ///< dI (after any pruning transform)
+  double output_acts = 1.0;   ///< O
+  double output_grads = 1.0;  ///< dO (after any pruning transform)
+};
+
+/// Observer invoked at the end of each conv backward with the measured
+/// operand densities.
+class SparsityProbe {
+ public:
+  virtual ~SparsityProbe() = default;
+  virtual void record(const std::string& layer_name,
+                      const ConvStepDensities& densities) = 0;
+};
+
+/// Convolution hyperparameters.
+struct Conv2DConfig {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 1;
+  bool bias = true;
+};
+
+class Conv2D final : public Layer {
+ public:
+  explicit Conv2D(Conv2DConfig cfg, std::string name = "");
+
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  void for_each_conv(const std::function<void(Conv2D&)>& fn) override {
+    fn(*this);
+  }
+  void for_each_conv_structure(
+      const std::function<void(Conv2D&, bool)>& fn) override {
+    fn(*this, false);  // context unknown when visited standalone
+  }
+
+  const Conv2DConfig& config() const { return cfg_; }
+
+  Param& weight() { return weight_; }
+  Param& bias_param() { return bias_; }
+
+  /// Pruning hook at the CONV-BN-ReLU position (incoming dO).
+  void set_output_grad_transform(std::shared_ptr<GradientTransform> t) {
+    output_grad_transform_ = std::move(t);
+  }
+  /// Pruning hook at the CONV-ReLU position (outgoing dI).
+  void set_input_grad_transform(std::shared_ptr<GradientTransform> t) {
+    input_grad_transform_ = std::move(t);
+  }
+  /// Table I instrumentation hook.
+  void set_sparsity_probe(std::shared_ptr<SparsityProbe> probe) {
+    probe_ = std::move(probe);
+  }
+
+  /// Input activations cached by the last training forward (GTW operand).
+  const Tensor& cached_input() const;
+
+ private:
+  Tensor grad_to_input(const Tensor& grad_output) const;   // GTA
+  void grad_to_weights(const Tensor& grad_output);         // GTW
+
+  Conv2DConfig cfg_;
+  std::string name_;
+  Param weight_;  ///< shape {F, C, K, K}
+  Param bias_;    ///< shape {1,1,1,F}; unused when cfg_.bias is false
+  std::optional<Tensor> cached_input_;
+  std::shared_ptr<GradientTransform> output_grad_transform_;
+  std::shared_ptr<GradientTransform> input_grad_transform_;
+  std::shared_ptr<SparsityProbe> probe_;
+};
+
+}  // namespace sparsetrain::nn

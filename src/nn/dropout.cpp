@@ -1,0 +1,38 @@
+#include "nn/dropout.hpp"
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+Dropout::Dropout(float rate, Rng rng) : rate_(rate), rng_(rng) {
+  ST_REQUIRE(rate_ >= 0.0f && rate_ < 1.0f, "dropout rate must be in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  if (!training || rate_ == 0.0f) {
+    mask_.reset();
+    return input;
+  }
+  const float keep_scale = 1.0f / (1.0f - rate_);
+  Tensor mask(input.shape());
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float m = rng_.bernoulli(rate_) ? 0.0f : keep_scale;
+    mask[i] = m;
+    out[i] = input[i] * m;
+  }
+  mask_ = std::move(mask);
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  ST_REQUIRE(mask_.has_value(), "dropout backward without training forward");
+  ST_REQUIRE(grad_output.shape() == mask_->shape(),
+             "dropout grad shape mismatch");
+  Tensor grad_in(grad_output.shape());
+  for (std::size_t i = 0; i < grad_in.size(); ++i)
+    grad_in[i] = grad_output[i] * (*mask_)[i];
+  return grad_in;
+}
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,28 @@
+// Inverted dropout — AlexNet's FC-layer regulariser.
+#pragma once
+
+#include <optional>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace sparsetrain::nn {
+
+class Dropout final : public Layer {
+ public:
+  /// Drops activations with probability `rate` during training, scaling
+  /// survivors by 1/(1−rate) so eval needs no rescaling.
+  Dropout(float rate, Rng rng);
+
+  std::string name() const override { return "dropout"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  float rate_;
+  Rng rng_;
+  std::optional<Tensor> mask_;  ///< 0 or 1/(1−rate) per element
+};
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,84 @@
+#include "nn/im2col.hpp"
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+Tensor im2col(const Tensor& input, const Im2ColGeometry& geo) {
+  const Shape& in = input.shape();
+  ST_REQUIRE(in.c == geo.in_channels, "im2col channel mismatch");
+  ST_REQUIRE(in.h + 2 * geo.padding >= geo.kernel &&
+                 in.w + 2 * geo.padding >= geo.kernel,
+             "im2col input smaller than kernel");
+  const std::size_t oh = (in.h + 2 * geo.padding - geo.kernel) / geo.stride + 1;
+  const std::size_t ow = (in.w + 2 * geo.padding - geo.kernel) / geo.stride + 1;
+  const std::size_t rows = geo.in_channels * geo.kernel * geo.kernel;
+
+  Tensor cols(Shape{in.n, 1, rows, oh * ow});
+  for (std::size_t n = 0; n < in.n; ++n) {
+    std::size_t r = 0;
+    for (std::size_t c = 0; c < geo.in_channels; ++c) {
+      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+        for (std::size_t kx = 0; kx < geo.kernel; ++kx, ++r) {
+          std::size_t col = 0;
+          for (std::size_t oy = 0; oy < oh; ++oy) {
+            for (std::size_t ox = 0; ox < ow; ++ox, ++col) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * geo.stride + ky) -
+                  static_cast<std::ptrdiff_t>(geo.padding);
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * geo.stride + kx) -
+                  static_cast<std::ptrdiff_t>(geo.padding);
+              float v = 0.0f;
+              if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(in.h) &&
+                  ix >= 0 && ix < static_cast<std::ptrdiff_t>(in.w)) {
+                v = input.at(n, c, static_cast<std::size_t>(iy),
+                             static_cast<std::size_t>(ix));
+              }
+              cols.at(n, 0, r, col) = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor conv2d_im2col(const Tensor& input, const Tensor& weights,
+                     const Tensor* bias, const Im2ColGeometry& geo) {
+  ST_REQUIRE(weights.shape() == (Shape{geo.out_channels, geo.in_channels,
+                                       geo.kernel, geo.kernel}),
+             "conv2d_im2col weight shape mismatch");
+  const Shape& in = input.shape();
+  const std::size_t oh = (in.h + 2 * geo.padding - geo.kernel) / geo.stride + 1;
+  const std::size_t ow = (in.w + 2 * geo.padding - geo.kernel) / geo.stride + 1;
+  const std::size_t rows = geo.in_channels * geo.kernel * geo.kernel;
+  const std::size_t cols_n = oh * ow;
+
+  const Tensor cols = im2col(input, geo);
+  Tensor output(Shape{in.n, geo.out_channels, oh, ow});
+
+  // O[n,f,:] = W_row(f) · cols[n] — a straightforward GEMM with the weight
+  // tensor viewed as {F, rows}.
+  for (std::size_t n = 0; n < in.n; ++n) {
+    for (std::size_t f = 0; f < geo.out_channels; ++f) {
+      const float b = bias != nullptr ? (*bias)[f] : 0.0f;
+      auto out_plane =
+          output.flat().subspan(output.shape().index(n, f, 0, 0), cols_n);
+      for (float& x : out_plane) x = b;
+      const auto w_row = weights.flat().subspan(f * rows, rows);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const float w = w_row[r];
+        if (w == 0.0f) continue;
+        const auto col_row =
+            cols.flat().subspan(cols.shape().index(n, 0, r, 0), cols_n);
+        for (std::size_t j = 0; j < cols_n; ++j)
+          out_plane[j] += w * col_row[j];
+      }
+    }
+  }
+  return output;
+}
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,30 @@
+// im2col + GEMM reference convolution.
+//
+// A second, independent implementation of the conv forward pass used to
+// cross-validate nn::Conv2D (two implementations agreeing by construction
+// is the cheapest correctness oracle there is) and as the fast path for
+// the microbenchmarks.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace sparsetrain::nn {
+
+struct Im2ColGeometry {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 1;
+};
+
+/// Unfolds input {N,C,H,W} into columns {N, 1, C·K·K, OH·OW} so the conv
+/// becomes a matrix product. Padding positions become zeros.
+Tensor im2col(const Tensor& input, const Im2ColGeometry& geo);
+
+/// Forward convolution via im2col + GEMM. `weights` is {F,C,K,K}; `bias`
+/// may be null.
+Tensor conv2d_im2col(const Tensor& input, const Tensor& weights,
+                     const Tensor* bias, const Im2ColGeometry& geo);
+
+}  // namespace sparsetrain::nn

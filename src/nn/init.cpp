@@ -1,0 +1,20 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace sparsetrain::nn {
+
+void kaiming_init(Layer& layer, Rng& rng) {
+  for (Param* p : layer.params()) {
+    if (p->name != "weight") continue;
+    const Shape& s = p->value.shape();
+    // fan_in: for conv {F,C,K,K} it is C·K·K; for linear {1,1,out,in} it is
+    // the trailing dimension.
+    const std::size_t fan_in = (s.n > 1) ? s.c * s.h * s.w : s.w;
+    const float stddev =
+        std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+    p->value.fill_normal(rng, 0.0f, stddev);
+  }
+}
+
+}  // namespace sparsetrain::nn

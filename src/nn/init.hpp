@@ -1,0 +1,13 @@
+// Weight initialisation (Kaiming/He for conv+ReLU stacks).
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace sparsetrain::nn {
+
+/// He-normal initialisation of every parameter named "weight" reachable
+/// from the layer; biases / BN params keep their defaults.
+void kaiming_init(Layer& layer, Rng& rng);
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,71 @@
+// Layer interface of the training framework.
+//
+// The framework implements the paper's three training stages explicitly:
+// forward() is the Forward stage; backward() combines GTA (gradient to
+// activations — its return value) and GTW (gradient to weights — written
+// into each Param::grad). Layers cache whatever forward state their
+// backward needs, so backward must follow a matching forward.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/param.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sparsetrain::nn {
+
+class Conv2D;
+
+/// Transformation applied to an activation-gradient tensor in flight.
+/// The pruning module implements this; the nn layer just applies it at the
+/// paper's pruning positions (Fig. 4) without knowing the policy.
+class GradientTransform {
+ public:
+  virtual ~GradientTransform() = default;
+
+  /// Mutates grad in place (e.g. stochastic pruning).
+  virtual void apply(Tensor& grad) = 0;
+};
+
+/// Abstract NN layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Human-readable layer name ("conv3x3-64", "relu", ...).
+  virtual std::string name() const = 0;
+
+  /// Output shape for a given input shape (without running anything).
+  virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// Forward stage. `training` enables state caching and batch statistics.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Backward stage: consumes d(loss)/d(output), returns d(loss)/d(input)
+  /// and accumulates parameter gradients.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Visits every Conv2D nested inside this layer (for attaching pruners
+  /// and instrumentation). Default: none.
+  virtual void for_each_conv(const std::function<void(Conv2D&)>& fn) {
+    (void)fn;
+  }
+
+  /// Like for_each_conv, but also reports whether the conv is directly
+  /// followed by a BatchNorm (the paper's CONV-BN-ReLU structure, which
+  /// moves the pruning position from dI to dO — Fig. 4). Default: none.
+  virtual void for_each_conv_structure(
+      const std::function<void(Conv2D&, bool followed_by_bn)>& fn) {
+    (void)fn;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace sparsetrain::nn

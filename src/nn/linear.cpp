@@ -1,0 +1,87 @@
+#include "nn/linear.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_("weight", Shape::mat(out_features, in_features)),
+      bias_("bias", Shape::vec(out_features)) {
+  ST_REQUIRE(in_features_ > 0 && out_features_ > 0,
+             "linear needs positive feature counts");
+}
+
+std::string Linear::name() const {
+  std::ostringstream os;
+  os << "linear-" << out_features_;
+  return os.str();
+}
+
+Shape Linear::output_shape(const Shape& input) const {
+  ST_REQUIRE(input.c * input.h * input.w == in_features_,
+             name() + ": input features mismatch, got " + input.to_string());
+  return Shape{input.n, 1, 1, out_features_};
+}
+
+Tensor Linear::forward(const Tensor& input, bool training) {
+  const Shape out_shape = output_shape(input.shape());
+  Tensor out(out_shape);
+  const std::size_t batch = input.shape().n;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    const auto in_row = input.flat().subspan(n * in_features_, in_features_);
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      float acc = has_bias_ ? bias_.value[o] : 0.0f;
+      const auto w_row = weight_.value.row(0, 0, o);
+      for (std::size_t i = 0; i < in_features_; ++i) acc += w_row[i] * in_row[i];
+      out.at(n, 0, 0, o) = acc;
+    }
+  }
+
+  if (training) {
+    cached_input_ = input;
+  } else {
+    cached_input_.reset();
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  ST_REQUIRE(cached_input_.has_value(),
+             name() + ": backward without training forward");
+  const Tensor& input = *cached_input_;
+  const std::size_t batch = input.shape().n;
+  ST_REQUIRE(grad_output.shape() == output_shape(input.shape()),
+             name() + ": grad shape mismatch");
+
+  Tensor grad_in(input.shape());
+  for (std::size_t n = 0; n < batch; ++n) {
+    const auto in_row = input.flat().subspan(n * in_features_, in_features_);
+    auto gin_row = grad_in.flat().subspan(n * in_features_, in_features_);
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      const float g = grad_output.at(n, 0, 0, o);
+      if (g == 0.0f) continue;
+      auto w_row = weight_.value.row(0, 0, o);
+      auto dw_row = weight_.grad.row(0, 0, o);
+      for (std::size_t i = 0; i < in_features_; ++i) {
+        gin_row[i] += g * w_row[i];
+        dw_row[i] += g * in_row[i];
+      }
+      if (has_bias_) bias_.grad[o] += g;
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> ps{&weight_};
+  if (has_bias_) ps.push_back(&bias_);
+  return ps;
+}
+
+}  // namespace sparsetrain::nn

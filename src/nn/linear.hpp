@@ -1,0 +1,31 @@
+// Fully-connected layer (the classifier head of AlexNet/ResNet).
+#pragma once
+
+#include <optional>
+
+#include "nn/layer.hpp"
+
+namespace sparsetrain::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, bool bias = true);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+
+  Param& weight() { return weight_; }
+
+ private:
+  std::size_t in_features_;
+  std::size_t out_features_;
+  bool has_bias_;
+  Param weight_;  ///< {1,1,out,in}
+  Param bias_;    ///< {1,1,1,out}
+  std::optional<Tensor> cached_input_;
+};
+
+}  // namespace sparsetrain::nn

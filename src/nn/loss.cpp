@@ -1,0 +1,67 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<std::uint32_t>& labels) {
+  const Shape& s = logits.shape();
+  const std::size_t batch = s.n;
+  const std::size_t classes = s.w;
+  ST_REQUIRE(s.c == 1 && s.h == 1, "loss expects {N,1,1,classes} logits");
+  ST_REQUIRE(labels.size() == batch, "labels/batch mismatch");
+
+  Tensor probs(s);
+  preds_.assign(batch, 0);
+  double loss_sum = 0.0;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    ST_REQUIRE(labels[n] < classes, "label out of range");
+    const auto row = logits.flat().subspan(n * classes, classes);
+    const float maxv = *std::max_element(row.begin(), row.end());
+    double denom = 0.0;
+    for (std::size_t k = 0; k < classes; ++k)
+      denom += std::exp(static_cast<double>(row[k] - maxv));
+    std::size_t argmax = 0;
+    for (std::size_t k = 0; k < classes; ++k) {
+      const double p = std::exp(static_cast<double>(row[k] - maxv)) / denom;
+      probs.at(n, 0, 0, k) = static_cast<float>(p);
+      if (row[k] > row[argmax]) argmax = k;
+    }
+    preds_[n] = static_cast<std::uint32_t>(argmax);
+    loss_sum -= std::log(
+        std::max(1e-12, static_cast<double>(probs.at(n, 0, 0, labels[n]))));
+  }
+
+  probs_ = std::move(probs);
+  labels_ = labels;
+  return static_cast<float>(loss_sum / static_cast<double>(batch));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  ST_REQUIRE(probs_.has_value(), "loss backward without forward");
+  const Shape& s = probs_->shape();
+  Tensor grad = *probs_;
+  const float scale = 1.0f / static_cast<float>(s.n);
+  for (std::size_t n = 0; n < s.n; ++n) {
+    grad.at(n, 0, 0, labels_[n]) -= 1.0f;
+    for (std::size_t k = 0; k < s.w; ++k) grad.at(n, 0, 0, k) *= scale;
+  }
+  return grad;
+}
+
+double accuracy(const std::vector<std::uint32_t>& preds,
+                const std::vector<std::uint32_t>& labels) {
+  ST_REQUIRE(preds.size() == labels.size(), "accuracy arity mismatch");
+  if (preds.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] == labels[i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(preds.size());
+}
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,34 @@
+// Softmax + cross-entropy loss head.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace sparsetrain::nn {
+
+/// Numerically stable fused softmax–cross-entropy.
+class SoftmaxCrossEntropy {
+ public:
+  /// Mean loss over the batch; logits shape {N,1,1,classes}.
+  float forward(const Tensor& logits, const std::vector<std::uint32_t>& labels);
+
+  /// d(loss)/d(logits) for the last forward call.
+  Tensor backward() const;
+
+  /// Per-sample predicted class of the last forward call.
+  const std::vector<std::uint32_t>& predictions() const { return preds_; }
+
+ private:
+  std::optional<Tensor> probs_;
+  std::vector<std::uint32_t> labels_;
+  std::vector<std::uint32_t> preds_;
+};
+
+/// Fraction of correct predictions.
+double accuracy(const std::vector<std::uint32_t>& preds,
+                const std::vector<std::uint32_t>& labels);
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,47 @@
+#include "nn/lr_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+ConstantLr::ConstantLr(float rate) : rate_(rate) {
+  ST_REQUIRE(rate_ > 0.0f, "learning rate must be positive");
+}
+
+float ConstantLr::rate(std::size_t) const { return rate_; }
+
+StepDecayLr::StepDecayLr(float base, std::vector<std::size_t> milestones,
+                         float gamma)
+    : base_(base), milestones_(std::move(milestones)), gamma_(gamma) {
+  ST_REQUIRE(base_ > 0.0f, "learning rate must be positive");
+  ST_REQUIRE(gamma_ > 0.0f && gamma_ <= 1.0f, "gamma must be in (0,1]");
+  ST_REQUIRE(std::is_sorted(milestones_.begin(), milestones_.end()),
+             "milestones must be sorted");
+}
+
+float StepDecayLr::rate(std::size_t epoch) const {
+  float r = base_;
+  for (std::size_t m : milestones_) {
+    if (epoch >= m) r *= gamma_;
+  }
+  return r;
+}
+
+CosineLr::CosineLr(float base, std::size_t total_epochs, float floor)
+    : base_(base), total_epochs_(total_epochs), floor_(floor) {
+  ST_REQUIRE(base_ > 0.0f, "learning rate must be positive");
+  ST_REQUIRE(total_epochs_ > 0, "schedule needs a horizon");
+  ST_REQUIRE(floor_ >= 0.0f && floor_ <= base_, "floor must be in [0, base]");
+}
+
+float CosineLr::rate(std::size_t epoch) const {
+  const double t = std::min<double>(1.0, static_cast<double>(epoch) /
+                                             static_cast<double>(total_epochs_));
+  return floor_ + (base_ - floor_) *
+                      static_cast<float>(0.5 * (1.0 + std::cos(M_PI * t)));
+}
+
+}  // namespace sparsetrain::nn

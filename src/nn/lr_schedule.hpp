@@ -1,0 +1,54 @@
+// Learning-rate schedules (the paper's training recipes use step decay).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sparsetrain::nn {
+
+/// Learning-rate policy queried once per epoch.
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+
+  /// Learning rate to use during `epoch` (0-based).
+  virtual float rate(std::size_t epoch) const = 0;
+};
+
+/// Constant rate.
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(float rate);
+  float rate(std::size_t epoch) const override;
+
+ private:
+  float rate_;
+};
+
+/// Multiplies the base rate by `gamma` at each listed milestone epoch
+/// (the classic ResNet ÷10 at fixed epochs recipe).
+class StepDecayLr final : public LrSchedule {
+ public:
+  StepDecayLr(float base, std::vector<std::size_t> milestones,
+              float gamma = 0.1f);
+  float rate(std::size_t epoch) const override;
+
+ private:
+  float base_;
+  std::vector<std::size_t> milestones_;
+  float gamma_;
+};
+
+/// Smooth cosine annealing from `base` to `floor` over `total_epochs`.
+class CosineLr final : public LrSchedule {
+ public:
+  CosineLr(float base, std::size_t total_epochs, float floor = 0.0f);
+  float rate(std::size_t epoch) const override;
+
+ private:
+  float base_;
+  std::size_t total_epochs_;
+  float floor_;
+};
+
+}  // namespace sparsetrain::nn

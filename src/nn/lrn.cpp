@@ -1,0 +1,81 @@
+#include "nn/lrn.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+Lrn::Lrn(LrnConfig cfg) : cfg_(cfg) {
+  ST_REQUIRE(cfg_.size >= 1, "LRN window must be >= 1");
+}
+
+float Lrn::denom_base(const Tensor& input, std::size_t n, std::size_t c,
+                      std::size_t y, std::size_t x) const {
+  const std::size_t channels = input.shape().c;
+  const std::size_t half = cfg_.size / 2;
+  const std::size_t lo = c >= half ? c - half : 0;
+  const std::size_t hi = std::min(channels - 1, c + half);
+  float sum_sq = 0.0f;
+  for (std::size_t cc = lo; cc <= hi; ++cc) {
+    const float v = input.at(n, cc, y, x);
+    sum_sq += v * v;
+  }
+  return cfg_.k + cfg_.alpha / static_cast<float>(cfg_.size) * sum_sq;
+}
+
+Tensor Lrn::forward(const Tensor& input, bool training) {
+  const Shape& s = input.shape();
+  Tensor out(s);
+  for (std::size_t n = 0; n < s.n; ++n)
+    for (std::size_t c = 0; c < s.c; ++c)
+      for (std::size_t y = 0; y < s.h; ++y)
+        for (std::size_t x = 0; x < s.w; ++x)
+          out.at(n, c, y, x) =
+              input.at(n, c, y, x) /
+              std::pow(denom_base(input, n, c, y, x), cfg_.beta);
+  if (training) {
+    cached_input_ = input;
+  } else {
+    cached_input_.reset();
+  }
+  return out;
+}
+
+Tensor Lrn::backward(const Tensor& grad_output) {
+  ST_REQUIRE(cached_input_.has_value(), "lrn backward without forward");
+  const Tensor& input = *cached_input_;
+  const Shape& s = input.shape();
+  ST_REQUIRE(grad_output.shape() == s, "lrn grad shape mismatch");
+
+  // d b_c / d a_c' = δ_{cc'}·D^{−β} − 2αβ/size · a_c a_c' D^{−β−1}
+  // for c' in c's window, with D the denominator base at c.
+  Tensor grad_in(s);
+  const std::size_t half = cfg_.size / 2;
+  for (std::size_t n = 0; n < s.n; ++n) {
+    for (std::size_t y = 0; y < s.h; ++y) {
+      for (std::size_t x = 0; x < s.w; ++x) {
+        for (std::size_t c = 0; c < s.c; ++c) {
+          const float g = grad_output.at(n, c, y, x);
+          if (g == 0.0f) continue;
+          const float D = denom_base(input, n, c, y, x);
+          const float d_pow = std::pow(D, -cfg_.beta);
+          const float a_c = input.at(n, c, y, x);
+          const std::size_t lo = c >= half ? c - half : 0;
+          const std::size_t hi = std::min(s.c - 1, c + half);
+          for (std::size_t cc = lo; cc <= hi; ++cc) {
+            float d = 0.0f;
+            if (cc == c) d += d_pow;
+            d -= 2.0f * cfg_.alpha / static_cast<float>(cfg_.size) *
+                 cfg_.beta * a_c * input.at(n, cc, y, x) *
+                 std::pow(D, -cfg_.beta - 1.0f);
+            grad_in.at(n, cc, y, x) += g * d;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,40 @@
+// Local Response Normalisation — AlexNet's cross-channel normalisation.
+//
+// b[n,c,y,x] = a[n,c,y,x] / (k + α/n_size · Σ_{c'∈window} a[n,c',y,x]²)^β
+// Included because the paper's AlexNet evaluation model uses it; LRN sits
+// between CONV-ReLU pairs and (like BN) re-densifies gradients, which is
+// part of why the pruning positions matter.
+#pragma once
+
+#include <optional>
+
+#include "nn/layer.hpp"
+
+namespace sparsetrain::nn {
+
+struct LrnConfig {
+  std::size_t size = 5;    ///< channel window
+  float alpha = 1e-4f;
+  float beta = 0.75f;
+  float k = 2.0f;
+};
+
+class Lrn final : public Layer {
+ public:
+  explicit Lrn(LrnConfig cfg = {});
+
+  std::string name() const override { return "lrn"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  /// k + α/size · Σ a² over the channel window, for (n, c, y, x).
+  float denom_base(const Tensor& input, std::size_t n, std::size_t c,
+                   std::size_t y, std::size_t x) const;
+
+  LrnConfig cfg_;
+  std::optional<Tensor> cached_input_;
+};
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,68 @@
+#include "nn/maxpool.hpp"
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+MaxPool2D::MaxPool2D(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {
+  ST_REQUIRE(kernel_ > 0 && stride_ > 0, "maxpool needs kernel/stride > 0");
+}
+
+Shape MaxPool2D::output_shape(const Shape& input) const {
+  ST_REQUIRE(input.h >= kernel_ && input.w >= kernel_,
+             "maxpool input smaller than window");
+  return Shape{input.n, input.c, (input.h - kernel_) / stride_ + 1,
+               (input.w - kernel_) / stride_ + 1};
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool training) {
+  const Shape out_shape = output_shape(input.shape());
+  Tensor out(out_shape);
+  std::vector<std::size_t> argmax(out_shape.size());
+
+  for (std::size_t n = 0; n < out_shape.n; ++n) {
+    for (std::size_t c = 0; c < out_shape.c; ++c) {
+      for (std::size_t oy = 0; oy < out_shape.h; ++oy) {
+        for (std::size_t ox = 0; ox < out_shape.w; ++ox) {
+          float best = input.at(n, c, oy * stride_, ox * stride_);
+          std::size_t best_idx =
+              input.shape().index(n, c, oy * stride_, ox * stride_);
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::size_t iy = oy * stride_ + ky;
+              const std::size_t ix = ox * stride_ + kx;
+              const float v = input.at(n, c, iy, ix);
+              if (v > best) {
+                best = v;
+                best_idx = input.shape().index(n, c, iy, ix);
+              }
+            }
+          }
+          out.at(n, c, oy, ox) = best;
+          argmax[out_shape.index(n, c, oy, ox)] = best_idx;
+        }
+      }
+    }
+  }
+
+  input_shape_ = input.shape();
+  if (training) {
+    argmax_ = std::move(argmax);
+  } else {
+    argmax_.reset();
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  ST_REQUIRE(argmax_.has_value(), "maxpool backward without training forward");
+  ST_REQUIRE(grad_output.size() == argmax_->size(),
+             "maxpool grad size mismatch");
+  Tensor grad_in(input_shape_);
+  for (std::size_t i = 0; i < grad_output.size(); ++i)
+    grad_in[(*argmax_)[i]] += grad_output[i];
+  return grad_in;
+}
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,31 @@
+// Max pooling. Forward records the argmax positions; backward routes each
+// gradient to the winning position (everything else is zero — the "natural
+// sparsity" the paper attributes to pooling layers).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace sparsetrain::nn {
+
+class MaxPool2D final : public Layer {
+ public:
+  /// Square window of size `kernel` moved with `stride` (defaults 2/2).
+  explicit MaxPool2D(std::size_t kernel = 2, std::size_t stride = 2);
+
+  std::string name() const override { return "maxpool"; }
+  Shape output_shape(const Shape& input) const override;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  Shape input_shape_{};
+  /// Flat input index of the max element for each output element.
+  std::optional<std::vector<std::size_t>> argmax_;
+};
+
+}  // namespace sparsetrain::nn

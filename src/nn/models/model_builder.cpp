@@ -1,0 +1,158 @@
+#include "nn/models/model_builder.hpp"
+
+#include <sstream>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/linear.hpp"
+#include "nn/lrn.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/pooling_misc.hpp"
+#include "nn/relu.hpp"
+#include "nn/residual.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain::nn::models {
+
+namespace {
+
+Conv2DConfig conv_cfg(std::size_t in_c, std::size_t out_c, std::size_t k,
+                      std::size_t stride, std::size_t pad, bool bias) {
+  Conv2DConfig cfg;
+  cfg.in_channels = in_c;
+  cfg.out_channels = out_c;
+  cfg.kernel = k;
+  cfg.stride = stride;
+  cfg.padding = pad;
+  cfg.bias = bias;
+  return cfg;
+}
+
+std::size_t flat_features(const Sequential& net, const ModelInput& in) {
+  const Shape out =
+      net.output_shape(Shape{1, in.channels, in.height, in.width});
+  return out.c * out.h * out.w;
+}
+
+}  // namespace
+
+std::unique_ptr<Sequential> tiny_cnn(const ModelInput& in, std::size_t width) {
+  auto net = std::make_unique<Sequential>("tiny-cnn");
+  net->emplace<Conv2D>(conv_cfg(in.channels, width, 3, 1, 1, true));
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Conv2D>(conv_cfg(width, width * 2, 3, 1, 1, true));
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Flatten>();
+  net->emplace<Linear>(flat_features(*net, in), in.classes);
+  return net;
+}
+
+std::unique_ptr<Sequential> alexnet_s(const ModelInput& in,
+                                      std::size_t base_width) {
+  ST_REQUIRE(in.height >= 16 && in.width >= 16,
+             "alexnet_s expects >= 16x16 inputs");
+  auto net = std::make_unique<Sequential>("alexnet-s");
+  net->emplace<Conv2D>(conv_cfg(in.channels, base_width, 3, 1, 1, true),
+                       "conv1");
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Conv2D>(conv_cfg(base_width, base_width * 2, 3, 1, 1, true),
+                       "conv2");
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Conv2D>(conv_cfg(base_width * 2, base_width * 4, 3, 1, 1, true),
+                       "conv3");
+  net->emplace<ReLU>();
+  net->emplace<Conv2D>(conv_cfg(base_width * 4, base_width * 4, 3, 1, 1, true),
+                       "conv4");
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Flatten>();
+  net->emplace<Linear>(flat_features(*net, in), in.classes);
+  return net;
+}
+
+std::unique_ptr<Sequential> alexnet_s_classic(const ModelInput& in,
+                                              std::size_t base_width,
+                                              std::uint64_t dropout_seed) {
+  ST_REQUIRE(in.height >= 16 && in.width >= 16,
+             "alexnet_s_classic expects >= 16x16 inputs");
+  auto net = std::make_unique<Sequential>("alexnet-s-classic");
+  net->emplace<Conv2D>(conv_cfg(in.channels, base_width, 3, 1, 1, true),
+                       "conv1");
+  net->emplace<ReLU>();
+  net->emplace<Lrn>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Conv2D>(conv_cfg(base_width, base_width * 2, 3, 1, 1, true),
+                       "conv2");
+  net->emplace<ReLU>();
+  net->emplace<Lrn>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Conv2D>(conv_cfg(base_width * 2, base_width * 4, 3, 1, 1, true),
+                       "conv3");
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2, 2);
+  net->emplace<Flatten>();
+  net->emplace<Dropout>(0.5f, Rng(dropout_seed));
+  net->emplace<Linear>(flat_features(*net, in), in.classes);
+  return net;
+}
+
+namespace {
+
+/// One CONV-BN-ReLU / CONV-BN residual block with optional downsampling.
+LayerPtr make_block(std::size_t in_c, std::size_t out_c, std::size_t stride,
+                    const std::string& name) {
+  Sequential main("main");
+  main.emplace<Conv2D>(conv_cfg(in_c, out_c, 3, stride, 1, false),
+                       name + "-conv1");
+  main.emplace<BatchNorm2D>(out_c);
+  main.emplace<ReLU>();
+  main.emplace<Conv2D>(conv_cfg(out_c, out_c, 3, 1, 1, false),
+                       name + "-conv2");
+  main.emplace<BatchNorm2D>(out_c);
+
+  Sequential shortcut("shortcut");
+  if (stride != 1 || in_c != out_c) {
+    shortcut.emplace<Conv2D>(conv_cfg(in_c, out_c, 1, stride, 0, false),
+                             name + "-proj");
+    shortcut.emplace<BatchNorm2D>(out_c);
+  }
+  return std::make_unique<ResidualBlock>(std::move(main), std::move(shortcut),
+                                         name);
+}
+
+}  // namespace
+
+std::unique_ptr<Sequential> resnet_s(const ModelInput& in,
+                                     std::size_t blocks_per_stage,
+                                     std::size_t base_width) {
+  ST_REQUIRE(blocks_per_stage >= 1, "resnet_s needs >= 1 block per stage");
+  auto net = std::make_unique<Sequential>("resnet-s");
+  net->emplace<Conv2D>(conv_cfg(in.channels, base_width, 3, 1, 1, false),
+                       "stem");
+  net->emplace<BatchNorm2D>(base_width);
+  net->emplace<ReLU>();
+
+  std::size_t channels = base_width;
+  for (std::size_t stage = 0; stage < 3; ++stage) {
+    const std::size_t out_c = base_width << stage;
+    for (std::size_t b = 0; b < blocks_per_stage; ++b) {
+      const std::size_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      std::ostringstream os;
+      os << "stage" << stage + 1 << "-block" << b + 1;
+      net->append(make_block(channels, out_c, stride, os.str()));
+      channels = out_c;
+    }
+  }
+
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Flatten>();
+  net->emplace<Linear>(channels, in.classes);
+  return net;
+}
+
+}  // namespace sparsetrain::nn::models

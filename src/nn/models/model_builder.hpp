@@ -1,0 +1,48 @@
+// Trainable model builders.
+//
+// These are scaled-down, operator-faithful versions of the paper's AlexNet
+// and ResNet evaluation models: the same structures (CONV-ReLU-MaxPool for
+// AlexNet, CONV-BN-ReLU residual stages for ResNet), sized so end-to-end
+// training runs on CPU within seconds. Full-size layer geometries (for the
+// architecture simulator) live in src/workload.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "nn/sequential.hpp"
+
+namespace sparsetrain::nn::models {
+
+struct ModelInput {
+  std::size_t channels = 3;
+  std::size_t height = 16;
+  std::size_t width = 16;
+  std::size_t classes = 10;
+};
+
+/// Two-conv CNN used by fast unit tests.
+std::unique_ptr<Sequential> tiny_cnn(const ModelInput& in,
+                                     std::size_t width = 8);
+
+/// AlexNet-style stack: CONV-ReLU(-MaxPool) ×3 + linear classifier.
+/// No batch-norm, so the pruning position is the CONV-ReLU one (dI).
+std::unique_ptr<Sequential> alexnet_s(const ModelInput& in,
+                                      std::size_t base_width = 16);
+
+/// Classic AlexNet flavour: like alexnet_s but with LRN after the first
+/// two conv stages and dropout before the classifier, matching the
+/// original architecture's regularisers.
+std::unique_ptr<Sequential> alexnet_s_classic(const ModelInput& in,
+                                              std::size_t base_width = 16,
+                                              std::uint64_t dropout_seed = 1);
+
+/// ResNet-style network: CONV-BN-ReLU stem, `blocks_per_stage` residual
+/// blocks in three stages (widths w, 2w, 4w; stride-2 transitions), global
+/// average pooling, linear classifier. Pruning position: dO (CONV-BN-ReLU).
+std::unique_ptr<Sequential> resnet_s(const ModelInput& in,
+                                     std::size_t blocks_per_stage = 2,
+                                     std::size_t base_width = 8);
+
+}  // namespace sparsetrain::nn::models

@@ -1,0 +1,24 @@
+// Learnable parameter: value + accumulated gradient.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace sparsetrain::nn {
+
+/// A learnable tensor and its gradient accumulator. Layers own their
+/// Params; the optimizer mutates them through params() pointers.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string name_, Shape shape)
+      : name(std::move(name_)), value(shape), grad(shape) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,54 @@
+#include "nn/pooling_misc.hpp"
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+Tensor Flatten::forward(const Tensor& input, bool training) {
+  (void)training;
+  input_shape_ = input.shape();
+  Tensor out = input;
+  out.reshape(output_shape(input_shape_));
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  ST_REQUIRE(grad_output.size() == input_shape_.size(),
+             "flatten grad size mismatch");
+  Tensor grad_in = grad_output;
+  grad_in.reshape(input_shape_);
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool training) {
+  (void)training;
+  input_shape_ = input.shape();
+  const Shape& s = input_shape_;
+  Tensor out(output_shape(s));
+  const float scale = 1.0f / static_cast<float>(s.h * s.w);
+  for (std::size_t n = 0; n < s.n; ++n)
+    for (std::size_t c = 0; c < s.c; ++c) {
+      float acc = 0.0f;
+      for (std::size_t y = 0; y < s.h; ++y)
+        for (std::size_t x = 0; x < s.w; ++x) acc += input.at(n, c, y, x);
+      out.at(n, c, 0, 0) = acc * scale;
+    }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+  const Shape& s = input_shape_;
+  ST_REQUIRE(grad_output.shape() == output_shape(s),
+             "global-avgpool grad shape mismatch");
+  Tensor grad_in(s);
+  const float scale = 1.0f / static_cast<float>(s.h * s.w);
+  for (std::size_t n = 0; n < s.n; ++n)
+    for (std::size_t c = 0; c < s.c; ++c) {
+      const float g = grad_output.at(n, c, 0, 0) * scale;
+      for (std::size_t y = 0; y < s.h; ++y)
+        for (std::size_t x = 0; x < s.w; ++x) grad_in.at(n, c, y, x) = g;
+    }
+  return grad_in;
+}
+
+}  // namespace sparsetrain::nn

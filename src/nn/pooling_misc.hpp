@@ -1,0 +1,37 @@
+// Flatten and global average pooling — small shape adapters used by the
+// classifier heads.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace sparsetrain::nn {
+
+/// Collapses (c, h, w) into a feature vector, keeping the batch dimension.
+class Flatten final : public Layer {
+ public:
+  std::string name() const override { return "flatten"; }
+  Shape output_shape(const Shape& input) const override {
+    return Shape{input.n, 1, 1, input.c * input.h * input.w};
+  }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Shape input_shape_{};
+};
+
+/// Global average pooling over (h, w) — ResNet's pre-classifier stage.
+class GlobalAvgPool final : public Layer {
+ public:
+  std::string name() const override { return "global-avgpool"; }
+  Shape output_shape(const Shape& input) const override {
+    return Shape{input.n, input.c, 1, 1};
+  }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Shape input_shape_{};
+};
+
+}  // namespace sparsetrain::nn

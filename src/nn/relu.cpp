@@ -1,0 +1,38 @@
+#include "nn/relu.hpp"
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool training) {
+  Tensor out(input.shape());
+  Tensor mask(input.shape());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const bool pass = input[i] > 0.0f;
+    out[i] = pass ? input[i] : 0.0f;
+    mask[i] = pass ? 1.0f : 0.0f;
+  }
+  if (training) {
+    mask_ = std::move(mask);
+  } else {
+    mask_.reset();
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  ST_REQUIRE(mask_.has_value(), "relu backward without training forward");
+  ST_REQUIRE(grad_output.shape() == mask_->shape(),
+             "relu grad shape mismatch");
+  Tensor grad_in(grad_output.shape());
+  for (std::size_t i = 0; i < grad_output.size(); ++i)
+    grad_in[i] = grad_output[i] * (*mask_)[i];
+  return grad_in;
+}
+
+const Tensor& ReLU::mask() const {
+  ST_REQUIRE(mask_.has_value(), "relu mask not available");
+  return *mask_;
+}
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,26 @@
+// ReLU layer. The forward nonzero pattern is stored as the paper's "mask"
+// and reused by the GTA step (and exported for MSRC mask skipping).
+#pragma once
+
+#include <optional>
+
+#include "nn/layer.hpp"
+
+namespace sparsetrain::nn {
+
+class ReLU final : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+  /// Forward mask: 1 where the input was positive, else 0. Valid after a
+  /// training forward.
+  const Tensor& mask() const;
+
+ private:
+  std::optional<Tensor> mask_;
+};
+
+}  // namespace sparsetrain::nn

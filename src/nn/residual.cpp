@@ -1,0 +1,87 @@
+#include "nn/residual.hpp"
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+ResidualBlock::ResidualBlock(Sequential main, Sequential shortcut,
+                             std::string name)
+    : name_(std::move(name)),
+      main_(std::move(main)),
+      shortcut_(std::move(shortcut)),
+      identity_shortcut_(shortcut_.size() == 0) {
+  ST_REQUIRE(main_.size() > 0, "residual block needs a main path");
+}
+
+Shape ResidualBlock::output_shape(const Shape& input) const {
+  const Shape main_out = main_.output_shape(input);
+  const Shape short_out =
+      identity_shortcut_ ? input : shortcut_.output_shape(input);
+  ST_REQUIRE(main_out == short_out,
+             name_ + ": main/shortcut shape mismatch: " +
+                 main_out.to_string() + " vs " + short_out.to_string());
+  return main_out;
+}
+
+Tensor ResidualBlock::forward(const Tensor& input, bool training) {
+  Tensor main_out = main_.forward(input, training);
+  Tensor short_out =
+      identity_shortcut_ ? input : shortcut_.forward(input, training);
+  ST_REQUIRE(main_out.shape() == short_out.shape(),
+             name_ + ": branch shape mismatch");
+
+  Tensor out(main_out.shape());
+  Tensor mask(main_out.shape());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float sum = main_out[i] + short_out[i];
+    const bool pass = sum > 0.0f;
+    out[i] = pass ? sum : 0.0f;
+    mask[i] = pass ? 1.0f : 0.0f;
+  }
+  if (training) {
+    final_mask_ = std::move(mask);
+  } else {
+    final_mask_.reset();
+  }
+  return out;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+  ST_REQUIRE(final_mask_.has_value(),
+             name_ + ": backward without training forward");
+  ST_REQUIRE(grad_output.shape() == final_mask_->shape(),
+             name_ + ": grad shape mismatch");
+
+  // Through the post-add ReLU.
+  Tensor g(grad_output.shape());
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = grad_output[i] * (*final_mask_)[i];
+
+  // The add fans the gradient out to both branches.
+  Tensor grad_in = main_.backward(g);
+  if (identity_shortcut_) {
+    grad_in.add(g);
+  } else {
+    grad_in.add(shortcut_.backward(g));
+  }
+  return grad_in;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> all = main_.params();
+  for (Param* p : shortcut_.params()) all.push_back(p);
+  return all;
+}
+
+void ResidualBlock::for_each_conv(const std::function<void(Conv2D&)>& fn) {
+  main_.for_each_conv(fn);
+  shortcut_.for_each_conv(fn);
+}
+
+void ResidualBlock::for_each_conv_structure(
+    const std::function<void(Conv2D&, bool)>& fn) {
+  main_.for_each_conv_structure(fn);
+  shortcut_.for_each_conv_structure(fn);
+}
+
+}  // namespace sparsetrain::nn

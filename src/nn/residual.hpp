@@ -1,0 +1,36 @@
+// Residual block: out = ReLU(main(x) + shortcut(x)).
+//
+// The shortcut is identity when shapes match, otherwise a 1×1 strided conv
+// (+BN), exactly the ResNet "option B" projection.
+#pragma once
+
+#include <optional>
+
+#include "nn/layer.hpp"
+#include "nn/sequential.hpp"
+
+namespace sparsetrain::nn {
+
+class ResidualBlock final : public Layer {
+ public:
+  /// main: the two-conv body; shortcut: empty Sequential means identity.
+  ResidualBlock(Sequential main, Sequential shortcut, std::string name);
+
+  std::string name() const override { return name_; }
+  Shape output_shape(const Shape& input) const override;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  void for_each_conv(const std::function<void(Conv2D&)>& fn) override;
+  void for_each_conv_structure(
+      const std::function<void(Conv2D&, bool)>& fn) override;
+
+ private:
+  std::string name_;
+  Sequential main_;
+  Sequential shortcut_;
+  bool identity_shortcut_;
+  std::optional<Tensor> final_mask_;  ///< mask of the post-add ReLU
+};
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,63 @@
+#include "nn/sequential.hpp"
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+void Sequential::append(LayerPtr layer) {
+  ST_REQUIRE(layer != nullptr, "cannot append null layer");
+  layers_.push_back(std::move(layer));
+}
+
+Layer& Sequential::layer(std::size_t i) {
+  ST_REQUIRE(i < layers_.size(), "layer index out of range");
+  return *layers_[i];
+}
+
+Shape Sequential::output_shape(const Shape& input) const {
+  Shape s = input;
+  for (const auto& layer : layers_) s = layer->output_shape(s);
+  return s;
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_)
+    for (Param* p : layer->params()) all.push_back(p);
+  return all;
+}
+
+void Sequential::for_each_conv(const std::function<void(Conv2D&)>& fn) {
+  for (auto& layer : layers_) layer->for_each_conv(fn);
+}
+
+void Sequential::for_each_conv_structure(
+    const std::function<void(Conv2D&, bool)>& fn) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (auto* conv = dynamic_cast<Conv2D*>(layers_[i].get())) {
+      const bool bn_next =
+          i + 1 < layers_.size() &&
+          dynamic_cast<BatchNorm2D*>(layers_[i + 1].get()) != nullptr;
+      fn(*conv, bn_next);
+    } else {
+      layers_[i]->for_each_conv_structure(fn);
+    }
+  }
+}
+
+}  // namespace sparsetrain::nn

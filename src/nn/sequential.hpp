@@ -1,0 +1,47 @@
+// Sequential layer container.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace sparsetrain::nn {
+
+/// Runs layers in order; backward runs them in reverse. Also the building
+/// block for residual branches.
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a layer; returns a reference typed as the concrete layer so
+  /// construction sites can keep handles.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void append(LayerPtr layer);
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i);
+
+  std::string name() const override { return name_.empty() ? "seq" : name_; }
+  Shape output_shape(const Shape& input) const override;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param*> params() override;
+  void for_each_conv(const std::function<void(Conv2D&)>& fn) override;
+  void for_each_conv_structure(
+      const std::function<void(Conv2D&, bool)>& fn) override;
+
+ private:
+  std::string name_;
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace sparsetrain::nn

@@ -1,0 +1,32 @@
+#include "nn/sgd.hpp"
+
+#include "util/require.hpp"
+
+namespace sparsetrain::nn {
+
+Sgd::Sgd(std::vector<Param*> params, SgdConfig cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  for (Param* p : params_) {
+    ST_REQUIRE(p != nullptr, "null param handed to SGD");
+    velocity_.emplace(p, Tensor(p->value.shape()));
+  }
+}
+
+void Sgd::step() {
+  for (Param* p : params_) {
+    Tensor& v = velocity_.at(p);
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      float g = p->grad[i];
+      if (cfg_.weight_decay != 0.0f) g += cfg_.weight_decay * p->value[i];
+      v[i] = cfg_.momentum * v[i] + g;
+      p->value[i] -= cfg_.learning_rate * v[i];
+    }
+    p->zero_grad();
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace sparsetrain::nn

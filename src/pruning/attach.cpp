@@ -1,0 +1,44 @@
+#include "pruning/attach.hpp"
+
+#include "nn/conv2d.hpp"
+
+namespace sparsetrain::pruning {
+
+double AttachedPruners::mean_last_density() const {
+  if (pruners.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& p : pruners) sum += p->last_density();
+  return sum / static_cast<double>(pruners.size());
+}
+
+double AttachedPruners::mean_predicted_threshold() const {
+  if (pruners.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : pruners) sum += p->last_predicted_threshold();
+  return sum / static_cast<double>(pruners.size());
+}
+
+AttachedPruners attach_gradient_pruners(nn::Layer& net,
+                                        const PruningConfig& cfg, Rng& rng,
+                                        bool skip_first_conv) {
+  AttachedPruners attached;
+  bool first = true;
+  net.for_each_conv_structure([&](nn::Conv2D& conv, bool followed_by_bn) {
+    if (first && skip_first_conv) {
+      first = false;
+      return;
+    }
+    first = false;
+    auto pruner =
+        std::make_shared<GradientPruner>(cfg, rng.split(), conv.name());
+    if (followed_by_bn) {
+      conv.set_output_grad_transform(pruner);  // CONV-BN-ReLU: prune dO
+    } else {
+      conv.set_input_grad_transform(pruner);   // CONV-ReLU: prune dI
+    }
+    attached.pruners.push_back(std::move(pruner));
+  });
+  return attached;
+}
+
+}  // namespace sparsetrain::pruning

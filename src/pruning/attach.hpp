@@ -1,0 +1,35 @@
+// Wires gradient pruners into a network at the paper's pruning positions
+// (Fig. 4): CONV-ReLU convs prune their outgoing dI; CONV-BN-ReLU convs
+// prune their incoming dO. Each conv gets its own pruner (own FIFO), as the
+// threshold prediction scheme is per-layer.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "pruning/gradient_pruner.hpp"
+
+namespace sparsetrain::pruning {
+
+/// Handles to the pruners attached to one network.
+struct AttachedPruners {
+  std::vector<std::shared_ptr<GradientPruner>> pruners;
+
+  /// Mean post-pruning gradient density across layers for the most recent
+  /// step (the Table II ρ_nnz statistic). Returns 1 when nothing pruned yet.
+  double mean_last_density() const;
+
+  /// Mean predicted threshold across layers (diagnostics).
+  double mean_predicted_threshold() const;
+};
+
+/// Attaches one GradientPruner per conv layer of `net`. The first conv is
+/// skipped by default: pruning its dI is pointless (nothing upstream
+/// consumes it) and the paper's scheme targets gradients that feed further
+/// computation.
+AttachedPruners attach_gradient_pruners(nn::Layer& net,
+                                        const PruningConfig& cfg, Rng& rng,
+                                        bool skip_first_conv = true);
+
+}  // namespace sparsetrain::pruning

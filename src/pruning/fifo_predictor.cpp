@@ -1,0 +1,29 @@
+#include "pruning/fifo_predictor.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::pruning {
+
+ThresholdFifo::ThresholdFifo(std::size_t depth)
+    : depth_(depth), slots_(depth, 0.0) {
+  ST_REQUIRE(depth_ > 0, "FIFO depth must be positive");
+}
+
+void ThresholdFifo::push(double tau) {
+  ST_REQUIRE(tau >= 0.0, "thresholds are non-negative");
+  sum_ -= slots_[next_];
+  slots_[next_] = tau;
+  sum_ += tau;
+  next_ = (next_ + 1) % depth_;
+  ++count_;
+}
+
+double ThresholdFifo::predicted() const {
+  const std::size_t stored_count = stored();
+  if (stored_count == 0) return 0.0;
+  return sum_ / static_cast<double>(stored_count);
+}
+
+}  // namespace sparsetrain::pruning

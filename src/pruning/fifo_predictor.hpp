@@ -1,0 +1,38 @@
+// Threshold prediction FIFO (paper §III-B, Fig. 5).
+//
+// Each CONV layer keeps a FIFO of the last N_F *determined* thresholds; the
+// *predicted* threshold used for on-the-fly pruning of the current batch is
+// their mean. No pruning happens until the FIFO has filled once — exactly
+// Algorithm 1's "i > N_F" guard.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sparsetrain::pruning {
+
+class ThresholdFifo {
+ public:
+  explicit ThresholdFifo(std::size_t depth);
+
+  /// Pushes a determined threshold, evicting the oldest once full.
+  void push(double tau);
+
+  /// True once N_F thresholds have been observed.
+  bool ready() const { return count_ >= depth_; }
+
+  /// Mean of the stored thresholds; 0 until the first push.
+  double predicted() const;
+
+  std::size_t depth() const { return depth_; }
+  std::size_t stored() const { return std::min(count_, depth_); }
+
+ private:
+  std::size_t depth_;
+  std::vector<double> slots_;
+  std::size_t next_ = 0;   ///< ring-buffer write position
+  std::size_t count_ = 0;  ///< total pushes ever
+  double sum_ = 0.0;       ///< running sum of stored slots
+};
+
+}  // namespace sparsetrain::pruning

@@ -1,0 +1,60 @@
+#include "pruning/gradient_pruner.hpp"
+
+#include <cmath>
+
+#include "pruning/threshold.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain::pruning {
+
+GradientPruner::GradientPruner(PruningConfig cfg, Rng rng,
+                               std::string layer_name)
+    : cfg_(cfg),
+      rng_(rng),
+      layer_name_(std::move(layer_name)),
+      fifo_(cfg.fifo_depth) {
+  ST_REQUIRE(cfg_.target_sparsity >= 0.0 && cfg_.target_sparsity < 1.0,
+             "target sparsity must be in [0,1)");
+}
+
+void GradientPruner::apply(Tensor& grad) {
+  auto g = grad.flat();
+  const std::size_t n = g.size();
+  ST_REQUIRE(n > 0, "cannot prune an empty gradient tensor");
+
+  // Predicted threshold for this batch (0 until the FIFO has filled, which
+  // reproduces Algorithm 1's warm-up behaviour).
+  const double tau_hat = fifo_.ready() ? fifo_.predicted() : 0.0;
+  last_predicted_ = tau_hat;
+
+  // Single fused pass: accumulate Σ|g| of the original values while
+  // applying the stochastic rule with τ'. This mirrors the hardware, where
+  // the PPU accumulates |g| as gradients stream through on their way to
+  // the buffer.
+  double abs_sum = 0.0;
+  const auto tau_f = static_cast<float>(tau_hat);
+  std::size_t nonzero = 0;
+  for (float& x : g) {
+    const float mag = std::abs(x);
+    abs_sum += mag;
+    if (tau_hat > 0.0 && mag < tau_f && x != 0.0f) {
+      const double r = rng_.uniform();
+      if (static_cast<double>(mag) > tau_hat * r) {
+        x = x > 0.0f ? tau_f : -tau_f;
+      } else {
+        x = 0.0f;
+      }
+    }
+    if (x != 0.0f) ++nonzero;
+  }
+
+  // Determine this batch's threshold and push it for future prediction.
+  last_determined_ =
+      determine_threshold(estimate_sigma(abs_sum, n), cfg_.target_sparsity);
+  fifo_.push(last_determined_);
+
+  last_density_ = static_cast<double>(nonzero) / static_cast<double>(n);
+  ++batches_;
+}
+
+}  // namespace sparsetrain::pruning

@@ -1,0 +1,59 @@
+// Per-layer gradient pruner: Algorithm 1 of the paper, as a
+// nn::GradientTransform pluggable into the conv layers' pruning positions.
+//
+// One apply() call = one batch of that layer's activation gradients:
+//   1. prune on the fly with the FIFO-predicted threshold τ' (single pass,
+//      accumulating Σ|g| of the *original* values as it goes — the same
+//      accumulation the PPU performs in hardware);
+//   2. determine this batch's threshold τ from Σ|g| and push it into the
+//      FIFO for future batches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "nn/layer.hpp"
+#include "pruning/fifo_predictor.hpp"
+#include "pruning/stochastic_pruner.hpp"
+#include "util/rng.hpp"
+
+namespace sparsetrain::pruning {
+
+struct PruningConfig {
+  double target_sparsity = 0.9;  ///< the paper's p
+  std::size_t fifo_depth = 4;    ///< the paper's N_F
+};
+
+class GradientPruner final : public nn::GradientTransform {
+ public:
+  GradientPruner(PruningConfig cfg, Rng rng, std::string layer_name = "");
+
+  void apply(Tensor& grad) override;
+
+  /// Batches processed so far (pruned or not).
+  std::size_t batches() const { return batches_; }
+
+  /// Density of the gradient tensor after the most recent apply().
+  double last_density() const { return last_density_; }
+
+  /// Threshold used for the most recent apply() (0 while FIFO warms up).
+  double last_predicted_threshold() const { return last_predicted_; }
+
+  /// Threshold determined from the most recent batch.
+  double last_determined_threshold() const { return last_determined_; }
+
+  const PruningConfig& config() const { return cfg_; }
+  const std::string& layer_name() const { return layer_name_; }
+
+ private:
+  PruningConfig cfg_;
+  Rng rng_;
+  std::string layer_name_;
+  ThresholdFifo fifo_;
+  std::size_t batches_ = 0;
+  double last_density_ = 1.0;
+  double last_predicted_ = 0.0;
+  double last_determined_ = 0.0;
+};
+
+}  // namespace sparsetrain::pruning

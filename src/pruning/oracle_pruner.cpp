@@ -1,0 +1,34 @@
+#include "pruning/oracle_pruner.hpp"
+
+#include "pruning/stochastic_pruner.hpp"
+#include "pruning/threshold.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain::pruning {
+
+OraclePruner::OraclePruner(double target_sparsity, Rng rng,
+                           std::string layer_name)
+    : target_sparsity_(target_sparsity),
+      rng_(rng),
+      layer_name_(std::move(layer_name)) {
+  ST_REQUIRE(target_sparsity_ >= 0.0 && target_sparsity_ < 1.0,
+             "target sparsity must be in [0,1)");
+}
+
+void OraclePruner::apply(Tensor& grad) {
+  auto g = grad.flat();
+  ST_REQUIRE(!g.empty(), "cannot prune an empty gradient tensor");
+
+  // Pass 1: exact threshold for THIS batch.
+  last_threshold_ = determine_threshold(g, target_sparsity_);
+  // Pass 2: prune.
+  (void)stochastic_prune(g, last_threshold_, rng_);
+
+  std::size_t nonzero = 0;
+  for (float x : g)
+    if (x != 0.0f) ++nonzero;
+  last_density_ = static_cast<double>(nonzero) / static_cast<double>(g.size());
+  ++batches_;
+}
+
+}  // namespace sparsetrain::pruning

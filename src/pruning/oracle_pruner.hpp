@@ -1,0 +1,37 @@
+// Oracle (two-pass) gradient pruner — the scheme the FIFO prediction
+// replaces (paper §III-B motivation).
+//
+// Pass 1 computes Σ|g| and determines this batch's exact threshold; pass 2
+// prunes with it. In hardware this costs a second full sweep over the
+// gradients (and the memory to hold them un-pruned in between), which is
+// precisely the overhead the FIFO predictor avoids. Implemented as a
+// reference policy so the ablation can show FIFO ≈ oracle in outcome.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace sparsetrain::pruning {
+
+class OraclePruner final : public nn::GradientTransform {
+ public:
+  OraclePruner(double target_sparsity, Rng rng, std::string layer_name = "");
+
+  void apply(Tensor& grad) override;
+
+  double last_density() const { return last_density_; }
+  double last_threshold() const { return last_threshold_; }
+  std::size_t batches() const { return batches_; }
+
+ private:
+  double target_sparsity_;
+  Rng rng_;
+  std::string layer_name_;
+  double last_density_ = 1.0;
+  double last_threshold_ = 0.0;
+  std::size_t batches_ = 0;
+};
+
+}  // namespace sparsetrain::pruning

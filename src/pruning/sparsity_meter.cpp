@@ -1,0 +1,73 @@
+#include "pruning/sparsity_meter.hpp"
+
+#include <algorithm>
+
+namespace sparsetrain::pruning {
+
+void SparsityMeter::record(const std::string& layer_name,
+                           const nn::ConvStepDensities& d) {
+  auto [it, inserted] = layers_.try_emplace(layer_name);
+  if (inserted) it->second.order = next_order_++;
+  Acc& acc = it->second;
+  ++acc.steps;
+  acc.w.add(d.weights);
+  acc.dw.add(d.weight_grads);
+  acc.i.add(d.input_acts);
+  acc.di.add(d.input_grads);
+  acc.o.add(d.output_acts);
+  acc.do_.add(d.output_grads);
+}
+
+std::vector<LayerSparsitySummary> SparsityMeter::summaries() const {
+  std::vector<const std::pair<const std::string, Acc>*> ordered;
+  ordered.reserve(layers_.size());
+  for (const auto& kv : layers_) ordered.push_back(&kv);
+  std::sort(ordered.begin(), ordered.end(), [](auto* a, auto* b) {
+    return a->second.order < b->second.order;
+  });
+
+  std::vector<LayerSparsitySummary> out;
+  out.reserve(ordered.size());
+  for (const auto* kv : ordered) {
+    LayerSparsitySummary s;
+    s.layer = kv->first;
+    s.steps = kv->second.steps;
+    s.weights = kv->second.w.mean();
+    s.weight_grads = kv->second.dw.mean();
+    s.input_acts = kv->second.i.mean();
+    s.input_grads = kv->second.di.mean();
+    s.output_acts = kv->second.o.mean();
+    s.output_grads = kv->second.do_.mean();
+    out.push_back(s);
+  }
+  return out;
+}
+
+LayerSparsitySummary SparsityMeter::overall() const {
+  LayerSparsitySummary s;
+  s.layer = "overall";
+  RunningStats w, dw, i, di, o, do_;
+  for (const auto& [name, acc] : layers_) {
+    s.steps += acc.steps;
+    w.merge(acc.w);
+    dw.merge(acc.dw);
+    i.merge(acc.i);
+    di.merge(acc.di);
+    o.merge(acc.o);
+    do_.merge(acc.do_);
+  }
+  s.weights = w.count() ? w.mean() : 1.0;
+  s.weight_grads = dw.count() ? dw.mean() : 1.0;
+  s.input_acts = i.count() ? i.mean() : 1.0;
+  s.input_grads = di.count() ? di.mean() : 1.0;
+  s.output_acts = o.count() ? o.mean() : 1.0;
+  s.output_grads = do_.count() ? do_.mean() : 1.0;
+  return s;
+}
+
+void SparsityMeter::attach(nn::Layer& net,
+                           const std::shared_ptr<SparsityMeter>& m) {
+  net.for_each_conv([&](nn::Conv2D& conv) { conv.set_sparsity_probe(m); });
+}
+
+}  // namespace sparsetrain::pruning

@@ -1,0 +1,51 @@
+// Table I instrumentation: accumulates the densities of the six training
+// operand types per conv layer across steps.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "util/stats.hpp"
+
+namespace sparsetrain::pruning {
+
+/// Mean operand densities of one layer over the recorded steps.
+struct LayerSparsitySummary {
+  std::string layer;
+  std::size_t steps = 0;
+  double weights = 1.0;
+  double weight_grads = 1.0;
+  double input_acts = 1.0;
+  double input_grads = 1.0;
+  double output_acts = 1.0;
+  double output_grads = 1.0;
+};
+
+/// SparsityProbe implementation shared by all convs of a network.
+class SparsityMeter final : public nn::SparsityProbe {
+ public:
+  void record(const std::string& layer_name,
+              const nn::ConvStepDensities& d) override;
+
+  /// Per-layer summaries in first-recorded order.
+  std::vector<LayerSparsitySummary> summaries() const;
+
+  /// Summary aggregated over all layers and steps.
+  LayerSparsitySummary overall() const;
+
+  /// Attaches this meter to every conv reachable from `net`.
+  static void attach(nn::Layer& net, const std::shared_ptr<SparsityMeter>& m);
+
+ private:
+  struct Acc {
+    std::size_t order = 0;
+    std::size_t steps = 0;
+    RunningStats w, dw, i, di, o, do_;
+  };
+  std::map<std::string, Acc> layers_;
+  std::size_t next_order_ = 0;
+};
+
+}  // namespace sparsetrain::pruning

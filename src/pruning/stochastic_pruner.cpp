@@ -1,0 +1,29 @@
+#include "pruning/stochastic_pruner.hpp"
+
+#include <cmath>
+
+namespace sparsetrain::pruning {
+
+PruneStats stochastic_prune(std::span<float> g, double tau, Rng& rng) {
+  PruneStats stats;
+  stats.total = g.size();
+  if (tau <= 0.0) return stats;
+
+  const auto tau_f = static_cast<float>(tau);
+  for (float& x : g) {
+    const float mag = std::abs(x);
+    if (mag >= tau_f || x == 0.0f) continue;
+    ++stats.below;
+    const double r = rng.uniform();
+    if (static_cast<double>(mag) > tau * r) {
+      x = x > 0.0f ? tau_f : -tau_f;
+      ++stats.saturated;
+    } else {
+      x = 0.0f;
+      ++stats.zeroed;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sparsetrain::pruning

@@ -1,0 +1,34 @@
+// Stochastic pruning rule (paper §III-A, Fig. 3).
+//
+// For each gradient g with |g| < τ, draw r ~ U[0,1):
+//   |g| > τ·r  →  g ← sign(g)·τ      (probability |g|/τ)
+//   otherwise  →  g ← 0              (probability 1 − |g|/τ)
+// so E[ĝ] = g: pruning leaves each component unbiased, which is why the
+// gradient distribution (and hence convergence) is preserved.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace sparsetrain::pruning {
+
+/// Outcome counters of one pruning pass.
+struct PruneStats {
+  std::size_t total = 0;       ///< elements visited
+  std::size_t below = 0;       ///< elements with |g| < τ (prune candidates)
+  std::size_t zeroed = 0;      ///< candidates set to 0
+  std::size_t saturated = 0;   ///< candidates snapped to ±τ
+
+  /// Fraction of elements set to zero by this pass.
+  double zeroed_fraction() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(zeroed) / static_cast<double>(total);
+  }
+};
+
+/// Applies the rule in place. τ ≤ 0 is a no-op (still counts totals).
+PruneStats stochastic_prune(std::span<float> g, double tau, Rng& rng);
+
+}  // namespace sparsetrain::pruning

@@ -1,0 +1,34 @@
+#include "pruning/threshold.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace sparsetrain::pruning {
+
+double estimate_sigma(double abs_sum, std::size_t n) {
+  ST_REQUIRE(abs_sum >= 0.0, "abs_sum must be non-negative");
+  if (n == 0) return 0.0;
+  return std::sqrt(M_PI / 2.0) * abs_sum / static_cast<double>(n);
+}
+
+double estimate_sigma(std::span<const float> g) {
+  double abs_sum = 0.0;
+  for (float x : g) abs_sum += std::abs(static_cast<double>(x));
+  return estimate_sigma(abs_sum, g.size());
+}
+
+double determine_threshold(double sigma_hat, double target_sparsity) {
+  ST_REQUIRE(sigma_hat >= 0.0, "sigma must be non-negative");
+  ST_REQUIRE(target_sparsity >= 0.0 && target_sparsity < 1.0,
+             "target sparsity must be in [0,1)");
+  if (target_sparsity == 0.0 || sigma_hat == 0.0) return 0.0;
+  return sigma_hat * inverse_normal_cdf((1.0 + target_sparsity) / 2.0);
+}
+
+double determine_threshold(std::span<const float> g, double target_sparsity) {
+  return determine_threshold(estimate_sigma(g), target_sparsity);
+}
+
+}  // namespace sparsetrain::pruning

@@ -1,0 +1,69 @@
+// The SparseTrain accelerator simulator (paper §V, Fig. 7a).
+//
+// Components modelled:
+//   * PE groups (default 56 groups × 3 PEs = the paper's 168 PEs): each
+//     group task (one output row / kernel slice) runs its row ops on the
+//     group's PEs in parallel rounds; per-op cycle counts follow the PE
+//     model (1 nonzero per cycle, K-wide MAC, mask look-ahead, OSRC chunk
+//     reloads) with binomially distributed nonzero counts.
+//   * Controller: dispatches tasks dynamically to the least-loaded group;
+//     a stage's cycle count is the makespan over groups; Barrier
+//     instructions synchronise (stragglers bound the stage).
+//   * Global buffer (386 KB default): all operand rows stream through it
+//     in compressed offset+value format; traffic is priced by the energy
+//     model. When a layer-stage's working set exceeds the buffer, weights
+//     are re-fetched from DRAM per activation tile.
+//   * PPU: ReLU + format conversion + the Σ|g| accumulation are free in
+//     time (pipelined behind the PEs) but their output traffic is counted.
+//
+// The same engine with `sparse = false` models the Eyeriss-like dense
+// baseline: every element costs a cycle and a MAC, rows move uncompressed,
+// and no mask skipping happens (see src/baseline).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+#include "sim/energy_model.hpp"
+#include "sim/pe_model.hpp"
+#include "sim/report.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+namespace sparsetrain::sim {
+
+struct ArchConfig {
+  std::string name = "SparseTrain";
+  std::size_t pe_groups = 56;
+  std::size_t pes_per_group = 3;
+  std::size_t buffer_bytes = 386 * 1024;
+  double clock_ghz = 0.8;
+  bool sparse = true;  ///< false = dense (baseline) semantics
+  PeTiming timing;
+  EnergyParams energy;
+  std::uint64_t seed = 1;
+  /// Tasks are bundled so at most this many scheduling samples are drawn
+  /// per Run instruction (keeps ImageNet-scale sims fast without changing
+  /// the makespan statistics materially).
+  std::size_t max_sched_samples = 20000;
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(ArchConfig cfg);
+
+  const ArchConfig& config() const { return cfg_; }
+  std::size_t total_pes() const { return cfg_.pe_groups * cfg_.pes_per_group; }
+
+  /// Executes a compiled program. `net`/`profile` provide the per-layer
+  /// tensor footprints and densities needed for the DRAM traffic model and
+  /// must be the ones the program was compiled from.
+  SimReport run(const isa::Program& program,
+                const workload::NetworkConfig& net,
+                const workload::SparsityProfile& profile) const;
+
+ private:
+  ArchConfig cfg_;
+};
+
+}  // namespace sparsetrain::sim

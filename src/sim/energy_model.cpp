@@ -1,0 +1,34 @@
+#include "sim/energy_model.hpp"
+
+namespace sparsetrain::sim {
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& other) {
+  comb_pj += other.comb_pj;
+  reg_pj += other.reg_pj;
+  sram_pj += other.sram_pj;
+  dram_pj += other.dram_pj;
+  return *this;
+}
+
+ActivityCounts& ActivityCounts::operator+=(const ActivityCounts& other) {
+  macs += other.macs;
+  reg_accesses += other.reg_accesses;
+  sram_bytes += other.sram_bytes;
+  dram_bytes += other.dram_bytes;
+  busy_cycles += other.busy_cycles;
+  return *this;
+}
+
+EnergyBreakdown price(const ActivityCounts& counts,
+                      const EnergyParams& params) {
+  EnergyBreakdown e;
+  e.comb_pj = static_cast<double>(counts.macs) * params.mac_pj +
+              static_cast<double>(counts.busy_cycles) * params.ctrl_pj_cycle;
+  e.reg_pj = static_cast<double>(counts.reg_accesses) * params.reg_pj;
+  // 16-bit datapath: one access moves two bytes.
+  e.sram_pj = static_cast<double>(counts.sram_bytes) / 2.0 * params.sram_pj;
+  e.dram_pj = static_cast<double>(counts.dram_bytes) / 2.0 * params.dram_pj;
+  return e;
+}
+
+}  // namespace sparsetrain::sim

@@ -1,0 +1,233 @@
+#include "sim/exact_engine.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::sim {
+
+namespace {
+
+/// iy = oy·S + ky − P, or false when the row lies in padding.
+bool input_row_index(std::size_t oy, std::size_t ky,
+                     const dataflow::ConvGeometry& geo, std::size_t in_h,
+                     std::size_t& iy) {
+  const std::int64_t v = static_cast<std::int64_t>(oy * geo.stride + ky) -
+                         static_cast<std::int64_t>(geo.padding);
+  if (v < 0 || v >= static_cast<std::int64_t>(in_h)) return false;
+  iy = static_cast<std::size_t>(v);
+  return true;
+}
+
+isa::RowBlock block_from(const dataflow::ConvGeometry& geo,
+                         std::size_t in_len, std::size_t out_len,
+                         isa::RowOpKind kind) {
+  isa::RowBlock b;
+  b.kind = kind;
+  b.in_len = in_len;
+  b.out_len = out_len;
+  b.kernel = static_cast<std::uint32_t>(geo.kernel);
+  b.stride = static_cast<std::uint32_t>(geo.stride);
+  b.padding = static_cast<std::uint32_t>(geo.padding);
+  return b;
+}
+
+}  // namespace
+
+double ExactStageResult::utilization(std::size_t total_pes) const {
+  if (cycles == 0 || total_pes == 0) return 0.0;
+  return static_cast<double>(activity.busy_cycles) /
+         (static_cast<double>(cycles) * static_cast<double>(total_pes));
+}
+
+ExactEngine::ExactEngine(ArchConfig cfg)
+    : cfg_(std::move(cfg)), pe_(cfg_.timing) {
+  ST_REQUIRE(cfg_.sparse, "the exact engine models the sparse architecture");
+}
+
+ExactStageResult ExactEngine::run_forward(
+    const Tensor& input, const dataflow::ConvGeometry& geo) const {
+  const Shape out_shape = dataflow::conv_output_shape(geo, input.shape());
+  const isa::RowBlock b =
+      block_from(geo, input.shape().w, out_shape.w, isa::RowOpKind::SRC);
+
+  // Pre-compress each distinct input row once (the buffer holds it once;
+  // every consuming row op streams the same compressed bytes).
+  std::vector<std::vector<SparseRow>> rows(input.shape().n *
+                                           input.shape().c);
+  for (std::size_t n = 0; n < input.shape().n; ++n)
+    for (std::size_t c = 0; c < input.shape().c; ++c) {
+      auto& channel_rows = rows[n * input.shape().c + c];
+      channel_rows.reserve(input.shape().h);
+      for (std::size_t y = 0; y < input.shape().h; ++y)
+        channel_rows.push_back(compress_row(input.row(n, c, y)));
+    }
+
+  // One task per output row (n, f, oy): C·K row ops.
+  std::vector<std::vector<PeCost>> tasks;
+  tasks.reserve(input.shape().n * geo.out_channels * out_shape.h);
+  for (std::size_t n = 0; n < input.shape().n; ++n) {
+    for (std::size_t f = 0; f < geo.out_channels; ++f) {
+      for (std::size_t oy = 0; oy < out_shape.h; ++oy) {
+        std::vector<PeCost> ops;
+        ops.reserve(geo.in_channels * geo.kernel);
+        for (std::size_t c = 0; c < geo.in_channels; ++c) {
+          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+            std::size_t iy;
+            if (!input_row_index(oy, ky, geo, input.shape().h, iy)) continue;
+            ops.push_back(
+                pe_.run_src(rows[n * input.shape().c + c][iy], b));
+          }
+        }
+        tasks.push_back(std::move(ops));
+      }
+    }
+  }
+  return schedule(std::move(tasks), geo.kernel);
+}
+
+ExactStageResult ExactEngine::run_gta(const Tensor& grad_output,
+                                      const Shape& input_shape,
+                                      const Tensor* prev_mask,
+                                      const dataflow::ConvGeometry& geo) const {
+  const Shape& out = grad_output.shape();
+  const isa::RowBlock b =
+      block_from(geo, out.w, input_shape.w, isa::RowOpKind::MSRC);
+
+  std::vector<std::vector<SparseRow>> go_rows(out.n * out.c);
+  for (std::size_t n = 0; n < out.n; ++n)
+    for (std::size_t f = 0; f < out.c; ++f) {
+      auto& channel = go_rows[n * out.c + f];
+      channel.reserve(out.h);
+      for (std::size_t y = 0; y < out.h; ++y)
+        channel.push_back(compress_row(grad_output.row(n, f, y)));
+    }
+
+  MaskRow all_pass;
+  all_pass.length = static_cast<std::uint32_t>(input_shape.w);
+  for (std::uint32_t i = 0; i < input_shape.w; ++i)
+    all_pass.offsets.push_back(i);
+
+  // One task per dI row (n, c, iy): F·K row ops scatter into it.
+  std::vector<std::vector<PeCost>> tasks;
+  tasks.reserve(out.n * geo.in_channels * input_shape.h);
+  for (std::size_t n = 0; n < out.n; ++n) {
+    for (std::size_t c = 0; c < geo.in_channels; ++c) {
+      for (std::size_t iy = 0; iy < input_shape.h; ++iy) {
+        const MaskRow mask =
+            prev_mask != nullptr
+                ? mask_from_dense(prev_mask->row(n, c, iy))
+                : all_pass;
+        std::vector<PeCost> ops;
+        ops.reserve(geo.out_channels * geo.kernel);
+        for (std::size_t f = 0; f < geo.out_channels; ++f) {
+          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+            // oy·S + ky − P = iy → every (oy, ky) pair writing this row.
+            const std::int64_t num = static_cast<std::int64_t>(iy) +
+                                     static_cast<std::int64_t>(geo.padding) -
+                                     static_cast<std::int64_t>(ky);
+            if (num < 0 || num % static_cast<std::int64_t>(geo.stride) != 0)
+              continue;
+            const auto oy = static_cast<std::size_t>(
+                num / static_cast<std::int64_t>(geo.stride));
+            if (oy >= out.h) continue;
+            ops.push_back(
+                pe_.run_msrc(go_rows[n * out.c + f][oy], mask, b));
+          }
+        }
+        tasks.push_back(std::move(ops));
+      }
+    }
+  }
+  return schedule(std::move(tasks), geo.kernel);
+}
+
+ExactStageResult ExactEngine::run_gtw(const Tensor& grad_output,
+                                      const Tensor& input,
+                                      const dataflow::ConvGeometry& geo) const {
+  const Shape& out = grad_output.shape();
+  const Shape& in = input.shape();
+  isa::RowBlock b = block_from(geo, out.w, geo.kernel, isa::RowOpKind::OSRC);
+  b.second_len = in.w;
+
+  std::vector<std::vector<SparseRow>> go_rows(out.n * out.c);
+  for (std::size_t n = 0; n < out.n; ++n)
+    for (std::size_t f = 0; f < out.c; ++f) {
+      auto& channel = go_rows[n * out.c + f];
+      for (std::size_t y = 0; y < out.h; ++y)
+        channel.push_back(compress_row(grad_output.row(n, f, y)));
+    }
+  std::vector<std::vector<SparseRow>> in_rows(in.n * in.c);
+  for (std::size_t n = 0; n < in.n; ++n)
+    for (std::size_t c = 0; c < in.c; ++c) {
+      auto& channel = in_rows[n * in.c + c];
+      for (std::size_t y = 0; y < in.h; ++y)
+        channel.push_back(compress_row(input.row(n, c, y)));
+    }
+
+  // One task per (n, f, c) kernel slice: OH·K row ops.
+  std::vector<std::vector<PeCost>> tasks;
+  tasks.reserve(out.n * geo.out_channels * geo.in_channels);
+  for (std::size_t n = 0; n < out.n; ++n) {
+    for (std::size_t f = 0; f < geo.out_channels; ++f) {
+      for (std::size_t c = 0; c < geo.in_channels; ++c) {
+        std::vector<PeCost> ops;
+        ops.reserve(out.h * geo.kernel);
+        for (std::size_t oy = 0; oy < out.h; ++oy) {
+          const SparseRow& go = go_rows[n * out.c + f][oy];
+          if (go.empty()) continue;  // zero dO row: nothing scheduled
+          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+            std::size_t iy;
+            if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
+            ops.push_back(pe_.run_osrc(in_rows[n * in.c + c][iy], go, b));
+          }
+        }
+        tasks.push_back(std::move(ops));
+      }
+    }
+  }
+  return schedule(std::move(tasks), geo.kernel);
+}
+
+ExactStageResult ExactEngine::schedule(
+    std::vector<std::vector<PeCost>> tasks, std::size_t lanes) const {
+  ExactStageResult result;
+  result.tasks = tasks.size();
+
+  using Slot = std::pair<std::size_t, std::size_t>;  // (load, group)
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+  for (std::size_t g = 0; g < cfg_.pe_groups; ++g) heap.emplace(0, g);
+
+  for (const auto& ops : tasks) {
+    // The group's PEs take the task's row ops in parallel rounds; each
+    // round lasts as long as its slowest op.
+    std::size_t task_cycles = 0;
+    for (std::size_t i = 0; i < ops.size(); i += cfg_.pes_per_group) {
+      std::size_t round = 0;
+      for (std::size_t j = i;
+           j < std::min(i + cfg_.pes_per_group, ops.size()); ++j) {
+        round = std::max(round, ops[j].cycles);
+        result.activity.busy_cycles += ops[j].cycles;
+        result.activity.macs += ops[j].macs;
+        result.activity.reg_accesses +=
+            ops[j].ingested * 2 * lanes + lanes;
+      }
+      task_cycles += round;
+    }
+    result.row_ops += ops.size();
+    auto [load, g] = heap.top();
+    heap.pop();
+    heap.emplace(load + task_cycles, g);
+  }
+
+  std::size_t makespan = 0;
+  while (!heap.empty()) {
+    makespan = std::max(makespan, heap.top().first);
+    heap.pop();
+  }
+  result.cycles = makespan;
+  return result;
+}
+
+}  // namespace sparsetrain::sim

@@ -1,0 +1,61 @@
+// Exact (tensor-driven) simulation mode.
+//
+// The statistical engine in accelerator.cpp samples row-op costs from the
+// operand *densities*; this engine instead takes the actual tensors of a
+// layer, builds every individual row op, runs each through the
+// cycle-stepped PeExact state machine, and schedules the resulting task
+// times onto the PE groups. It is the ground truth the statistical engine
+// is validated against (tests assert few-percent agreement), and it is
+// what "cycle-accurate" means in this reproduction: per-element PE timing
+// semantics, not density approximations.
+//
+// Use it for real (small/medium) layers; ImageNet-scale blocks would take
+// minutes per stage, which is what the statistical mode is for.
+#pragma once
+
+#include "dataflow/conv_decompose.hpp"
+#include "sim/accelerator.hpp"
+#include "tensor/tensor.hpp"
+
+namespace sparsetrain::sim {
+
+/// Outcome of one exactly-simulated layer stage.
+struct ExactStageResult {
+  std::size_t cycles = 0;       ///< makespan across PE groups
+  ActivityCounts activity;
+  std::size_t row_ops = 0;
+  std::size_t tasks = 0;
+
+  double utilization(std::size_t total_pes) const;
+};
+
+class ExactEngine {
+ public:
+  explicit ExactEngine(ArchConfig cfg);
+
+  const ArchConfig& config() const { return cfg_; }
+
+  /// Forward stage: SRC ops over the real input activations.
+  ExactStageResult run_forward(const Tensor& input,
+                               const dataflow::ConvGeometry& geo) const;
+
+  /// GTA stage: MSRC ops over the real dO with the real upstream mask
+  /// (pass nullptr for an all-pass mask).
+  ExactStageResult run_gta(const Tensor& grad_output,
+                           const Shape& input_shape, const Tensor* prev_mask,
+                           const dataflow::ConvGeometry& geo) const;
+
+  /// GTW stage: OSRC ops pairing real dO rows with real I rows.
+  ExactStageResult run_gtw(const Tensor& grad_output, const Tensor& input,
+                           const dataflow::ConvGeometry& geo) const;
+
+ private:
+  /// Schedules per-task cycle lists onto groups; fills cycles/activity.
+  ExactStageResult schedule(std::vector<std::vector<PeCost>> tasks,
+                            std::size_t lanes) const;
+
+  ArchConfig cfg_;
+  PeExact pe_;
+};
+
+}  // namespace sparsetrain::sim

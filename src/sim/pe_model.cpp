@@ -1,0 +1,134 @@
+#include "sim/pe_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataflow/row_ops.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain::sim {
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+dataflow::RowGeometry to_geo(const isa::RowBlock& block) {
+  dataflow::RowGeometry geo;
+  geo.kernel = block.kernel;
+  geo.stride = block.stride;
+  geo.padding = block.padding;
+  return geo;
+}
+
+}  // namespace
+
+PeCost PeExact::run_src(const SparseRow& input,
+                        const isa::RowBlock& geo) const {
+  const dataflow::RowOpWork w =
+      dataflow::src_work(input, to_geo(geo), geo.out_len);
+  PeCost cost;
+  cost.ingested = w.active_inputs;
+  cost.macs = w.macs;
+  cost.cycles = ceil_div(geo.kernel, timing_.weight_port_width) +
+                w.active_inputs + timing_.pipeline_drain;
+  return cost;
+}
+
+PeCost PeExact::run_msrc(const SparseRow& input, const MaskRow& mask,
+                         const isa::RowBlock& geo) const {
+  const dataflow::RowOpWork w =
+      dataflow::msrc_work(input, mask, to_geo(geo), geo.out_len);
+  PeCost cost;
+  cost.ingested = w.active_inputs;  // look-ahead makes skips free
+  cost.macs = w.macs;
+  cost.cycles = ceil_div(geo.kernel, timing_.weight_port_width) +
+                w.active_inputs + timing_.pipeline_drain;
+  return cost;
+}
+
+PeCost PeExact::run_osrc(const SparseRow& input_acts,
+                         const SparseRow& grad_out,
+                         const isa::RowBlock& geo) const {
+  const dataflow::RowOpWork w =
+      dataflow::osrc_work(input_acts, grad_out, to_geo(geo));
+  PeCost cost;
+  cost.macs = w.macs;
+  // dO nonzeros are cached K at a time in Reg-1; each chunk streams every
+  // I nonzero once past the scratchpad.
+  const std::size_t chunks =
+      grad_out.nnz() == 0 ? 0 : ceil_div(grad_out.nnz(), geo.kernel);
+  const std::size_t chunk_load =
+      ceil_div(geo.kernel, timing_.weight_port_width);
+  cost.ingested = chunks * input_acts.nnz();
+  cost.cycles =
+      chunks * (chunk_load + input_acts.nnz()) + timing_.pipeline_drain;
+  return cost;
+}
+
+PeCostStats row_op_cost(const isa::RowBlock& block, const PeTiming& timing,
+                        bool sparse_mode) {
+  ST_REQUIRE(block.in_len > 0, "row op needs a non-empty operand row");
+  const auto L = static_cast<double>(block.in_len);
+  const auto K = static_cast<double>(block.kernel);
+  const double wload =
+      static_cast<double>(ceil_div(block.kernel, timing.weight_port_width));
+  const double drain = static_cast<double>(timing.pipeline_drain);
+
+  PeCostStats stats;
+  switch (block.kind) {
+    case isa::RowOpKind::SRC: {
+      // Gather mapping: of the K taps only ~K/S land on an integer output
+      // index (stride phases), so MACs per ingested nonzero ≈ K/S.
+      const double taps = std::max(1.0, K / static_cast<double>(block.stride));
+      const double rho = sparse_mode ? block.density_in : 1.0;
+      const double mean_active = L * rho;
+      stats.mean_cycles = wload + mean_active + drain;
+      stats.var_cycles = sparse_mode ? L * rho * (1.0 - rho) : 0.0;
+      stats.mean_macs = mean_active * taps;
+      break;
+    }
+    case isa::RowOpKind::MSRC: {
+      const double rho = sparse_mode ? block.density_in : 1.0;
+      const double m = sparse_mode ? block.density_mask : 1.0;
+      // A nonzero is skipped by look-ahead only when all K of its output
+      // positions are masked.
+      const double active_prob = 1.0 - std::pow(1.0 - m, K);
+      const double p_eff = rho * (sparse_mode ? active_prob : 1.0);
+      stats.mean_cycles = wload + L * p_eff + drain;
+      stats.var_cycles = sparse_mode ? L * p_eff * (1.0 - p_eff) : 0.0;
+      stats.mean_macs = L * rho * K * m;
+      break;
+    }
+    case isa::RowOpKind::FC: {
+      // Dot-product mapping: stream the compressed operand vector once,
+      // multiplying each element into fc_lanes output accumulators. No
+      // kernel preload; weight columns arrive from the buffer per cycle.
+      const double rho = sparse_mode ? block.density_in : 1.0;
+      const auto lanes = static_cast<double>(block.fc_lanes);
+      stats.mean_cycles = L * rho + drain;
+      stats.var_cycles = sparse_mode ? L * rho * (1.0 - rho) : 0.0;
+      stats.mean_macs = L * rho * lanes;
+      break;
+    }
+    case isa::RowOpKind::OSRC: {
+      ST_REQUIRE(block.second_len > 0, "OSRC needs the I row length");
+      const auto Li = static_cast<double>(block.second_len);
+      const double rho_do = sparse_mode ? block.density_in : 1.0;
+      const double rho_i = sparse_mode ? block.density_second : 1.0;
+      const double nnz_do = L * rho_do;
+      const double nnz_i = Li * rho_i;
+      const double chunks = std::ceil(std::max(0.0, nnz_do) / K);
+      stats.mean_cycles = chunks * (wload + nnz_i) + drain;
+      // Variance from both operands (delta-method on the product form).
+      const double var_i = sparse_mode ? Li * rho_i * (1.0 - rho_i) : 0.0;
+      const double var_do = sparse_mode ? L * rho_do * (1.0 - rho_do) : 0.0;
+      const double dc_ddo = (wload + nnz_i) / K;
+      stats.var_cycles = chunks * chunks * var_i + dc_ddo * dc_ddo * var_do;
+      stats.mean_macs = nnz_do * K * rho_i;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sparsetrain::sim

@@ -1,0 +1,72 @@
+// PE cost models.
+//
+// Two views of the same microarchitecture (paper Fig. 7c):
+//
+//  * PeExact — a cycle-stepped state machine that consumes real compressed
+//    rows. Used by tests and small-scale runs: it IS the definition of the
+//    PE's timing behaviour (1 nonzero ingested per cycle, K-wide MAC into
+//    Reg-2, mask look-ahead skipping, OSRC chunk reloads).
+//  * row_op_cost() — closed-form mean/variance of the same cost as a
+//    function of row length and operand densities, used for ImageNet-scale
+//    blocks where stepping every element would be pointless. Tests assert
+//    the closed form matches PeExact in expectation.
+#pragma once
+
+#include <cstddef>
+
+#include "isa/instruction.hpp"
+#include "tensor/sparse_row.hpp"
+#include "util/rng.hpp"
+
+namespace sparsetrain::sim {
+
+/// Fixed microarchitecture timing parameters.
+struct PeTiming {
+  std::size_t weight_port_width = 2;  ///< weights loaded per cycle (Port-2)
+  std::size_t pipeline_drain = 2;     ///< MAC pipeline flush at row end
+};
+
+/// Cycle/work outcome of one row op on one PE.
+struct PeCost {
+  std::size_t cycles = 0;  ///< occupancy of the PE
+  std::size_t macs = 0;    ///< useful multiplies performed
+  std::size_t ingested = 0;  ///< operand elements that cost a cycle
+};
+
+/// Exact cycle-stepped PE. Each call simulates one full row op.
+class PeExact {
+ public:
+  explicit PeExact(PeTiming timing = {}) : timing_(timing) {}
+
+  /// SRC: sparse input row against a K-length kernel row.
+  PeCost run_src(const SparseRow& input, const isa::RowBlock& geo) const;
+
+  /// MSRC: sparse dO row scattered under an output mask; inputs whose whole
+  /// window is masked are skipped by look-ahead (zero cycles).
+  PeCost run_msrc(const SparseRow& input, const MaskRow& mask,
+                  const isa::RowBlock& geo) const;
+
+  /// OSRC: dO nonzeros are cached in Reg-1 in chunks of K; every I nonzero
+  /// is streamed once per chunk.
+  PeCost run_osrc(const SparseRow& input_acts, const SparseRow& grad_out,
+                  const isa::RowBlock& geo) const;
+
+ private:
+  PeTiming timing_;
+};
+
+/// Closed-form statistics of one row op's PE cost.
+struct PeCostStats {
+  double mean_cycles = 0.0;
+  double var_cycles = 0.0;
+  double mean_macs = 0.0;
+};
+
+/// Mean/variance of the PE cost for a row op drawn from `block`'s operand
+/// distributions (binomial nonzero counts). `sparse_mode` false models the
+/// dense baseline: every element costs a cycle and a MAC regardless of
+/// value, and masks are ignored.
+PeCostStats row_op_cost(const isa::RowBlock& block, const PeTiming& timing,
+                        bool sparse_mode);
+
+}  // namespace sparsetrain::sim

@@ -1,0 +1,40 @@
+#include "sim/ppu.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::sim {
+
+void Ppu::accumulate(std::span<const float> partial) {
+  if (!row_open_) {
+    row_.assign(partial.begin(), partial.end());
+    row_open_ = true;
+    return;
+  }
+  ST_REQUIRE(partial.size() == row_.size(),
+             "PPU partial-sum length mismatch");
+  for (std::size_t i = 0; i < row_.size(); ++i) row_[i] += partial[i];
+}
+
+SparseRow Ppu::flush(bool apply_relu) {
+  ST_REQUIRE(row_open_, "PPU flush without accumulated partials");
+  for (float& x : row_) {
+    if (apply_relu && x < 0.0f) x = 0.0f;
+    grad_sum_ += x;
+    abs_sum_ += std::abs(x);
+  }
+  count_ += row_.size();
+  SparseRow out = compress_row(row_);
+  row_.clear();
+  row_open_ = false;
+  return out;
+}
+
+void Ppu::reset_stats() {
+  grad_sum_ = 0.0;
+  abs_sum_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace sparsetrain::sim

@@ -1,0 +1,52 @@
+// Post Processing Unit functional model (paper Fig. 7b).
+//
+// The PPU sits behind each PE group and performs all point-wise work on
+// the accumulated partial sums:
+//   * accumulates the K partial row results from the group's PEs,
+//   * optionally applies ReLU,
+//   * converts the result row to the compressed format on its way to the
+//     buffer, and
+//   * during the GTA step accumulates Σg and Σ|g| of the gradients that
+//     stream through — Σg per channel yields the bias gradients, Σ|g|
+//     feeds threshold determination. This is why the pruning algorithm
+//     costs no extra pass in hardware.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/sparse_row.hpp"
+
+namespace sparsetrain::sim {
+
+class Ppu {
+ public:
+  /// Accumulates a partial-sum row into the current row buffer (sizes must
+  /// match across calls until flush).
+  void accumulate(std::span<const float> partial);
+
+  /// Finalises the current row: optional ReLU, compression, statistics
+  /// accumulation. Clears the row buffer for the next row.
+  SparseRow flush(bool apply_relu);
+
+  /// Σg since the last reset (bias-gradient accumulator).
+  double grad_sum() const { return grad_sum_; }
+
+  /// Σ|g| since the last reset (threshold-determination accumulator).
+  double abs_sum() const { return abs_sum_; }
+
+  /// Elements seen since the last reset.
+  std::size_t count() const { return count_; }
+
+  /// Clears the statistics accumulators (start of a new layer/batch).
+  void reset_stats();
+
+ private:
+  std::vector<float> row_;
+  bool row_open_ = false;
+  double grad_sum_ = 0.0;
+  double abs_sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace sparsetrain::sim

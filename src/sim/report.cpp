@@ -1,0 +1,19 @@
+#include "sim/report.hpp"
+
+namespace sparsetrain::sim {
+
+std::size_t SimReport::stage_cycles(isa::Stage stage) const {
+  std::size_t total = 0;
+  for (const auto& s : stages)
+    if (s.stage == stage) total += s.cycles;
+  return total;
+}
+
+double SimReport::utilization(std::size_t total_pes) const {
+  if (total_cycles == 0 || total_pes == 0) return 0.0;
+  return static_cast<double>(activity.busy_cycles) /
+         (static_cast<double>(total_cycles) *
+          static_cast<double>(total_pes));
+}
+
+}  // namespace sparsetrain::sim

@@ -1,0 +1,44 @@
+// Simulation results: per layer-stage and aggregate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "sim/energy_model.hpp"
+
+namespace sparsetrain::sim {
+
+/// Outcome of one layer-stage (between barriers).
+struct StageReport {
+  std::size_t layer_index = 0;
+  std::string layer_name;
+  isa::Stage stage = isa::Stage::Forward;
+  std::size_t cycles = 0;  ///< makespan of this stage across the PE array
+  ActivityCounts activity;
+  EnergyBreakdown energy;
+};
+
+/// Outcome of a whole program run.
+struct SimReport {
+  std::string program_name;
+  std::string arch_name;
+  double clock_ghz = 0.8;
+  std::vector<StageReport> stages;
+  std::size_t total_cycles = 0;
+  ActivityCounts activity;
+  EnergyBreakdown energy;
+
+  double latency_ms() const {
+    return static_cast<double>(total_cycles) / (clock_ghz * 1e9) * 1e3;
+  }
+  double energy_uj() const { return energy.total_pj() * 1e-6; }
+
+  /// Cycles summed over one training stage.
+  std::size_t stage_cycles(isa::Stage stage) const;
+
+  /// Mean PE utilisation: busy PE-cycles / (total cycles × PE count).
+  double utilization(std::size_t total_pes) const;
+};
+
+}  // namespace sparsetrain::sim

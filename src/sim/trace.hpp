@@ -1,0 +1,19 @@
+// Chrome-trace export of simulation reports.
+//
+// Writes a SimReport's layer-stage timeline as a chrome://tracing /
+// Perfetto-compatible JSON file ("trace event format"), one lane per
+// training stage, so where the cycles go can be inspected visually.
+#pragma once
+
+#include <string>
+
+#include "sim/report.hpp"
+
+namespace sparsetrain::sim {
+
+/// Writes `report` as trace events to `path`. Durations are in
+/// microseconds of simulated time at the report's clock. Returns false on
+/// I/O failure.
+bool write_chrome_trace(const SimReport& report, const std::string& path);
+
+}  // namespace sparsetrain::sim

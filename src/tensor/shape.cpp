@@ -1,0 +1,22 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace sparsetrain {
+
+std::size_t Shape::index(std::size_t in_, std::size_t ic, std::size_t ih,
+                         std::size_t iw) const {
+  ST_REQUIRE(in_ < n && ic < c && ih < h && iw < w,
+             "tensor index out of bounds for " + to_string());
+  return ((in_ * c + ic) * h + ih) * w + iw;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "(" << n << "," << c << "," << h << "," << w << ")";
+  return os.str();
+}
+
+}  // namespace sparsetrain

@@ -1,0 +1,42 @@
+// 4-D shape algebra in NCHW order.
+//
+// Everything in CNN training is at most rank 4 (weights K×K×C×F are stored
+// as F×C×K×K here); lower-rank data uses leading dimensions of size 1, so a
+// single shape type serves the whole library.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace sparsetrain {
+
+/// Dimensions of a rank-≤4 tensor in (n, c, h, w) order.
+struct Shape {
+  std::size_t n = 1;  ///< batch (or output-channel count for weights)
+  std::size_t c = 1;  ///< channels (or input-channel count for weights)
+  std::size_t h = 1;  ///< rows
+  std::size_t w = 1;  ///< columns
+
+  constexpr std::size_t size() const { return n * c * h * w; }
+
+  /// Flat index of element (in_, ic, ih, iw). Bounds are contract-checked.
+  std::size_t index(std::size_t in_, std::size_t ic, std::size_t ih,
+                    std::size_t iw) const;
+
+  constexpr bool operator==(const Shape&) const = default;
+
+  std::string to_string() const;
+
+  /// 1-D shape of the given length.
+  static constexpr Shape vec(std::size_t len) { return Shape{1, 1, 1, len}; }
+  /// 2-D (rows × cols) shape.
+  static constexpr Shape mat(std::size_t rows, std::size_t cols) {
+    return Shape{1, 1, rows, cols};
+  }
+  /// 3-D (channels × rows × cols) shape, the per-sample activation layout.
+  static constexpr Shape chw(std::size_t c, std::size_t h, std::size_t w) {
+    return Shape{1, c, h, w};
+  }
+};
+
+}  // namespace sparsetrain

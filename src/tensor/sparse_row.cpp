@@ -1,0 +1,81 @@
+#include "tensor/sparse_row.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace sparsetrain {
+
+double SparseRow::density() const {
+  if (length == 0) return 0.0;
+  return static_cast<double>(nnz()) / static_cast<double>(length);
+}
+
+std::size_t SparseRow::encoded_bytes() const {
+  // Modelled encoding: a presence bitmap (1 bit per dense position) plus
+  // 16-bit values for the nonzeros, plus a 2-byte row descriptor. This is
+  // what the PPU's format converter emits; it beats offset+value encodings
+  // for the short, moderately dense rows CNN layers produce.
+  return 2 + (length + 7) / 8 + nnz() * 2;
+}
+
+bool SparseRow::valid() const {
+  if (offsets.size() != values.size()) return false;
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    if (offsets[i] >= length) return false;
+    if (i > 0 && offsets[i] <= offsets[i - 1]) return false;
+    if (values[i] == 0.0f) return false;
+  }
+  return true;
+}
+
+SparseRow compress_row(std::span<const float> dense) {
+  SparseRow row;
+  row.length = static_cast<std::uint32_t>(dense.size());
+  for (std::uint32_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != 0.0f) {
+      row.offsets.push_back(i);
+      row.values.push_back(dense[i]);
+    }
+  }
+  return row;
+}
+
+std::vector<float> decompress_row(const SparseRow& row) {
+  ST_REQUIRE(row.valid(), "decompress_row: malformed sparse row");
+  std::vector<float> dense(row.length, 0.0f);
+  for (std::size_t i = 0; i < row.nnz(); ++i)
+    dense[row.offsets[i]] = row.values[i];
+  return dense;
+}
+
+double MaskRow::density() const {
+  if (length == 0) return 0.0;
+  return static_cast<double>(allowed()) / static_cast<double>(length);
+}
+
+bool MaskRow::allows(std::uint32_t p) const {
+  return std::binary_search(offsets.begin(), offsets.end(), p);
+}
+
+MaskRow mask_from_dense(std::span<const float> dense) {
+  MaskRow mask;
+  mask.length = static_cast<std::uint32_t>(dense.size());
+  for (std::uint32_t i = 0; i < dense.size(); ++i)
+    if (dense[i] != 0.0f) mask.offsets.push_back(i);
+  return mask;
+}
+
+void apply_mask(std::span<float> dense, const MaskRow& mask) {
+  ST_REQUIRE(dense.size() == mask.length, "apply_mask length mismatch");
+  std::size_t k = 0;
+  for (std::uint32_t i = 0; i < dense.size(); ++i) {
+    if (k < mask.offsets.size() && mask.offsets[k] == i) {
+      ++k;  // allowed position, keep the value
+    } else {
+      dense[i] = 0.0f;
+    }
+  }
+}
+
+}  // namespace sparsetrain

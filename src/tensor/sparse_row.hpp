@@ -1,0 +1,64 @@
+// Compressed sparse row format — the accelerator's on-wire data layout.
+//
+// The SparseTrain architecture moves activation / gradient rows between the
+// global buffer and the PEs in an offset+value format (the PPU's "Format
+// Converter" produces it, the PE's converters consume it). The same type is
+// used by the functional dataflow reference and by the cycle simulator, so
+// there is exactly one definition of what "compressed row" means.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sparsetrain {
+
+/// One sparse row: strictly increasing offsets with matching nonzero
+/// values, plus the logical (dense) length.
+struct SparseRow {
+  std::uint32_t length = 0;            ///< dense length of the row
+  std::vector<std::uint32_t> offsets;  ///< positions of nonzeros, ascending
+  std::vector<float> values;           ///< values[i] lives at offsets[i]
+
+  std::size_t nnz() const { return offsets.size(); }
+  bool empty() const { return offsets.empty(); }
+
+  /// Fraction of nonzeros; 0 for zero-length rows.
+  double density() const;
+
+  /// Storage cost in bytes for the modelled 16-bit value + 16-bit offset
+  /// encoding used in the traffic/energy model.
+  std::size_t encoded_bytes() const;
+
+  /// Checks the representation invariants (sorted unique offsets in range,
+  /// no stored zeros, matching array sizes). Used by tests and debug paths.
+  bool valid() const;
+};
+
+/// Compresses a dense row (exact zeros are dropped).
+SparseRow compress_row(std::span<const float> dense);
+
+/// Expands back to dense; output size is row.length.
+std::vector<float> decompress_row(const SparseRow& row);
+
+/// Positions a ReLU/MaxPool mask allows (mask nonzero). The GTA step uses
+/// this to skip computing gradients the following mask would zero anyway.
+struct MaskRow {
+  std::uint32_t length = 0;
+  std::vector<std::uint32_t> offsets;  ///< allowed (pass-through) positions
+
+  std::size_t allowed() const { return offsets.size(); }
+  double density() const;
+
+  /// True when position p survives the mask. O(log n).
+  bool allows(std::uint32_t p) const;
+};
+
+/// Builds a MaskRow from a dense 0/1 (or boolean-ish) row: any nonzero
+/// entry is an allowed position.
+MaskRow mask_from_dense(std::span<const float> dense);
+
+/// Applies a mask to a dense row in place (disallowed positions zeroed).
+void apply_mask(std::span<float> dense, const MaskRow& mask);
+
+}  // namespace sparsetrain

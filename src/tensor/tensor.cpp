@@ -1,0 +1,71 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sparsetrain {
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+  for (float& x : data_)
+    x = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+  for (float& x : data_)
+    x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void Tensor::fill_sparse_normal(Rng& rng, double density) {
+  ST_REQUIRE(density >= 0.0 && density <= 1.0, "density must be in [0,1]");
+  for (float& x : data_)
+    x = rng.bernoulli(density) ? static_cast<float>(rng.normal()) : 0.0f;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  ST_REQUIRE(new_shape.size() == shape_.size(),
+             "reshape must preserve element count: " + shape_.to_string() +
+                 " -> " + new_shape.to_string());
+  shape_ = new_shape;
+}
+
+void Tensor::add(const Tensor& other) { axpy(1.0f, other); }
+
+void Tensor::axpy(float alpha, const Tensor& other) {
+  ST_REQUIRE(shape_ == other.shape_, "axpy shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::scale(float alpha) {
+  for (float& x : data_) x *= alpha;
+}
+
+std::size_t Tensor::nnz() const {
+  std::size_t count = 0;
+  for (float x : data_)
+    if (x != 0.0f) ++count;
+  return count;
+}
+
+double Tensor::density() const {
+  if (data_.empty()) return 0.0;
+  return static_cast<double>(nnz()) / static_cast<double>(data_.size());
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  ST_REQUIRE(a.shape() == b.shape(), "max_abs_diff shape mismatch");
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float tol) {
+  return a.shape() == b.shape() && max_abs_diff(a, b) <= tol;
+}
+
+}  // namespace sparsetrain

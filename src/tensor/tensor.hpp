@@ -1,0 +1,114 @@
+// Dense float tensor in NCHW layout.
+//
+// This is the numeric workhorse of the NN substrate. It is deliberately a
+// plain owning container (contiguous std::vector storage, value semantics)
+// rather than an expression-template library: the reproduction needs
+// predictable, inspectable numerics more than peak FLOPs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain {
+
+class Rng;
+
+/// Owning dense tensor of float32 with rank-≤4 NCHW shape.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape) : shape_(shape), data_(shape.size(), 0.0f) {}
+
+  /// Tensor with explicit contents (size must match the shape).
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(shape), data_(std::move(data)) {
+    ST_REQUIRE(data_.size() == shape_.size(),
+               "tensor data size does not match shape " + shape_.to_string());
+  }
+
+  const Shape& shape() const { return shape_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[shape_.index(n, c, h, w)];
+  }
+  float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[shape_.index(n, c, h, w)];
+  }
+
+  /// Flat element access (contract-checked).
+  float& operator[](std::size_t i) {
+    ST_REQUIRE(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    ST_REQUIRE(i < data_.size(), "flat index out of range");
+    return data_[i];
+  }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  /// Contiguous row (n, c, h, ·) as a span of length shape().w.
+  std::span<float> row(std::size_t n, std::size_t c, std::size_t h) {
+    return std::span<float>(data_).subspan(shape_.index(n, c, h, 0),
+                                           shape_.w);
+  }
+  std::span<const float> row(std::size_t n, std::size_t c,
+                             std::size_t h) const {
+    return std::span<const float>(data_).subspan(shape_.index(n, c, h, 0),
+                                                 shape_.w);
+  }
+
+  /// Sets every element to v.
+  void fill(float v);
+
+  /// Sets every element to 0.
+  void zero() { fill(0.0f); }
+
+  /// Fills with N(mean, stddev) samples.
+  void fill_normal(Rng& rng, float mean, float stddev);
+
+  /// Fills with U[lo, hi) samples.
+  void fill_uniform(Rng& rng, float lo, float hi);
+
+  /// Randomly zeroes elements so that roughly `density` of them stay
+  /// nonzero; survivors are N(0, 1) draws. Used by workload generators.
+  void fill_sparse_normal(Rng& rng, double density);
+
+  /// Reshapes in place; the element count must be preserved.
+  void reshape(Shape new_shape);
+
+  /// this += other (shapes must match).
+  void add(const Tensor& other);
+
+  /// this += alpha * other (shapes must match).
+  void axpy(float alpha, const Tensor& other);
+
+  /// this *= alpha.
+  void scale(float alpha);
+
+  /// Number of nonzero elements.
+  std::size_t nnz() const;
+
+  /// Fraction of nonzero elements (paper's ρ_nnz); 0 for empty tensors.
+  double density() const;
+
+ private:
+  Shape shape_{};
+  std::vector<float> data_;
+};
+
+/// Max |a - b| over two same-shaped tensors.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// True when all elements differ by at most tol.
+bool allclose(const Tensor& a, const Tensor& b, float tol = 1e-5f);
+
+}  // namespace sparsetrain

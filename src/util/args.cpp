@@ -1,0 +1,56 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+#include "util/require.hpp"
+
+namespace sparsetrain {
+
+Args::Args(int argc, const char* const argv[]) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";  // boolean flag
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Args::get(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  ST_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+             "malformed numeric flag --" + key + "=" + it->second);
+  return v;
+}
+
+long Args::get(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  ST_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+             "malformed integer flag --" + key + "=" + it->second);
+  return v;
+}
+
+}  // namespace sparsetrain

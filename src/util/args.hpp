@@ -1,0 +1,32 @@
+// Minimal command-line flag parsing for the bench/example binaries
+// (--key=value and --key value forms, plus --help listing).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sparsetrain {
+
+class Args {
+ public:
+  /// Parses argv; unknown positional arguments are kept in positionals().
+  Args(int argc, const char* const argv[]);
+
+  bool has(const std::string& key) const;
+
+  /// String value or default.
+  std::string get(const std::string& key, const std::string& fallback) const;
+
+  /// Numeric value or default; throws ContractError on a malformed number.
+  double get(const std::string& key, double fallback) const;
+  long get(const std::string& key, long fallback) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace sparsetrain

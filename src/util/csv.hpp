@@ -1,0 +1,31 @@
+// Minimal CSV writer so experiments can dump machine-readable series
+// alongside the human-readable tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sparsetrain {
+
+/// Streams rows into a CSV file. Values containing commas/quotes/newlines
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file and writes the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends one row; must match the header arity.
+  void add_row(const std::vector<std::string>& row);
+
+  /// True when the underlying stream is healthy.
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  void write_row(const std::vector<std::string>& row);
+
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace sparsetrain

@@ -1,0 +1,85 @@
+#include "util/fp16.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace sparsetrain {
+
+std::uint16_t float_to_half_bits(float value) {
+  const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+  const std::uint32_t sign = (f >> 16) & 0x8000u;
+  const std::int32_t exponent =
+      static_cast<std::int32_t>((f >> 23) & 0xffu) - 127 + 15;
+  std::uint32_t mantissa = f & 0x007fffffu;
+
+  if (((f >> 23) & 0xffu) == 0xffu) {
+    // Inf / NaN.
+    const std::uint32_t nan_payload = mantissa ? 0x0200u : 0u;
+    return static_cast<std::uint16_t>(sign | 0x7c00u | nan_payload);
+  }
+  if (exponent >= 0x1f) {
+    // Overflow → infinity.
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (exponent <= 0) {
+    // Subnormal or underflow to zero.
+    if (exponent < -10) return static_cast<std::uint16_t>(sign);
+    mantissa |= 0x00800000u;  // implicit leading 1
+    const int shift = 14 - exponent;
+    std::uint32_t rounded = mantissa >> shift;
+    // Round to nearest even.
+    const std::uint32_t remainder = mantissa & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (remainder > halfway || (remainder == halfway && (rounded & 1u)))
+      ++rounded;
+    return static_cast<std::uint16_t>(sign | rounded);
+  }
+
+  // Normal number: round the 23-bit mantissa to 10 bits, ties to even.
+  std::uint32_t half = (static_cast<std::uint32_t>(exponent) << 10) |
+                       (mantissa >> 13);
+  const std::uint32_t remainder = mantissa & 0x1fffu;
+  if (remainder > 0x1000u || (remainder == 0x1000u && (half & 1u))) ++half;
+  return static_cast<std::uint16_t>(sign | half);
+}
+
+float half_bits_to_float(std::uint16_t bits) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(bits) & 0x8000u)
+                             << 16;
+  const std::uint32_t exponent = (bits >> 10) & 0x1fu;
+  const std::uint32_t mantissa = bits & 0x3ffu;
+
+  std::uint32_t f;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      f = sign;  // signed zero
+    } else {
+      // Subnormal: normalise.
+      int e = -1;
+      std::uint32_t m = mantissa;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      f = sign | (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+          ((m & 0x3ffu) << 13);
+    }
+  } else if (exponent == 0x1f) {
+    f = sign | 0x7f800000u | (mantissa << 13);  // Inf / NaN
+  } else {
+    f = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  return std::bit_cast<float>(f);
+}
+
+float quantize_half_inplace(std::span<float> values) {
+  float worst = 0.0f;
+  for (float& v : values) {
+    const float q = quantize_half(v);
+    worst = std::max(worst, std::abs(q - v));
+    v = q;
+  }
+  return worst;
+}
+
+}  // namespace sparsetrain

@@ -1,0 +1,29 @@
+// Software IEEE-754 binary16 conversions.
+//
+// The modelled accelerator has a 16-bit datapath; this module quantifies
+// what that costs numerically. Used by the quantisation tests and by the
+// traffic model's "two bytes per value" assumption.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sparsetrain {
+
+/// Rounds a float to the nearest representable binary16 (ties to even),
+/// returning its bit pattern. Handles subnormals, infinities and NaN.
+std::uint16_t float_to_half_bits(float value);
+
+/// Expands a binary16 bit pattern back to float.
+float half_bits_to_float(std::uint16_t bits);
+
+/// Round-trips through binary16 (the value the accelerator would compute
+/// with).
+inline float quantize_half(float value) {
+  return half_bits_to_float(float_to_half_bits(value));
+}
+
+/// Quantises a buffer in place; returns the maximum absolute error.
+float quantize_half_inplace(std::span<float> values);
+
+}  // namespace sparsetrain

@@ -1,0 +1,33 @@
+#include "util/logging.hpp"
+
+namespace sparsetrain {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Error:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  std::ostream& os = level >= LogLevel::Warn ? std::cerr : std::clog;
+  os << "[" << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace sparsetrain

@@ -1,0 +1,40 @@
+// Lightweight contract checking used across the library.
+//
+// ST_REQUIRE(cond, msg) throws sparsetrain::ContractError with file/line
+// context. Contracts are always on: the library is a simulator and silent
+// shape/index corruption is far more expensive than the check.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sparsetrain {
+
+/// Error thrown when a library precondition or invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sparsetrain
+
+#define ST_REQUIRE(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::sparsetrain::detail::contract_fail(#cond, __FILE__, __LINE__, \
+                                           (msg));                   \
+    }                                                                \
+  } while (false)
+
+#define ST_REQUIRE0(cond) ST_REQUIRE(cond, "")

@@ -1,0 +1,61 @@
+// Statistical helpers shared by the pruning algorithm, the instrumentation
+// and the benchmark reporters.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sparsetrain {
+
+/// Standard normal cumulative distribution function Φ(x).
+double normal_cdf(double x);
+
+/// Inverse of the standard normal CDF, Φ⁻¹(p) for p in (0, 1).
+///
+/// Peter Acklam's rational approximation refined with one Halley step;
+/// absolute error < 1e-9 over the full open interval, which is far below
+/// what threshold determination needs.
+double inverse_normal_cdf(double p);
+
+/// Single-pass accumulator for mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a span; 0 for an empty span.
+double mean_of(std::span<const double> xs);
+
+/// Geometric mean; precondition: all values > 0.
+double geometric_mean(std::span<const double> xs);
+
+/// Mean of |x| over a span of floats (the pruning A/n statistic).
+double mean_abs(std::span<const float> xs);
+
+/// Fraction of exact zeros in a span.
+double zero_fraction(std::span<const float> xs);
+
+/// Fraction of nonzeros (the paper's ρ_nnz density).
+double density(std::span<const float> xs);
+
+/// Empirical quantile (linear interpolation). q in [0, 1].
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace sparsetrain

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace sparsetrain {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  ST_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  ST_REQUIRE(row.size() == header_.size(),
+             "row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      os << (c + 1 < row.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::times(double v, int precision) {
+  return num(v, precision) + "x";
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace sparsetrain

@@ -1,0 +1,43 @@
+// ASCII table formatting for benchmark output.
+//
+// Every bench binary prints its reproduction of a paper table/figure as an
+// aligned text table; this is the single shared implementation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sparsetrain {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column padding and a rule under the header.
+  std::string to_string() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string num(double v, int precision = 2);
+
+  /// Formats "x.xx×" speedup-style values.
+  static std::string times(double v, int precision = 2);
+
+  /// Formats a percentage ("12.3%").
+  static std::string pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sparsetrain

@@ -1,0 +1,26 @@
+// Wall-clock timer for the example programs and harness reporting.
+#pragma once
+
+#include <chrono>
+
+namespace sparsetrain {
+
+/// Starts on construction; seconds() reports elapsed wall time.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sparsetrain

@@ -1,0 +1,67 @@
+// Full-size network geometries used as simulator workloads.
+//
+// These describe the layer shapes of the paper's evaluation models
+// (AlexNet, ResNet-18/34 at CIFAR and ImageNet input sizes) without any
+// trainable state: the architecture simulator only needs geometry plus an
+// operand sparsity profile. Fully-connected layers are modelled as 1×1
+// convolutions over a 1×1 spatial extent, which is exactly what they are
+// to the dataflow.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sparsetrain::workload {
+
+/// One CONV (or FC-as-conv) layer of a simulator workload.
+struct LayerConfig {
+  std::string name;
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0;
+  std::size_t in_w = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 1;
+  bool has_bn = false;          ///< CONV-BN-ReLU structure (else CONV-ReLU)
+  bool relu_after = true;       ///< a ReLU mask exists for the GTA step
+  bool first_layer = false;     ///< no dI needed (nothing upstream)
+  bool is_fc = false;           ///< fully-connected layer (1×1 spatial)
+
+  std::size_t out_h() const {
+    return (in_h + 2 * padding - kernel) / stride + 1;
+  }
+  std::size_t out_w() const {
+    return (in_w + 2 * padding - kernel) / stride + 1;
+  }
+
+  /// Dense multiply count of one Forward pass for one sample.
+  std::size_t forward_macs() const {
+    return out_channels * out_h() * out_w() * in_channels * kernel * kernel;
+  }
+};
+
+/// A named stack of layers (conv trunk of one evaluation model).
+struct NetworkConfig {
+  std::string name;
+  std::vector<LayerConfig> layers;
+
+  std::size_t total_forward_macs() const;
+};
+
+/// The paper's evaluation workloads (Fig. 8/9 x-axis).
+NetworkConfig alexnet_cifar();
+NetworkConfig alexnet_imagenet();
+NetworkConfig resnet18_cifar();
+NetworkConfig resnet18_imagenet();
+NetworkConfig resnet34_cifar();
+NetworkConfig resnet34_imagenet();
+
+/// Small synthetic workload for tests.
+NetworkConfig tiny_workload();
+
+/// All six paper workloads in Fig. 8 order.
+std::vector<NetworkConfig> paper_workloads();
+
+}  // namespace sparsetrain::workload

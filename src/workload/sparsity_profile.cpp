@@ -1,0 +1,123 @@
+#include "workload/sparsity_profile.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace sparsetrain::workload {
+
+SparsityProfile::SparsityProfile(std::string name,
+                                 std::vector<LayerDensities> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {}
+
+const LayerDensities& SparsityProfile::layer(std::size_t i) const {
+  ST_REQUIRE(i < layers_.size(), "profile layer index out of range");
+  return layers_[i];
+}
+
+SparsityProfile SparsityProfile::dense(const NetworkConfig& net) {
+  return SparsityProfile("dense",
+                         std::vector<LayerDensities>(net.layers.size()));
+}
+
+SparsityProfile SparsityProfile::natural(const NetworkConfig& net,
+                                         double act_density) {
+  ST_REQUIRE(act_density > 0.0 && act_density <= 1.0,
+             "activation density must be in (0,1]");
+  std::vector<LayerDensities> layers(net.layers.size());
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const LayerConfig& l = net.layers[i];
+    LayerDensities d;
+    // The first layer sees the raw image (dense); later layers see
+    // post-ReLU activations.
+    d.input_acts = l.first_layer ? 1.0 : act_density;
+    d.mask = d.input_acts;  // the mask *is* the nonzero pattern of I
+    // dO of a CONV-ReLU layer inherits the ReLU mask; with BN in between
+    // the gradients densify again.
+    d.output_grads = (l.relu_after && !l.has_bn) ? act_density : 1.0;
+    layers[i] = d;
+  }
+  return SparsityProfile("natural", std::move(layers));
+}
+
+SparsityProfile SparsityProfile::pruned(const NetworkConfig& net, double p,
+                                        double act_density) {
+  ST_REQUIRE(p >= 0.0 && p < 1.0, "pruning rate must be in [0,1)");
+  SparsityProfile base = natural(net, act_density);
+  const double rho = analytic_pruned_density(p);
+  std::vector<LayerDensities> layers(base.layers_);
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    // Pruning multiplies into whatever dO density the layer already has:
+    // CONV-BN-ReLU layers go 1 → ρ; CONV-ReLU layers stack the mask with
+    // the pruning survivors.
+    layers[i].output_grads *= rho;
+  }
+  return SparsityProfile("pruned-p" + std::to_string(p), std::move(layers));
+}
+
+SparsityProfile SparsityProfile::calibrated(const NetworkConfig& net,
+                                            double i_density,
+                                            double do_density,
+                                            std::string name) {
+  ST_REQUIRE(i_density > 0.0 && i_density <= 1.0, "I density out of range");
+  ST_REQUIRE(do_density > 0.0 && do_density <= 1.0, "dO density out of range");
+  std::vector<LayerDensities> layers(net.layers.size());
+  for (std::size_t i = 0; i < net.layers.size(); ++i) {
+    const LayerConfig& l = net.layers[i];
+    LayerDensities d;
+    d.input_acts = l.first_layer ? 1.0 : i_density;
+    d.mask = d.input_acts;
+    d.output_grads = do_density;
+    layers[i] = d;
+  }
+  return SparsityProfile(std::move(name), std::move(layers));
+}
+
+double paper_table2_do_density(ModelFamily family, bool imagenet, double p) {
+  ST_REQUIRE(p >= 0.0 && p < 1.0, "pruning rate must be in [0,1)");
+  struct Point {
+    double p;
+    double rho;
+  };
+  // Table II ρ_nnz columns (CIFAR-10 rows and ImageNet rows); AlexNet's
+  // gradients are already extremely sparse from the ReLU masks alone.
+  static const Point alexnet_cifar[] = {
+      {0.0, 0.09}, {0.7, 0.01}, {0.8, 0.01}, {0.9, 0.01}, {0.99, 0.01}};
+  static const Point alexnet_imagenet[] = {
+      {0.0, 0.07}, {0.7, 0.05}, {0.8, 0.04}, {0.9, 0.04}, {0.99, 0.02}};
+  static const Point resnet_cifar[] = {
+      {0.0, 1.0}, {0.7, 0.36}, {0.8, 0.35}, {0.9, 0.34}, {0.99, 0.31}};
+  static const Point resnet_imagenet[] = {
+      {0.0, 1.0}, {0.7, 0.41}, {0.8, 0.40}, {0.9, 0.38}, {0.99, 0.36}};
+
+  const Point* table = family == ModelFamily::AlexNet
+                           ? (imagenet ? alexnet_imagenet : alexnet_cifar)
+                           : (imagenet ? resnet_imagenet : resnet_cifar);
+  const std::size_t n = 5;
+  if (p <= table[0].p) return table[0].rho;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (p <= table[i].p) {
+      const double t = (p - table[i - 1].p) / (table[i].p - table[i - 1].p);
+      return table[i - 1].rho + t * (table[i].rho - table[i - 1].rho);
+    }
+  }
+  return table[n - 1].rho;
+}
+
+double paper_act_density(ModelFamily family) {
+  return family == ModelFamily::AlexNet ? 0.35 : 0.45;
+}
+
+double analytic_pruned_density(double p) {
+  ST_REQUIRE(p >= 0.0 && p < 1.0, "pruning rate must be in [0,1)");
+  if (p == 0.0) return 1.0;
+  const double tau = inverse_normal_cdf((1.0 + p) / 2.0);
+  // E[|g|; |g| < τ] for a unit normal = √(2/π)·(1 − exp(−τ²/2)).
+  const double partial_mean =
+      std::sqrt(2.0 / M_PI) * (1.0 - std::exp(-tau * tau / 2.0));
+  const double saturated = partial_mean / tau;  // fraction kept as ±τ
+  return 1.0 - p + saturated;
+}
+
+}  // namespace sparsetrain::workload

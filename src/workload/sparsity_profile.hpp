@@ -1,0 +1,78 @@
+// Per-layer operand densities that drive the architecture simulator.
+//
+// The simulator is geometry + density driven: it does not need the actual
+// tensor values, only how dense each operand stream is. Profiles come from
+// three sources: fully dense (the baseline), measurements of our own
+// training runs (SparsityMeter), or values calibrated to the paper's
+// Table II for the full-size models we cannot train here.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workload/layer_config.hpp"
+
+namespace sparsetrain::workload {
+
+/// Densities of one layer's operand streams (1 = fully dense).
+struct LayerDensities {
+  double input_acts = 1.0;   ///< I (equals the previous ReLU mask density)
+  double output_grads = 1.0; ///< dO after pruning (and ReLU masking)
+  double mask = 1.0;         ///< the layer's own input-side ReLU mask for GTA
+};
+
+/// Density assignment for every layer of one network.
+class SparsityProfile {
+ public:
+  SparsityProfile() = default;
+  SparsityProfile(std::string name, std::vector<LayerDensities> layers);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return layers_.size(); }
+  const LayerDensities& layer(std::size_t i) const;
+
+  /// All-dense profile matching `net` (baseline training).
+  static SparsityProfile dense(const NetworkConfig& net);
+
+  /// Natural sparsity only: post-ReLU activations ≈ `act_density`, dO
+  /// masked by ReLU for CONV-ReLU layers, dense dO for CONV-BN-ReLU.
+  static SparsityProfile natural(const NetworkConfig& net,
+                                 double act_density = 0.45);
+
+  /// Natural sparsity + gradient pruning at rate p: dO density follows the
+  /// stochastic-pruning analytics (≈ 1 − p + saturated survivors) stacked
+  /// with the ReLU mask where one exists. This mirrors the paper's Table II
+  /// operating points and is the profile behind Fig. 8/9.
+  static SparsityProfile pruned(const NetworkConfig& net, double p,
+                                double act_density = 0.45);
+
+  /// Uniform per-layer densities (I at `i_density`, dO at `do_density`).
+  /// Used to inject measured or paper-published density numbers.
+  static SparsityProfile calibrated(const NetworkConfig& net,
+                                    double i_density, double do_density,
+                                    std::string name = "calibrated");
+
+ private:
+  std::string name_;
+  std::vector<LayerDensities> layers_;
+};
+
+/// Post-pruning density of a N(0,σ) gradient population pruned at target
+/// sparsity p with the stochastic rule (analytic closed form; see
+/// tests/test_pruning.cpp for the derivation): 1 − p + p·E[|g| | |g|<τ]/τ.
+double analytic_pruned_density(double p);
+
+/// Model family for the paper-published density lookups.
+enum class ModelFamily { AlexNet, ResNet };
+
+/// dO density published in the paper's Table II (ρ_nnz) for the given
+/// family/dataset/pruning rate. p == 0 returns the baseline (no-pruning)
+/// density. Values between published p points are interpolated.
+double paper_table2_do_density(ModelFamily family, bool imagenet, double p);
+
+/// Activation (I) density consistent with the paper's models: AlexNet's
+/// post-ReLU activations are sparser than ResNet's BN-ReLU ones.
+double paper_act_density(ModelFamily family);
+
+}  // namespace sparsetrain::workload

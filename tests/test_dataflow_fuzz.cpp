@@ -1,0 +1,117 @@
+// Randomised equivalence fuzzing: the 1-D row decomposition must match the
+// dense Conv2D layer for random geometries, shapes and sparsity patterns.
+// This is the strongest correctness guarantee behind the simulator's work
+// counting, so it gets dedicated property-style coverage beyond the fixed
+// parameterised geometries in test_dataflow.cpp.
+#include <gtest/gtest.h>
+
+#include "dataflow/conv_decompose.hpp"
+#include "nn/conv2d.hpp"
+#include "util/rng.hpp"
+
+namespace sparsetrain::dataflow {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+};
+
+class DataflowFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(DataflowFuzz, AllThreeStagesMatchDense) {
+  Rng rng(GetParam().seed);
+
+  // Random geometry within simulator-realistic ranges.
+  const std::size_t kernel = 1 + 2 * rng.uniform_index(3);     // 1, 3, 5
+  const std::size_t stride = 1 + rng.uniform_index(2);         // 1, 2
+  const std::size_t padding = rng.uniform_index(kernel);       // < K
+  const std::size_t in_c = 1 + rng.uniform_index(3);
+  const std::size_t out_c = 1 + rng.uniform_index(4);
+  const std::size_t h = kernel + rng.uniform_index(8);
+  const std::size_t w = kernel + rng.uniform_index(10);
+  const std::size_t n = 1 + rng.uniform_index(2);
+  const double in_density = 0.1 + 0.9 * rng.uniform();
+  const double grad_density = 0.1 + 0.9 * rng.uniform();
+
+  if (h + 2 * padding < kernel || w + 2 * padding < kernel) GTEST_SKIP();
+
+  nn::Conv2DConfig cfg;
+  cfg.in_channels = in_c;
+  cfg.out_channels = out_c;
+  cfg.kernel = kernel;
+  cfg.stride = stride;
+  cfg.padding = padding;
+  cfg.bias = rng.bernoulli(0.5);
+  nn::Conv2D conv(cfg);
+  for (auto* p : conv.params()) p->value.fill_normal(rng, 0.0f, 0.4f);
+
+  ConvGeometry geo;
+  geo.in_channels = in_c;
+  geo.out_channels = out_c;
+  geo.kernel = kernel;
+  geo.stride = stride;
+  geo.padding = padding;
+
+  Tensor input(Shape{n, in_c, h, w});
+  input.fill_sparse_normal(rng, in_density);
+
+  // Forward.
+  const Tensor dense_out = conv.forward(input, true);
+  const Tensor row_out =
+      forward_by_rows(input, conv.weight().value,
+                      cfg.bias ? &conv.bias_param().value : nullptr, geo);
+  ASSERT_EQ(dense_out.shape(), row_out.shape());
+  EXPECT_LT(max_abs_diff(dense_out, row_out), 1e-3f)
+      << "k=" << kernel << " s=" << stride << " p=" << padding;
+
+  // Backward operand.
+  Tensor grad_out(dense_out.shape());
+  grad_out.fill_sparse_normal(rng, grad_density);
+
+  const Tensor dense_dI = conv.backward(grad_out);
+  const Tensor row_dI = gta_by_rows(grad_out, conv.weight().value,
+                                    input.shape(), nullptr, geo);
+  EXPECT_LT(max_abs_diff(dense_dI, row_dI), 1e-3f);
+
+  Tensor dbias(Shape::vec(out_c));
+  const Tensor row_dW = gtw_by_rows(grad_out, input, &dbias, geo);
+  EXPECT_LT(max_abs_diff(conv.weight().grad, row_dW), 1e-3f);
+  if (cfg.bias)
+    EXPECT_LT(max_abs_diff(conv.bias_param().grad, dbias), 1e-3f);
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  for (std::uint64_t s = 1; s <= 24; ++s) cases.push_back({s * 7919});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataflowFuzz,
+                         ::testing::ValuesIn(fuzz_cases()),
+                         [](const ::testing::TestParamInfo<FuzzCase>& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+// Sparse-row representation round-trip fuzz.
+class SparseRowFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparseRowFuzz, RoundTripAndInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  const std::size_t len = rng.uniform_index(200);
+  std::vector<float> dense(len, 0.0f);
+  const double density = rng.uniform();
+  for (auto& x : dense)
+    if (rng.bernoulli(density)) x = static_cast<float>(rng.normal());
+
+  const SparseRow row = compress_row(dense);
+  EXPECT_TRUE(row.valid());
+  EXPECT_EQ(decompress_row(row), dense);
+  EXPECT_EQ(row.length, len);
+  // Bytes are monotone in nnz and bounded below by the descriptor+bitmap.
+  EXPECT_GE(row.encoded_bytes(), 2 + (len + 7) / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseRowFuzz, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace sparsetrain::dataflow

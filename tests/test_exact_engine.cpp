@@ -1,0 +1,203 @@
+// Exact-engine tests, including the cross-validation of the statistical
+// accelerator model against exact tensor-driven cycle counts — the test
+// that grounds every Fig. 8/9 number this repository produces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compiler/compiler.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/exact_engine.hpp"
+#include "util/rng.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+namespace sparsetrain::sim {
+namespace {
+
+dataflow::ConvGeometry geo_3x3(std::size_t c, std::size_t f) {
+  dataflow::ConvGeometry geo;
+  geo.in_channels = c;
+  geo.out_channels = f;
+  return geo;
+}
+
+TEST(ExactEngine, RequiresSparseMode) {
+  ArchConfig cfg;
+  cfg.sparse = false;
+  EXPECT_THROW(ExactEngine{cfg}, ContractError);
+}
+
+TEST(ExactEngine, ForwardCountsMatchHandComputation) {
+  // 1 group, 1 PE per group → makespan = sum of all op cycles.
+  ArchConfig cfg;
+  cfg.pe_groups = 1;
+  cfg.pes_per_group = 1;
+  ExactEngine engine(cfg);
+
+  Tensor input(Shape{1, 1, 3, 4});
+  // Row nnz: 2, 0, 1.
+  input.at(0, 0, 0, 0) = 1.0f;
+  input.at(0, 0, 0, 2) = 2.0f;
+  input.at(0, 0, 2, 3) = 3.0f;
+
+  const auto r = engine.run_forward(input, geo_3x3(1, 1));
+  // Tasks: 3 output rows; row ops with valid iy: oy0→ky1,2; oy1→ky0,1,2;
+  // oy2→ky0,1 ⇒ 7 ops. Cycles per op: wload(2) + nnz + drain(2).
+  EXPECT_EQ(r.tasks, 3u);
+  EXPECT_EQ(r.row_ops, 7u);
+  // nnz per input row: row0=2 (used by ops with iy=0: oy0/ky1? iy=oy+ky-1)
+  // ops touching iy0: (oy0,ky1),(oy1,ky0) → 2 ops × 2 nnz
+  // iy1 (nnz 0): (oy0,ky2),(oy1,ky1),(oy2,ky0) → 3 ops × 0
+  // iy2 (nnz 1): (oy1,ky2),(oy2,ky1) → 2 ops × 1 nnz
+  const std::size_t expected_busy = 7 * 4 + 2 * 2 + 2 * 1;
+  EXPECT_EQ(r.activity.busy_cycles, expected_busy);
+  EXPECT_EQ(r.cycles, expected_busy);  // single PE: serial
+}
+
+TEST(ExactEngine, ZeroGradRowsScheduleNoGtwOps) {
+  ArchConfig cfg;
+  cfg.pe_groups = 2;
+  ExactEngine engine(cfg);
+  Rng rng(7);
+  Tensor input(Shape{1, 2, 6, 6});
+  input.fill_sparse_normal(rng, 0.5);
+  Tensor grad(Shape{1, 2, 6, 6});  // all zero
+  const auto r = engine.run_gtw(grad, input, geo_3x3(2, 2));
+  EXPECT_EQ(r.row_ops, 0u);
+  EXPECT_EQ(r.activity.macs, 0u);
+}
+
+TEST(ExactEngine, MaskReducesGtaWork) {
+  ArchConfig cfg;
+  ExactEngine engine(cfg);
+  Rng rng(8);
+  const Shape in_shape{1, 2, 8, 8};
+  Tensor grad(Shape{1, 2, 8, 8});
+  grad.fill_sparse_normal(rng, 0.5);
+  Tensor mask(in_shape);
+  mask.fill_sparse_normal(rng, 0.3);
+  for (float& v : mask.flat())
+    if (v != 0.0f) v = 1.0f;
+
+  const auto full = engine.run_gta(grad, in_shape, nullptr, geo_3x3(2, 2));
+  const auto masked = engine.run_gta(grad, in_shape, &mask, geo_3x3(2, 2));
+  EXPECT_LT(masked.activity.macs, full.activity.macs);
+  EXPECT_LE(masked.activity.busy_cycles, full.activity.busy_cycles);
+}
+
+TEST(ExactEngine, MoreGroupsShortenMakespan) {
+  Rng rng(9);
+  Tensor input(Shape{1, 4, 12, 12});
+  input.fill_sparse_normal(rng, 0.5);
+  ArchConfig small;
+  small.pe_groups = 2;
+  ArchConfig large;
+  large.pe_groups = 16;
+  const auto rs = ExactEngine(small).run_forward(input, geo_3x3(4, 8));
+  const auto rl = ExactEngine(large).run_forward(input, geo_3x3(4, 8));
+  EXPECT_GT(rs.cycles, rl.cycles);
+  // Same total work either way.
+  EXPECT_EQ(rs.activity.busy_cycles, rl.activity.busy_cycles);
+  EXPECT_EQ(rs.activity.macs, rl.activity.macs);
+}
+
+// The cross-validation: statistical engine vs exact engine on matched
+// workloads. The statistical model samples binomial nonzero counts from
+// the measured densities, so stage cycles must agree within a few percent.
+class StatVsExact : public ::testing::TestWithParam<double> {};
+
+TEST_P(StatVsExact, ForwardCyclesAgree) {
+  const double density = GetParam();
+  Rng rng(42);
+  const std::size_t C = 8, F = 16, H = 20, W = 20;
+  Tensor input(Shape{1, C, H, W});
+  input.fill_sparse_normal(rng, density);
+
+  // Exact.
+  ArchConfig cfg;
+  const auto exact = ExactEngine(cfg).run_forward(input, [&] {
+    dataflow::ConvGeometry g;
+    g.in_channels = C;
+    g.out_channels = F;
+    return g;
+  }());
+
+  // Statistical: a one-layer workload with the measured density.
+  workload::NetworkConfig net;
+  net.name = "probe";
+  workload::LayerConfig l;
+  l.name = "conv";
+  l.in_channels = C;
+  l.in_h = H;
+  l.in_w = W;
+  l.out_channels = F;
+  l.first_layer = true;
+  net.layers = {l};
+  std::vector<workload::LayerDensities> densities(1);
+  densities[0].input_acts = input.density();
+  const workload::SparsityProfile profile("measured", densities);
+  compiler::CompileOptions opts;
+  opts.gta = false;
+  opts.gtw = false;
+  const auto prog = compiler::compile(net, profile, opts);
+  const auto stat = Accelerator(cfg).run(prog, net, profile);
+
+  EXPECT_NEAR(static_cast<double>(stat.total_cycles),
+              static_cast<double>(exact.cycles),
+              0.08 * static_cast<double>(exact.cycles))
+      << "density " << density;
+  EXPECT_NEAR(static_cast<double>(stat.activity.macs),
+              static_cast<double>(exact.activity.macs),
+              0.10 * static_cast<double>(exact.activity.macs) + 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, StatVsExact,
+                         ::testing::Values(0.15, 0.35, 0.6, 0.9),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "d" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+TEST(StatVsExactGtw, CyclesAgreeOnSparseSparse) {
+  Rng rng(43);
+  const std::size_t C = 6, F = 8, H = 16, W = 16;
+  Tensor input(Shape{1, C, H, W});
+  input.fill_sparse_normal(rng, 0.5);
+  Tensor grad(Shape{1, F, H, W});
+  grad.fill_sparse_normal(rng, 0.3);
+
+  ArchConfig cfg;
+  dataflow::ConvGeometry g;
+  g.in_channels = C;
+  g.out_channels = F;
+  const auto exact = ExactEngine(cfg).run_gtw(grad, input, g);
+
+  workload::NetworkConfig net;
+  net.name = "probe";
+  workload::LayerConfig l;
+  l.name = "conv";
+  l.in_channels = C;
+  l.in_h = H;
+  l.in_w = W;
+  l.out_channels = F;
+  l.first_layer = true;
+  net.layers = {l};
+  std::vector<workload::LayerDensities> densities(1);
+  densities[0].input_acts = input.density();
+  densities[0].output_grads = grad.density();
+  const workload::SparsityProfile profile("measured", densities);
+  compiler::CompileOptions opts;
+  opts.forward = false;
+  opts.gta = false;
+  const auto prog = compiler::compile(net, profile, opts);
+  const auto stat = Accelerator(cfg).run(prog, net, profile);
+
+  // GTW's chunked cost is harder to approximate; 20% band.
+  EXPECT_NEAR(static_cast<double>(stat.total_cycles),
+              static_cast<double>(exact.cycles),
+              0.20 * static_cast<double>(exact.cycles));
+}
+
+}  // namespace
+}  // namespace sparsetrain::sim

@@ -1,0 +1,151 @@
+// Tests for im2col conv cross-validation, trace export, and Args parsing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "nn/conv2d.hpp"
+#include "nn/im2col.hpp"
+#include "sim/trace.hpp"
+#include "util/args.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace sparsetrain {
+namespace {
+
+TEST(Im2Col, UnfoldsKnownPattern) {
+  // 1 channel 2x2 input, K=2, no padding → single column of the 4 values.
+  Tensor in(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  nn::Im2ColGeometry geo;
+  geo.in_channels = 1;
+  geo.out_channels = 1;
+  geo.kernel = 2;
+  geo.stride = 1;
+  geo.padding = 0;
+  const Tensor cols = nn::im2col(in, geo);
+  EXPECT_EQ(cols.shape(), (Shape{1, 1, 4, 1}));
+  EXPECT_FLOAT_EQ(cols.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(cols.at(0, 0, 3, 0), 4.0f);
+}
+
+TEST(Im2Col, PaddingBecomesZeros) {
+  Tensor in(Shape{1, 1, 1, 1}, {5.0f});
+  nn::Im2ColGeometry geo;
+  geo.in_channels = 1;
+  geo.out_channels = 1;
+  geo.kernel = 3;
+  geo.stride = 1;
+  geo.padding = 1;
+  const Tensor cols = nn::im2col(in, geo);
+  EXPECT_EQ(cols.shape(), (Shape{1, 1, 9, 1}));
+  EXPECT_FLOAT_EQ(cols.at(0, 0, 4, 0), 5.0f);  // centre tap
+  float sum = 0.0f;
+  for (float v : cols.flat()) sum += v;
+  EXPECT_FLOAT_EQ(sum, 5.0f);  // everything else is padding zeros
+}
+
+class Im2ColEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(Im2ColEquivalence, MatchesDirectConv) {
+  const auto [k, s, p] = GetParam();
+  Rng rng(11);
+  nn::Conv2DConfig cfg;
+  cfg.in_channels = 3;
+  cfg.out_channels = 5;
+  cfg.kernel = static_cast<std::size_t>(k);
+  cfg.stride = static_cast<std::size_t>(s);
+  cfg.padding = static_cast<std::size_t>(p);
+  nn::Conv2D conv(cfg);
+  for (auto* param : conv.params()) param->value.fill_normal(rng, 0.0f, 0.4f);
+
+  Tensor in(Shape{2, 3, 9, 9});
+  in.fill_sparse_normal(rng, 0.6);
+
+  nn::Im2ColGeometry geo;
+  geo.in_channels = cfg.in_channels;
+  geo.out_channels = cfg.out_channels;
+  geo.kernel = cfg.kernel;
+  geo.stride = cfg.stride;
+  geo.padding = cfg.padding;
+
+  const Tensor direct = conv.forward(in, false);
+  const Tensor gemm = nn::conv2d_im2col(in, conv.weight().value,
+                                        &conv.bias_param().value, geo);
+  EXPECT_LT(max_abs_diff(direct, gemm), 1e-4f);
+}
+
+std::string im2col_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, int, int>>& info) {
+  return "k" + std::to_string(std::get<0>(info.param)) + "s" +
+         std::to_string(std::get<1>(info.param)) + "p" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Im2ColEquivalence,
+                         ::testing::Values(std::make_tuple(3, 1, 1),
+                                           std::make_tuple(3, 2, 1),
+                                           std::make_tuple(1, 1, 0),
+                                           std::make_tuple(5, 1, 2)),
+                         im2col_case_name);
+
+TEST(TraceExport, WritesValidChromeTrace) {
+  sim::SimReport report;
+  report.clock_ghz = 1.0;
+  sim::StageReport s1;
+  s1.layer_name = "conv1";
+  s1.stage = isa::Stage::Forward;
+  s1.cycles = 1000;
+  sim::StageReport s2;
+  s2.layer_name = "conv1";
+  s2.stage = isa::Stage::GTW;
+  s2.cycles = 500;
+  report.stages = {s1, s2};
+  report.total_cycles = 1500;
+
+  const std::string path = "test_trace.json";
+  ASSERT_TRUE(sim::write_chrome_trace(report, path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"conv1\""), std::string::npos);
+  EXPECT_NE(json.find("\"GTW\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ArgsParse, KeyValueForms) {
+  // A bare flag followed by a non-flag token consumes it as its value, so
+  // positionals go before flags (or use --key=value).
+  const char* argv[] = {"prog", "positional", "--p=0.9", "--groups", "56",
+                        "--verbose"};
+  Args args(6, argv);
+  EXPECT_TRUE(args.has("p"));
+  EXPECT_DOUBLE_EQ(args.get("p", 0.0), 0.9);
+  EXPECT_EQ(args.get("groups", 0L), 56L);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("missing", std::string("dflt")), "dflt");
+  ASSERT_EQ(args.positionals().size(), 1u);
+  EXPECT_EQ(args.positionals()[0], "positional");
+}
+
+TEST(ArgsParse, MalformedNumberThrows) {
+  const char* argv[] = {"prog", "--p=abc"};
+  Args args(2, argv);
+  EXPECT_THROW(args.get("p", 0.0), ContractError);
+}
+
+TEST(ArgsParse, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_DOUBLE_EQ(args.get("p", 0.5), 0.5);
+  EXPECT_EQ(args.get("n", 7L), 7L);
+  EXPECT_FALSE(args.has("p"));
+}
+
+}  // namespace
+}  // namespace sparsetrain

@@ -1,0 +1,404 @@
+// Layer-level tests: shapes, forward semantics, and — most importantly —
+// numerical gradient checks that validate the GTA/GTW implementations
+// against finite differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/pooling_misc.hpp"
+#include "nn/relu.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace sparsetrain::nn {
+namespace {
+
+/// Scalar objective: sum of elementwise weights times layer output.
+float weighted_sum(const Tensor& out, const Tensor& coeffs) {
+  float s = 0.0f;
+  for (std::size_t i = 0; i < out.size(); ++i) s += out[i] * coeffs[i];
+  return s;
+}
+
+/// Checks analytic input gradients of `layer` against central differences.
+void check_input_gradients(Layer& layer, Tensor input, float tol = 2e-2f) {
+  Rng rng(77);
+  const Tensor out = layer.forward(input, /*training=*/true);
+  Tensor coeffs(out.shape());
+  coeffs.fill_normal(rng, 0.0f, 1.0f);
+
+  // Analytic: backward of the weighted-sum objective is just `coeffs`.
+  const Tensor grad_in = layer.backward(coeffs);
+
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < input.size(); i += 1 + input.size() / 50) {
+    Tensor plus = input;
+    Tensor minus = input;
+    plus[i] += eps;
+    minus[i] -= eps;
+    const float f_plus = weighted_sum(layer.forward(plus, true), coeffs);
+    const float f_minus = weighted_sum(layer.forward(minus, true), coeffs);
+    const float numeric = (f_plus - f_minus) / (2 * eps);
+    EXPECT_NEAR(grad_in[i], numeric, tol) << "at flat index " << i;
+  }
+  // Restore cached state for any further use.
+  (void)layer.forward(input, true);
+}
+
+/// Checks analytic parameter gradients against central differences.
+void check_param_gradients(Layer& layer, const Tensor& input,
+                           float tol = 2e-2f) {
+  Rng rng(78);
+  const Tensor out = layer.forward(input, true);
+  Tensor coeffs(out.shape());
+  coeffs.fill_normal(rng, 0.0f, 1.0f);
+
+  for (Param* p : layer.params()) p->zero_grad();
+  (void)layer.backward(coeffs);
+
+  const float eps = 1e-2f;
+  for (Param* p : layer.params()) {
+    for (std::size_t i = 0; i < p->value.size();
+         i += 1 + p->value.size() / 25) {
+      const float saved = p->value[i];
+      p->value[i] = saved + eps;
+      const float f_plus = weighted_sum(layer.forward(input, true), coeffs);
+      p->value[i] = saved - eps;
+      const float f_minus = weighted_sum(layer.forward(input, true), coeffs);
+      p->value[i] = saved;
+      const float numeric = (f_plus - f_minus) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, tol)
+          << p->name << " flat index " << i;
+    }
+  }
+  (void)layer.forward(input, true);
+}
+
+Conv2DConfig small_conv_cfg() {
+  Conv2DConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 3;
+  cfg.kernel = 3;
+  cfg.stride = 1;
+  cfg.padding = 1;
+  return cfg;
+}
+
+TEST(Conv2D, OutputShape) {
+  Conv2D conv(small_conv_cfg());
+  EXPECT_EQ(conv.output_shape(Shape{4, 2, 8, 8}), (Shape{4, 3, 8, 8}));
+
+  Conv2DConfig strided = small_conv_cfg();
+  strided.stride = 2;
+  strided.padding = 1;
+  Conv2D conv2(strided);
+  EXPECT_EQ(conv2.output_shape(Shape{1, 2, 8, 8}), (Shape{1, 3, 4, 4}));
+}
+
+TEST(Conv2D, RejectsChannelMismatch) {
+  Conv2D conv(small_conv_cfg());
+  EXPECT_THROW(conv.output_shape(Shape{1, 5, 8, 8}), ContractError);
+}
+
+TEST(Conv2D, IdentityKernelPassesThrough) {
+  Conv2DConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 1;
+  cfg.kernel = 1;
+  cfg.stride = 1;
+  cfg.padding = 0;
+  Conv2D conv(cfg);
+  conv.weight().value[0] = 1.0f;
+  Rng rng(5);
+  Tensor in(Shape{1, 1, 4, 4});
+  in.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor out = conv.forward(in, false);
+  EXPECT_TRUE(allclose(out, in, 1e-6f));
+}
+
+TEST(Conv2D, KnownSmallConvolution) {
+  // 3x3 input, 2x2 kernel of ones, no padding: each output is the window sum.
+  Conv2DConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 1;
+  cfg.kernel = 2;
+  cfg.stride = 1;
+  cfg.padding = 0;
+  cfg.bias = false;
+  Conv2D conv(cfg);
+  conv.weight().value.fill(1.0f);
+  Tensor in(Shape{1, 1, 3, 3},
+            {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor out = conv.forward(in, false);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 1 + 2 + 4 + 5);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 5 + 6 + 8 + 9);
+}
+
+TEST(Conv2D, BiasApplied) {
+  Conv2DConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 2;
+  cfg.kernel = 1;
+  cfg.padding = 0;
+  Conv2D conv(cfg);
+  conv.bias_param().value[0] = 0.5f;
+  conv.bias_param().value[1] = -1.0f;
+  Tensor in(Shape{1, 1, 1, 1}, {0.0f});
+  const Tensor out = conv.forward(in, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0, 0), -1.0f);
+}
+
+TEST(Conv2D, InputGradientsMatchFiniteDifference) {
+  Rng rng(11);
+  Conv2D conv(small_conv_cfg());
+  for (Param* p : conv.params()) p->value.fill_normal(rng, 0.0f, 0.3f);
+  Tensor in(Shape{2, 2, 5, 5});
+  in.fill_normal(rng, 0.0f, 1.0f);
+  check_input_gradients(conv, in);
+}
+
+TEST(Conv2D, ParamGradientsMatchFiniteDifference) {
+  Rng rng(12);
+  Conv2D conv(small_conv_cfg());
+  for (Param* p : conv.params()) p->value.fill_normal(rng, 0.0f, 0.3f);
+  Tensor in(Shape{2, 2, 5, 5});
+  in.fill_normal(rng, 0.0f, 1.0f);
+  check_param_gradients(conv, in);
+}
+
+TEST(Conv2D, StridedGradientsMatchFiniteDifference) {
+  Rng rng(13);
+  Conv2DConfig cfg = small_conv_cfg();
+  cfg.stride = 2;
+  Conv2D conv(cfg);
+  for (Param* p : conv.params()) p->value.fill_normal(rng, 0.0f, 0.3f);
+  Tensor in(Shape{1, 2, 6, 6});
+  in.fill_normal(rng, 0.0f, 1.0f);
+  check_input_gradients(conv, in);
+  check_param_gradients(conv, in);
+}
+
+TEST(Conv2D, BackwardWithoutForwardThrows) {
+  Conv2D conv(small_conv_cfg());
+  Tensor g(Shape{1, 3, 5, 5});
+  EXPECT_THROW(conv.backward(g), ContractError);
+}
+
+TEST(Conv2D, SparseGradOutputSkipsWork) {
+  // A zero dO must produce zero dI and zero dW contribution.
+  Rng rng(14);
+  Conv2D conv(small_conv_cfg());
+  for (Param* p : conv.params()) p->value.fill_normal(rng, 0.0f, 0.3f);
+  Tensor in(Shape{1, 2, 5, 5});
+  in.fill_normal(rng, 0.0f, 1.0f);
+  (void)conv.forward(in, true);
+  Tensor zero_grad(conv.output_shape(in.shape()));
+  const Tensor dI = conv.backward(zero_grad);
+  EXPECT_EQ(dI.nnz(), 0u);
+  EXPECT_EQ(conv.weight().grad.nnz(), 0u);
+}
+
+TEST(ReLU, ForwardClampsAndMasks) {
+  ReLU relu;
+  Tensor in(Shape::vec(4), {-1.0f, 2.0f, 0.0f, 3.0f});
+  const Tensor out = relu.forward(in, true);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 2.0f);
+  EXPECT_FLOAT_EQ(out[3], 3.0f);
+  EXPECT_FLOAT_EQ(relu.mask()[1], 1.0f);
+  EXPECT_FLOAT_EQ(relu.mask()[0], 0.0f);
+  EXPECT_FLOAT_EQ(relu.mask()[2], 0.0f);  // exact zero does not pass
+}
+
+TEST(ReLU, BackwardAppliesMask) {
+  ReLU relu;
+  Tensor in(Shape::vec(3), {-1.0f, 2.0f, 3.0f});
+  (void)relu.forward(in, true);
+  Tensor g(Shape::vec(3), {10.0f, 20.0f, 30.0f});
+  const Tensor gi = relu.backward(g);
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi[1], 20.0f);
+  EXPECT_FLOAT_EQ(gi[2], 30.0f);
+}
+
+TEST(ReLU, EvalModeDoesNotCacheMask) {
+  ReLU relu;
+  Tensor in(Shape::vec(2), {1.0f, -1.0f});
+  (void)relu.forward(in, false);
+  EXPECT_THROW(relu.mask(), ContractError);
+}
+
+TEST(MaxPool2D, ForwardSelectsMaxima) {
+  MaxPool2D pool(2, 2);
+  Tensor in(Shape{1, 1, 2, 4}, {1, 5, 2, 0, 3, 4, 8, 7});
+  const Tensor out = pool.forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), 8.0f);
+}
+
+TEST(MaxPool2D, BackwardRoutesToArgmax) {
+  MaxPool2D pool(2, 2);
+  Tensor in(Shape{1, 1, 2, 2}, {1, 5, 3, 4});
+  (void)pool.forward(in, true);
+  Tensor g(Shape{1, 1, 1, 1}, {7.0f});
+  const Tensor gi = pool.backward(g);
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 0, 1), 7.0f);
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(gi.nnz(), 1u);
+}
+
+TEST(MaxPool2D, GradientsMatchFiniteDifference) {
+  // Use distinct values so argmax is stable under the ±eps probes.
+  MaxPool2D pool(2, 2);
+  Tensor in(Shape{1, 2, 4, 4});
+  for (std::size_t i = 0; i < in.size(); ++i)
+    in[i] = static_cast<float>((i * 7919) % 97) / 10.0f;
+  check_input_gradients(pool, in);
+}
+
+TEST(GlobalAvgPool, ForwardAndBackward) {
+  GlobalAvgPool gap;
+  Tensor in(Shape{1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  const Tensor out = gap.forward(in, true);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0, 0), 25.0f);
+  Tensor g(out.shape());
+  g.fill(4.0f);
+  const Tensor gi = gap.backward(g);
+  EXPECT_FLOAT_EQ(gi.at(0, 0, 1, 1), 1.0f);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten flat;
+  Tensor in(Shape{2, 3, 4, 4});
+  const Tensor out = flat.forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{2, 1, 1, 48}));
+  Tensor g(out.shape());
+  const Tensor gi = flat.backward(g);
+  EXPECT_EQ(gi.shape(), in.shape());
+}
+
+TEST(Linear, ForwardMatchesManual) {
+  Linear lin(2, 2);
+  lin.weight().value = Tensor(Shape::mat(2, 2), {1, 2, 3, 4});
+  Tensor in(Shape{1, 1, 1, 2}, {5, 6});
+  const Tensor out = lin.forward(in, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 1 * 5 + 2 * 6);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), 3 * 5 + 4 * 6);
+}
+
+TEST(Linear, GradientsMatchFiniteDifference) {
+  Rng rng(15);
+  Linear lin(6, 4);
+  for (Param* p : lin.params()) p->value.fill_normal(rng, 0.0f, 0.4f);
+  Tensor in(Shape{3, 1, 1, 6});
+  in.fill_normal(rng, 0.0f, 1.0f);
+  check_input_gradients(lin, in);
+  check_param_gradients(lin, in);
+}
+
+TEST(BatchNorm2D, NormalisesBatch) {
+  BatchNorm2D bn(2);
+  Rng rng(16);
+  Tensor in(Shape{4, 2, 3, 3});
+  in.fill_normal(rng, 5.0f, 3.0f);
+  const Tensor out = bn.forward(in, true);
+  // Per-channel mean ≈ 0, var ≈ 1 after normalisation with γ=1, β=0.
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < 4; ++n)
+      for (std::size_t y = 0; y < 3; ++y)
+        for (std::size_t x = 0; x < 3; ++x) {
+          sum += out.at(n, c, y, x);
+          sq += out.at(n, c, y, x) * out.at(n, c, y, x);
+          ++count;
+        }
+    EXPECT_NEAR(sum / count, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm2D, GradientsMatchFiniteDifference) {
+  Rng rng(17);
+  BatchNorm2D bn(2);
+  Tensor in(Shape{3, 2, 3, 3});
+  in.fill_normal(rng, 1.0f, 2.0f);
+  check_input_gradients(bn, in, 5e-2f);
+  check_param_gradients(bn, in, 5e-2f);
+}
+
+TEST(BatchNorm2D, EvalUsesRunningStats) {
+  BatchNorm2D bn(1);
+  Rng rng(18);
+  Tensor in(Shape{8, 1, 4, 4});
+  // Several training passes to populate running stats.
+  for (int i = 0; i < 60; ++i) {
+    in.fill_normal(rng, 2.0f, 1.0f);
+    (void)bn.forward(in, true);
+  }
+  Tensor probe(Shape{1, 1, 1, 1}, {2.0f});
+  const Tensor out = bn.forward(probe, false);
+  // Input at the running mean normalises to ≈ 0.
+  EXPECT_NEAR(out[0], 0.0f, 0.2f);
+}
+
+TEST(SoftmaxCrossEntropy, LossOfUniformLogits) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{2, 1, 1, 4});
+  const float l = loss.forward(logits, {0, 3});
+  EXPECT_NEAR(l, std::log(4.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerSample) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(19);
+  Tensor logits(Shape{3, 1, 1, 5});
+  logits.fill_normal(rng, 0.0f, 2.0f);
+  (void)loss.forward(logits, {1, 2, 4});
+  const Tensor g = loss.backward();
+  for (std::size_t n = 0; n < 3; ++n) {
+    float s = 0.0f;
+    for (std::size_t k = 0; k < 5; ++k) s += g.at(n, 0, 0, k);
+    EXPECT_NEAR(s, 0.0f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  SoftmaxCrossEntropy loss;
+  Rng rng(20);
+  Tensor logits(Shape{2, 1, 1, 3});
+  logits.fill_normal(rng, 0.0f, 1.0f);
+  const std::vector<std::uint32_t> labels = {2, 0};
+  (void)loss.forward(logits, labels);
+  const Tensor g = loss.backward();
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor plus = logits, minus = logits;
+    plus[i] += eps;
+    minus[i] -= eps;
+    SoftmaxCrossEntropy probe;
+    const float fp = probe.forward(plus, labels);
+    const float fm = probe.forward(minus, labels);
+    EXPECT_NEAR(g[i], (fp - fm) / (2 * eps), 1e-3f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits(Shape{1, 1, 1, 3});
+  EXPECT_THROW(loss.forward(logits, {3}), ContractError);
+  EXPECT_THROW(loss.forward(logits, {0, 1}), ContractError);
+}
+
+}  // namespace
+}  // namespace sparsetrain::nn

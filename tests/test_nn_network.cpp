@@ -1,0 +1,253 @@
+// Network-level tests: containers, residual blocks, model builders,
+// end-to-end training on synthetic data.
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/models/model_builder.hpp"
+#include "nn/relu.hpp"
+#include "nn/residual.hpp"
+#include "nn/sequential.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace sparsetrain::nn {
+namespace {
+
+using models::ModelInput;
+
+TEST(Sequential, ChainsShapes) {
+  Sequential net;
+  Conv2DConfig cfg;
+  cfg.in_channels = 3;
+  cfg.out_channels = 8;
+  net.emplace<Conv2D>(cfg);
+  net.emplace<ReLU>();
+  EXPECT_EQ(net.output_shape(Shape{2, 3, 16, 16}), (Shape{2, 8, 16, 16}));
+  EXPECT_EQ(net.size(), 2u);
+}
+
+TEST(Sequential, CollectsParams) {
+  Sequential net;
+  Conv2DConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 2;
+  net.emplace<Conv2D>(cfg);
+  net.emplace<Linear>(4, 2);
+  // conv weight+bias, linear weight+bias.
+  EXPECT_EQ(net.params().size(), 4u);
+}
+
+TEST(Sequential, ForEachConvVisitsNested) {
+  auto net = models::resnet_s(ModelInput{}, 1, 4);
+  std::size_t convs = 0;
+  net->for_each_conv([&](Conv2D&) { ++convs; });
+  // stem + 3 stages × (2 convs) + 2 projection convs (stages 2, 3).
+  EXPECT_EQ(convs, 1u + 6u + 2u);
+}
+
+TEST(ResidualBlock, IdentityShortcutGradients) {
+  Rng rng(31);
+  Sequential main;
+  Conv2DConfig cfg;
+  cfg.in_channels = 2;
+  cfg.out_channels = 2;
+  cfg.bias = false;
+  main.emplace<Conv2D>(cfg);
+  ResidualBlock block(std::move(main), Sequential{}, "test-block");
+  kaiming_init(block, rng);
+
+  Tensor in(Shape{1, 2, 4, 4});
+  in.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor out = block.forward(in, true);
+  EXPECT_EQ(out.shape(), in.shape());
+
+  // Finite-difference check through the whole block.
+  Tensor coeffs(out.shape());
+  coeffs.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor grad_in = block.backward(coeffs);
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < in.size(); i += 5) {
+    Tensor plus = in, minus = in;
+    plus[i] += eps;
+    minus[i] -= eps;
+    float fp = 0.0f, fm = 0.0f;
+    const Tensor op = block.forward(plus, true);
+    for (std::size_t j = 0; j < op.size(); ++j) fp += op[j] * coeffs[j];
+    const Tensor om = block.forward(minus, true);
+    for (std::size_t j = 0; j < om.size(); ++j) fm += om[j] * coeffs[j];
+    EXPECT_NEAR(grad_in[i], (fp - fm) / (2 * eps), 5e-2f) << "index " << i;
+  }
+}
+
+TEST(ResidualBlock, ProjectionShortcutChangesShape) {
+  auto net = models::resnet_s(ModelInput{3, 16, 16, 10}, 1, 8);
+  const Shape out = net->output_shape(Shape{2, 3, 16, 16});
+  EXPECT_EQ(out, (Shape{2, 1, 1, 10}));
+}
+
+TEST(Models, TinyCnnShape) {
+  auto net = models::tiny_cnn(ModelInput{3, 16, 16, 10}, 8);
+  EXPECT_EQ(net->output_shape(Shape{4, 3, 16, 16}), (Shape{4, 1, 1, 10}));
+}
+
+TEST(Models, AlexNetSShape) {
+  auto net = models::alexnet_s(ModelInput{3, 32, 32, 100}, 16);
+  EXPECT_EQ(net->output_shape(Shape{2, 3, 32, 32}), (Shape{2, 1, 1, 100}));
+}
+
+TEST(Models, AlexNetHasNoBatchNorm) {
+  // The CONV-ReLU pruning position applies; builder must not insert BN.
+  auto net = models::alexnet_s(ModelInput{}, 8);
+  for (std::size_t i = 0; i < net->size(); ++i)
+    EXPECT_EQ(net->layer(i).name().find("batchnorm"), std::string::npos);
+}
+
+TEST(Sgd, PlainStepMovesAgainstGradient) {
+  Param p("weight", Shape::vec(2));
+  p.value[0] = 1.0f;
+  p.grad[0] = 0.5f;
+  SgdConfig cfg;
+  cfg.learning_rate = 0.1f;
+  cfg.momentum = 0.0f;
+  Sgd opt({&p}, cfg);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.grad[0], 0.0f);  // cleared after the step
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p("weight", Shape::vec(1));
+  SgdConfig cfg;
+  cfg.learning_rate = 1.0f;
+  cfg.momentum = 0.5f;
+  Sgd opt({&p}, cfg);
+  p.grad[0] = 1.0f;
+  opt.step();  // v=1, x=-1
+  p.grad[0] = 1.0f;
+  opt.step();  // v=1.5, x=-2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(Sgd, WeightDecayShrinks) {
+  Param p("weight", Shape::vec(1));
+  p.value[0] = 10.0f;
+  SgdConfig cfg;
+  cfg.learning_rate = 0.1f;
+  cfg.momentum = 0.0f;
+  cfg.weight_decay = 0.1f;
+  Sgd opt({&p}, cfg);
+  opt.step();  // g = 0 + 0.1*10 = 1; x = 10 - 0.1
+  EXPECT_FLOAT_EQ(p.value[0], 9.9f);
+}
+
+TEST(Training, TinyCnnLearnsSyntheticTask) {
+  data::SyntheticConfig dcfg;
+  dcfg.classes = 4;
+  dcfg.samples = 192;
+  dcfg.height = 12;
+  dcfg.width = 12;
+  dcfg.noise = 0.25f;
+  dcfg.seed = 7;
+  const data::SyntheticDataset train(dcfg);
+  const data::SyntheticDataset test = train.held_out(96, 8);
+
+  ModelInput mi{dcfg.channels, dcfg.height, dcfg.width, dcfg.classes};
+  auto net = models::tiny_cnn(mi, 6);
+  Rng rng(1);
+  kaiming_init(*net, rng);
+
+  TrainConfig tcfg;
+  tcfg.batch_size = 16;
+  tcfg.epochs = 6;
+  tcfg.sgd.learning_rate = 0.05f;
+  Trainer trainer(*net, tcfg);
+  const TrainResult result = trainer.fit(train, test);
+
+  EXPECT_GT(result.final_train_accuracy, 0.8);
+  EXPECT_GT(result.test_accuracy, 0.7);
+  // Loss must decrease overall.
+  EXPECT_LT(result.epochs.back().train_loss,
+            result.epochs.front().train_loss);
+}
+
+TEST(Training, ResNetSLearnsSyntheticTask) {
+  data::SyntheticConfig dcfg;
+  dcfg.classes = 3;
+  dcfg.samples = 120;
+  dcfg.height = 12;
+  dcfg.width = 12;
+  dcfg.noise = 0.25f;
+  dcfg.seed = 9;
+  const data::SyntheticDataset train(dcfg);
+  const data::SyntheticDataset test = train.held_out(60, 10);
+
+  ModelInput mi{dcfg.channels, dcfg.height, dcfg.width, dcfg.classes};
+  auto net = models::resnet_s(mi, 1, 4);
+  Rng rng(2);
+  kaiming_init(*net, rng);
+
+  TrainConfig tcfg;
+  tcfg.batch_size = 12;
+  tcfg.epochs = 8;
+  tcfg.sgd.learning_rate = 0.05f;
+  Trainer trainer(*net, tcfg);
+  const TrainResult result = trainer.fit(train, test);
+  EXPECT_GT(result.final_train_accuracy, 0.7);
+}
+
+TEST(Training, StepHookRunsOncePerStep) {
+  data::SyntheticConfig dcfg;
+  dcfg.samples = 32;
+  const data::SyntheticDataset train(dcfg);
+  ModelInput mi{dcfg.channels, dcfg.height, dcfg.width, dcfg.classes};
+  auto net = models::tiny_cnn(mi, 4);
+  Rng rng(3);
+  kaiming_init(*net, rng);
+
+  TrainConfig tcfg;
+  tcfg.batch_size = 8;
+  tcfg.epochs = 2;
+  Trainer trainer(*net, tcfg);
+  int hooks = 0;
+  trainer.set_step_hook([&] { ++hooks; });
+  (void)trainer.fit(train, train);
+  EXPECT_EQ(hooks, 2 * 4);
+}
+
+TEST(Data, SyntheticBatchShapesAndLabels) {
+  data::SyntheticConfig cfg;
+  cfg.classes = 5;
+  cfg.samples = 40;
+  const data::SyntheticDataset ds(cfg);
+  EXPECT_EQ(ds.size(), 40u);
+  EXPECT_EQ(ds.num_classes(), 5u);
+  const data::Batch b = ds.batch(0, 8);
+  EXPECT_EQ(b.images.shape(), (Shape{8, 3, 16, 16}));
+  for (auto label : b.labels) EXPECT_LT(label, 5u);
+}
+
+TEST(Data, BatchWrapsAround) {
+  data::SyntheticConfig cfg;
+  cfg.samples = 10;
+  const data::SyntheticDataset ds(cfg);
+  const data::Batch b = ds.batch(8, 4);  // wraps to samples 8,9,0,1
+  EXPECT_EQ(b.size(), 4u);
+}
+
+TEST(Data, HeldOutSharesTemplates) {
+  data::SyntheticConfig cfg;
+  cfg.samples = 64;
+  cfg.seed = 21;
+  const data::SyntheticDataset train(cfg);
+  const data::SyntheticDataset test = train.held_out(32, 22);
+  EXPECT_EQ(test.size(), 32u);
+  EXPECT_EQ(test.num_classes(), train.num_classes());
+}
+
+}  // namespace
+}  // namespace sparsetrain::nn

@@ -1,0 +1,367 @@
+// Simulator tests: PE cost models (exact vs closed form), energy pricing,
+// workload/profile construction, compiler lowering, accelerator runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/eyeriss_like.hpp"
+#include "compiler/compiler.hpp"
+#include "core/session.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/pe_model.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+namespace sparsetrain::sim {
+namespace {
+
+using isa::RowBlock;
+using isa::RowOpKind;
+using workload::SparsityProfile;
+
+SparseRow random_row(std::size_t len, double density, Rng& rng) {
+  std::vector<float> dense(len, 0.0f);
+  for (auto& x : dense)
+    if (rng.bernoulli(density)) x = static_cast<float>(rng.normal());
+  return compress_row(dense);
+}
+
+RowBlock src_block(std::size_t len, double density) {
+  RowBlock b;
+  b.kind = RowOpKind::SRC;
+  b.in_len = len;
+  b.out_len = len;
+  b.kernel = 3;
+  b.stride = 1;
+  b.padding = 1;
+  b.density_in = density;
+  return b;
+}
+
+TEST(PeExact, SrcCyclesCountNonzeros) {
+  PeExact pe;
+  RowBlock b = src_block(16, 1.0);
+  // 4 nonzeros → wload ceil(3/2)=2 + 4 + drain 2 = 8 cycles.
+  SparseRow row = compress_row(
+      std::vector<float>{0, 1, 0, 2, 0, 0, 3, 0, 0, 0, 0, 4, 0, 0, 0, 0});
+  const PeCost cost = pe.run_src(row, b);
+  EXPECT_EQ(cost.ingested, 4u);
+  EXPECT_EQ(cost.cycles, 2u + 4u + 2u);
+  EXPECT_EQ(cost.macs, 12u);  // interior nonzeros hit all 3 taps
+}
+
+TEST(PeExact, EmptyRowCostsOnlyOverhead) {
+  PeExact pe;
+  RowBlock b = src_block(16, 0.0);
+  const PeCost cost = pe.run_src(compress_row(std::vector<float>(16, 0.0f)), b);
+  EXPECT_EQ(cost.ingested, 0u);
+  EXPECT_EQ(cost.cycles, 4u);  // wload + drain only
+  EXPECT_EQ(cost.macs, 0u);
+}
+
+TEST(PeExact, MsrcSkipsFullyMaskedInputs) {
+  PeExact pe;
+  RowBlock b = src_block(8, 1.0);
+  b.kind = RowOpKind::MSRC;
+  SparseRow row =
+      compress_row(std::vector<float>{5, 0, 0, 0, 0, 0, 0, 7});
+  MaskRow mask;
+  mask.length = 8;
+  mask.offsets = {6, 7};  // only tail positions allowed
+  const PeCost cost = pe.run_msrc(row, mask, b);
+  // input at 0 scatters to {0,1,2}∩mask = ∅ → skipped by look-ahead.
+  EXPECT_EQ(cost.ingested, 1u);
+  EXPECT_EQ(cost.cycles, 2u + 1u + 2u);
+}
+
+TEST(PeExact, OsrcChunksOverGradNonzeros) {
+  PeExact pe;
+  RowBlock b;
+  b.kind = RowOpKind::OSRC;
+  b.kernel = 3;
+  b.stride = 1;
+  b.padding = 1;
+  b.in_len = 16;
+  b.second_len = 16;
+  Rng rng(5);
+  const SparseRow I = random_row(16, 0.5, rng);
+  // 7 dO nonzeros → ceil(7/3) = 3 chunks.
+  std::vector<float> dov(16, 0.0f);
+  for (std::size_t i = 0; i < 7; ++i) dov[2 * i] = 1.0f;
+  const SparseRow dO = compress_row(dov);
+  const PeCost cost = pe.run_osrc(I, dO, b);
+  const std::size_t chunks = 3;
+  EXPECT_EQ(cost.cycles, chunks * (2 + I.nnz()) + 2);
+  EXPECT_EQ(cost.ingested, chunks * I.nnz());
+}
+
+TEST(PeModel, ClosedFormMatchesExactInExpectation) {
+  // Monte-Carlo: average PeExact cost over random rows ≈ row_op_cost mean.
+  PeExact pe;
+  Rng rng(7);
+  for (double density : {0.2, 0.5, 0.9}) {
+    RowBlock b = src_block(64, density);
+    double sum_cycles = 0.0, sum_macs = 0.0;
+    const int trials = 400;
+    for (int t = 0; t < trials; ++t) {
+      const SparseRow row = random_row(64, density, rng);
+      const PeCost c = pe.run_src(row, b);
+      sum_cycles += static_cast<double>(c.cycles);
+      sum_macs += static_cast<double>(c.macs);
+    }
+    const PeCostStats stats = row_op_cost(b, PeTiming{}, /*sparse=*/true);
+    EXPECT_NEAR(sum_cycles / trials, stats.mean_cycles,
+                0.05 * stats.mean_cycles + 1.0)
+        << "density " << density;
+    // Closed form ignores edge taps → allow a few percent.
+    EXPECT_NEAR(sum_macs / trials, stats.mean_macs, 0.08 * stats.mean_macs)
+        << "density " << density;
+  }
+}
+
+TEST(PeModel, MsrcClosedFormMatchesExact) {
+  PeExact pe;
+  Rng rng(8);
+  RowBlock b = src_block(64, 0.5);
+  b.kind = RowOpKind::MSRC;
+  b.density_mask = 0.4;
+  double sum_cycles = 0.0;
+  const int trials = 600;
+  for (int t = 0; t < trials; ++t) {
+    const SparseRow row = random_row(64, 0.5, rng);
+    std::vector<float> mask_dense(64, 0.0f);
+    for (auto& x : mask_dense)
+      if (rng.bernoulli(0.4)) x = 1.0f;
+    const MaskRow mask = mask_from_dense(mask_dense);
+    sum_cycles += static_cast<double>(pe.run_msrc(row, mask, b).cycles);
+  }
+  const PeCostStats stats = row_op_cost(b, PeTiming{}, true);
+  EXPECT_NEAR(sum_cycles / trials, stats.mean_cycles,
+              0.05 * stats.mean_cycles + 1.0);
+}
+
+TEST(PeModel, DenseModeIgnoresDensities) {
+  RowBlock b = src_block(64, 0.1);
+  const PeCostStats sparse = row_op_cost(b, PeTiming{}, true);
+  const PeCostStats dense = row_op_cost(b, PeTiming{}, false);
+  EXPECT_LT(sparse.mean_cycles, dense.mean_cycles);
+  EXPECT_EQ(dense.var_cycles, 0.0);
+  EXPECT_NEAR(dense.mean_cycles, 2.0 + 64.0 + 2.0, 1e-9);
+}
+
+TEST(EnergyModel, PricesComponents) {
+  ActivityCounts counts;
+  counts.macs = 1000;
+  counts.reg_accesses = 2000;
+  counts.sram_bytes = 4000;
+  counts.dram_bytes = 200;
+  EnergyParams params;
+  const EnergyBreakdown e = price(counts, params);
+  EXPECT_NEAR(e.comb_pj, 1000 * params.mac_pj, 1e-9);
+  EXPECT_NEAR(e.reg_pj, 2000 * params.reg_pj, 1e-9);
+  EXPECT_NEAR(e.sram_pj, 2000 * params.sram_pj, 1e-9);
+  EXPECT_NEAR(e.dram_pj, 100 * params.dram_pj, 1e-9);
+  EXPECT_NEAR(e.total_pj(),
+              e.comb_pj + e.reg_pj + e.sram_pj + e.dram_pj, 1e-9);
+}
+
+TEST(Workloads, PaperModelsHaveSaneShapes) {
+  for (const auto& net : workload::paper_workloads()) {
+    EXPECT_FALSE(net.layers.empty()) << net.name;
+    EXPECT_GT(net.total_forward_macs(), 0u) << net.name;
+    for (const auto& l : net.layers) {
+      EXPECT_GT(l.out_h(), 0u) << net.name << " " << l.name;
+      EXPECT_GT(l.out_w(), 0u) << net.name << " " << l.name;
+    }
+  }
+}
+
+TEST(Workloads, ImagenetBiggerThanCifar) {
+  EXPECT_GT(workload::alexnet_imagenet().total_forward_macs(),
+            workload::alexnet_cifar().total_forward_macs());
+  EXPECT_GT(workload::resnet18_imagenet().total_forward_macs(),
+            workload::resnet18_cifar().total_forward_macs());
+}
+
+TEST(Workloads, Resnet34DeeperThan18) {
+  EXPECT_GT(workload::resnet34_cifar().layers.size(),
+            workload::resnet18_cifar().layers.size());
+}
+
+TEST(Profiles, DenseProfileIsAllOnes) {
+  const auto net = workload::tiny_workload();
+  const auto p = SparsityProfile::dense(net);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.layer(i).input_acts, 1.0);
+    EXPECT_EQ(p.layer(i).output_grads, 1.0);
+  }
+}
+
+TEST(Profiles, NaturalProfileSparsifiesNonFirstLayers) {
+  const auto net = workload::alexnet_cifar();
+  const auto p = SparsityProfile::natural(net, 0.45);
+  EXPECT_EQ(p.layer(0).input_acts, 1.0);  // raw image
+  EXPECT_NEAR(p.layer(1).input_acts, 0.45, 1e-12);
+  // AlexNet = CONV-ReLU → dO inherits the mask.
+  EXPECT_NEAR(p.layer(1).output_grads, 0.45, 1e-12);
+}
+
+TEST(Profiles, BnLayersHaveDenseGradsUntilPruned) {
+  const auto net = workload::resnet18_cifar();
+  const auto natural = SparsityProfile::natural(net, 0.45);
+  // ResNet convs are CONV-BN-ReLU → dense dO without pruning.
+  EXPECT_EQ(natural.layer(1).output_grads, 1.0);
+  const auto pruned = SparsityProfile::pruned(net, 0.9, 0.45);
+  EXPECT_LT(pruned.layer(1).output_grads, 0.5);
+}
+
+TEST(Profiles, AnalyticPrunedDensityValues) {
+  EXPECT_NEAR(workload::analytic_pruned_density(0.9), 0.46, 0.01);
+  EXPECT_NEAR(workload::analytic_pruned_density(0.7), 0.62, 0.01);
+  EXPECT_EQ(workload::analytic_pruned_density(0.0), 1.0);
+  EXPECT_LT(workload::analytic_pruned_density(0.99),
+            workload::analytic_pruned_density(0.9));
+}
+
+TEST(Compiler, EmitsAllStages) {
+  const auto net = workload::tiny_workload();
+  const auto profile = SparsityProfile::natural(net);
+  const isa::Program prog = compiler::compile(net, profile);
+  // layer0: Forward+GTW (first layer skips GTA); layer1: all three.
+  EXPECT_EQ(prog.count(isa::Opcode::Run), 5u);
+  EXPECT_EQ(prog.count(isa::Opcode::Barrier), 5u);
+  EXPECT_GT(prog.count(isa::Opcode::LoadWeights), 0u);
+}
+
+TEST(Compiler, FirstLayerHasNoGta) {
+  const auto net = workload::tiny_workload();
+  const auto profile = SparsityProfile::natural(net);
+  const isa::Program prog = compiler::compile(net, profile);
+  for (const auto& inst : prog.instructions) {
+    if (inst.stage == isa::Stage::GTA)
+      EXPECT_NE(inst.layer_index, 0u);
+  }
+}
+
+TEST(Compiler, BatchScalesTaskCounts) {
+  const auto net = workload::tiny_workload();
+  const auto profile = SparsityProfile::natural(net);
+  compiler::CompileOptions opt1, opt4;
+  opt4.batch = 4;
+  const auto p1 = compiler::compile(net, profile, opt1);
+  const auto p4 = compiler::compile(net, profile, opt4);
+  std::size_t t1 = 0, t4 = 0;
+  for (const auto& i : p1.instructions)
+    if (i.op == isa::Opcode::Run && i.stage != isa::Stage::GTW)
+      t1 += i.block.tasks;
+  for (const auto& i : p4.instructions)
+    if (i.op == isa::Opcode::Run && i.stage != isa::Stage::GTW)
+      t4 += i.block.tasks;
+  EXPECT_EQ(t4, 4 * t1);
+}
+
+TEST(Compiler, RejectsMismatchedProfile) {
+  const auto net = workload::tiny_workload();
+  const auto wrong = SparsityProfile::dense(workload::alexnet_cifar());
+  EXPECT_THROW(compiler::compile(net, wrong), ContractError);
+}
+
+TEST(Accelerator, RunsTinyWorkload) {
+  const auto net = workload::tiny_workload();
+  const auto profile = SparsityProfile::natural(net);
+  const auto prog = compiler::compile(net, profile);
+  Accelerator accel(ArchConfig{});
+  const SimReport report = accel.run(prog, net, profile);
+  EXPECT_GT(report.total_cycles, 0u);
+  EXPECT_GT(report.activity.macs, 0u);
+  EXPECT_GT(report.energy.total_pj(), 0.0);
+  EXPECT_EQ(report.stages.size(), 5u);  // 2×Forward + 1×GTA + 2×GTW
+}
+
+TEST(Accelerator, DeterministicForSameSeed) {
+  const auto net = workload::tiny_workload();
+  const auto profile = SparsityProfile::natural(net);
+  const auto prog = compiler::compile(net, profile);
+  Accelerator a(ArchConfig{}), b(ArchConfig{});
+  const auto ra = a.run(prog, net, profile);
+  const auto rb = b.run(prog, net, profile);
+  EXPECT_EQ(ra.total_cycles, rb.total_cycles);
+  EXPECT_EQ(ra.activity.macs, rb.activity.macs);
+}
+
+TEST(Accelerator, MorePesReduceLatency) {
+  const auto net = workload::alexnet_cifar();
+  const auto profile = SparsityProfile::natural(net);
+  const auto prog = compiler::compile(net, profile);
+  ArchConfig small;
+  small.pe_groups = 14;
+  ArchConfig large;
+  large.pe_groups = 56;
+  const auto rs = Accelerator(small).run(prog, net, profile);
+  const auto rl = Accelerator(large).run(prog, net, profile);
+  EXPECT_GT(rs.total_cycles, rl.total_cycles);
+}
+
+TEST(Accelerator, SparsityReducesCyclesAndEnergy) {
+  const auto net = workload::alexnet_cifar();
+  const auto dense_p = SparsityProfile::dense(net);
+  const auto sparse_p = SparsityProfile::pruned(net, 0.9, 0.45);
+  Accelerator accel(ArchConfig{});
+  const auto dense_prog = compiler::compile(net, dense_p);
+  const auto sparse_prog = compiler::compile(net, sparse_p);
+  const auto rd = accel.run(dense_prog, net, dense_p);
+  const auto rs = accel.run(sparse_prog, net, sparse_p);
+  EXPECT_LT(rs.total_cycles, rd.total_cycles);
+  EXPECT_LT(rs.energy.total_pj(), rd.energy.total_pj());
+}
+
+TEST(Baseline, DenseModeRequired) {
+  sim::ArchConfig cfg = baseline::eyeriss_like_config();
+  cfg.sparse = true;
+  EXPECT_THROW(baseline::EyerissLikeBaseline{cfg}, ContractError);
+}
+
+TEST(Baseline, MatchesPaperPeBudget) {
+  const auto cfg = baseline::eyeriss_like_config();
+  EXPECT_EQ(cfg.pe_groups * cfg.pes_per_group, 168u);
+  EXPECT_EQ(cfg.buffer_bytes, 386u * 1024u);
+  EXPECT_FALSE(cfg.sparse);
+}
+
+TEST(Session, SpeedupAboveOneWithSparsity) {
+  core::Session session;
+  const auto net = workload::alexnet_cifar();
+  const auto profile = SparsityProfile::pruned(net, 0.9, 0.45);
+  const auto result = session.compare(net, profile);
+  EXPECT_GT(result.speedup(), 1.0);
+  EXPECT_GT(result.energy_efficiency(), 1.0);
+  // Sanity ceiling: cannot be faster than the density reduction allows.
+  EXPECT_LT(result.speedup(), 25.0);
+}
+
+TEST(Session, DenseProfileGivesNoSpeedup) {
+  core::Session session;
+  const auto net = workload::alexnet_cifar();
+  const auto dense_p = SparsityProfile::dense(net);
+  const auto result = session.compare(net, dense_p);
+  // Same dense work on both architectures → ratio near 1.
+  EXPECT_NEAR(result.speedup(), 1.0, 0.15);
+}
+
+TEST(Session, BaselineSramShareMatchesPaperBand) {
+  // The paper reports 62–71% of baseline (on-chip) energy from SRAM
+  // accesses; allow a slightly wider band for our calibration.
+  core::Session session;
+  for (const auto& net :
+       {workload::alexnet_cifar(), workload::resnet18_cifar()}) {
+    const auto report = session.run_dense(net);
+    const double share = report.energy.sram_pj / report.energy.on_chip_pj();
+    EXPECT_GT(share, 0.55) << net.name;
+    EXPECT_LT(share, 0.78) << net.name;
+  }
+}
+
+}  // namespace
+}  // namespace sparsetrain::sim
