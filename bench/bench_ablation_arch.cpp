@@ -4,11 +4,16 @@
 // the buffer size (the paper fixes 386 KB) and reports SparseTrain latency
 // and speedup over the equally-provisioned dense baseline, on
 // ResNet-18/CIFAR with the Table II p=90% profile.
+//
+// Every swept architecture is registered as a named backend and the whole
+// sweep is two submit() calls; the ProgramCache compiles each (net,
+// profile) once however many architectures run it.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "baseline/eyeriss_like.hpp"
-#include "compiler/compiler.hpp"
-#include "sim/accelerator.hpp"
+#include "core/session.hpp"
 #include "util/table.hpp"
 #include "workload/layer_config.hpp"
 #include "workload/sparsity_profile.hpp"
@@ -22,30 +27,21 @@ int main() {
       workload::paper_table2_do_density(workload::ModelFamily::ResNet, false,
                                         0.9),
       "table2-p90");
-  const auto dense_profile = workload::SparsityProfile::dense(net);
-  const auto sparse_prog = compiler::compile(net, profile);
-  const auto dense_prog = compiler::compile(net, dense_profile);
 
-  std::printf(
-      "Architecture scaling ablation on ResNet-18/CIFAR (p=90%% profile).\n\n"
-      "PE-group sweep (3 PEs per group, 386 KB buffer):\n");
-  TextTable pe_table({"PE groups", "PEs", "SparseTrain cycles", "speedup",
-                      "PE utilisation"});
-  for (std::size_t groups : {14u, 28u, 56u, 112u, 224u}) {
-    sim::ArchConfig sc;
+  core::Session session;
+  const std::vector<std::size_t> group_counts = {14, 28, 56, 112, 224};
+  std::vector<std::string> pe_backends;
+  for (const std::size_t groups : group_counts) {
+    sim::ArchConfig sc = session.config().sparse_arch;
     sc.pe_groups = groups;
     sim::ArchConfig dc = baseline::eyeriss_like_config();
     dc.pe_groups = groups;
-    const auto rs = sim::Accelerator(sc).run(sparse_prog, net, profile);
-    const auto rd = sim::Accelerator(dc).run(dense_prog, net, dense_profile);
-    pe_table.add_row(
-        {std::to_string(groups), std::to_string(groups * 3),
-         std::to_string(rs.total_cycles),
-         TextTable::times(static_cast<double>(rd.total_cycles) /
-                          static_cast<double>(rs.total_cycles)),
-         TextTable::pct(rs.utilization(groups * 3), 0)});
+    const std::string tag = "g" + std::to_string(groups);
+    session.backends().register_arch("sparse-" + tag, sc);
+    session.backends().register_arch("dense-" + tag, dc);
+    pe_backends.push_back("sparse-" + tag);
+    pe_backends.push_back("dense-" + tag);
   }
-  std::printf("%s\n", pe_table.to_string().c_str());
 
   // The CIFAR workload fits in every buffer size, so sweep the buffer on
   // the ImageNet-scale workload where working sets actually spill.
@@ -55,29 +51,65 @@ int main() {
       workload::paper_table2_do_density(workload::ModelFamily::ResNet, true,
                                         0.9),
       "table2-p90");
-  const auto big_dense_profile = workload::SparsityProfile::dense(big_net);
-  const auto big_sparse_prog = compiler::compile(big_net, big_profile);
-  const auto big_dense_prog = compiler::compile(big_net, big_dense_profile);
+  const std::vector<std::size_t> buffer_kbs = {48, 96, 192, 386, 772, 1544};
+  std::vector<std::string> buf_backends;
+  for (const std::size_t kb : buffer_kbs) {
+    sim::ArchConfig sc = session.config().sparse_arch;
+    sc.buffer_bytes = kb * 1024;
+    sim::ArchConfig dc = baseline::eyeriss_like_config();
+    dc.buffer_bytes = kb * 1024;
+    const std::string tag = "b" + std::to_string(kb);
+    session.backends().register_arch("sparse-" + tag, sc);
+    session.backends().register_arch("dense-" + tag, dc);
+    buf_backends.push_back("sparse-" + tag);
+    buf_backends.push_back("dense-" + tag);
+  }
+
+  // Registration done — submit both sweeps (the registry contract is
+  // register-everything, then submit).
+  const auto pe_job = session.submit(net, profile, pe_backends);
+  const auto buf_job = session.submit(big_net, big_profile, buf_backends);
+
+  std::printf(
+      "Architecture scaling ablation on ResNet-18/CIFAR (p=90%% profile).\n\n"
+      "PE-group sweep (3 PEs per group, 386 KB buffer):\n");
+  TextTable pe_table({"PE groups", "PEs", "SparseTrain cycles", "speedup",
+                      "PE utilisation"});
+  const core::EvalResult& pe_result = session.wait(pe_job);
+  for (const std::size_t groups : group_counts) {
+    const std::string tag = "g" + std::to_string(groups);
+    const auto& rs = pe_result.report("sparse-" + tag);
+    pe_table.add_row(
+        {std::to_string(groups), std::to_string(groups * 3),
+         std::to_string(rs.total_cycles),
+         TextTable::times(
+             pe_result.cycle_ratio("dense-" + tag, "sparse-" + tag)),
+         TextTable::pct(rs.utilization(), 0)});
+  }
+  std::printf("%s\n", pe_table.to_string().c_str());
 
   std::printf("Buffer sweep on ResNet-18/ImageNet (56 groups; working sets\n"
               "that spill refetch weights from DRAM):\n");
   TextTable buf_table({"buffer KB", "SparseTrain DRAM uJ", "baseline DRAM uJ",
                        "baseline/SparseTrain DRAM"});
-  for (std::size_t kb : {48u, 96u, 192u, 386u, 772u, 1544u}) {
-    sim::ArchConfig sc;
-    sc.buffer_bytes = kb * 1024;
-    sim::ArchConfig dc = baseline::eyeriss_like_config();
-    dc.buffer_bytes = kb * 1024;
-    const auto rs =
-        sim::Accelerator(sc).run(big_sparse_prog, big_net, big_profile);
-    const auto rd = sim::Accelerator(dc).run(big_dense_prog, big_net,
-                                             big_dense_profile);
+  const core::EvalResult& buf_result = session.wait(buf_job);
+  for (const std::size_t kb : buffer_kbs) {
+    const std::string tag = "b" + std::to_string(kb);
+    const auto& rs = buf_result.report("sparse-" + tag);
+    const auto& rd = buf_result.report("dense-" + tag);
     buf_table.add_row(
         {std::to_string(kb), TextTable::num(rs.energy.dram_pj * 1e-6, 1),
          TextTable::num(rd.energy.dram_pj * 1e-6, 1),
          TextTable::times(rd.energy.dram_pj / rs.energy.dram_pj)});
   }
   std::printf("%s\n", buf_table.to_string().c_str());
+
+  const auto stats = session.program_cache().stats();
+  std::printf(
+      "program cache: %zu compiles for %zu program requests across %zu "
+      "backend runs.\n\n",
+      stats.misses, stats.lookups(),
+      pe_result.runs.size() + buf_result.runs.size());
   std::printf(
       "Reading: speedup is roughly flat across PE counts (both sides\n"
       "scale), utilisation drops as groups outnumber ready tasks for the\n"

@@ -4,11 +4,13 @@
 // per-sample metrics are stable across batch sizes (more samples per
 // iteration = more tasks per layer stage, which if anything improves load
 // balance), i.e. the Fig. 8/9 numbers are not an artefact of batch = 1.
+//
+// Each batch size is one job with a per-job batch override; all five jobs
+// evaluate in parallel on the Session pool.
 #include <cstdio>
+#include <vector>
 
-#include "baseline/eyeriss_like.hpp"
-#include "compiler/compiler.hpp"
-#include "sim/accelerator.hpp"
+#include "core/session.hpp"
 #include "util/table.hpp"
 #include "workload/layer_config.hpp"
 #include "workload/sparsity_profile.hpp"
@@ -22,30 +24,35 @@ int main() {
       workload::paper_table2_do_density(workload::ModelFamily::ResNet, false,
                                         0.9),
       "table2-p90");
-  const auto dense_profile = workload::SparsityProfile::dense(net);
+
+  core::Session session;
+  const std::vector<std::size_t> batches = {1, 2, 4, 8, 16};
+  std::vector<core::Session::JobHandle> jobs;
+  for (const std::size_t batch : batches) {
+    core::Session::JobOptions opts;
+    opts.batch = batch;
+    jobs.push_back(session.submit(
+        net, profile,
+        {core::Session::kSparseBackend, core::Session::kDenseBackend}, opts));
+  }
 
   std::printf(
       "Batch-size ablation on ResNet-18/CIFAR: per-sample latency and\n"
       "speedup vs minibatch size (168 PEs, 386 KB).\n\n");
   TextTable table({"batch", "SparseTrain ms/sample", "baseline ms/sample",
                    "speedup", "PE utilisation"});
-  for (std::size_t batch : {1u, 2u, 4u, 8u, 16u}) {
-    compiler::CompileOptions opts;
-    opts.batch = batch;
-    const auto sparse_prog = compiler::compile(net, profile, opts);
-    const auto dense_prog = compiler::compile(net, dense_profile, opts);
-    const sim::Accelerator sparse_accel{sim::ArchConfig{}};
-    const baseline::EyerissLikeBaseline dense_accel;
-    const auto rs = sparse_accel.run(sparse_prog, net, profile);
-    const auto rd = dense_accel.run(dense_prog, net, dense_profile);
-    const double per_sample = static_cast<double>(batch);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const core::EvalResult& r = session.wait(jobs[i]);
+    const auto& rs = r.report(core::Session::kSparseBackend);
+    const auto& rd = r.report(core::Session::kDenseBackend);
+    const double per_sample = static_cast<double>(batches[i]);
     table.add_row(
-        {std::to_string(batch),
+        {std::to_string(batches[i]),
          TextTable::num(rs.latency_ms() / per_sample, 3),
          TextTable::num(rd.latency_ms() / per_sample, 3),
-         TextTable::times(static_cast<double>(rd.total_cycles) /
-                          static_cast<double>(rs.total_cycles)),
-         TextTable::pct(rs.utilization(168), 0)});
+         TextTable::times(r.cycle_ratio(core::Session::kDenseBackend,
+                                        core::Session::kSparseBackend)),
+         TextTable::pct(rs.utilization(), 0)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf(

@@ -2,12 +2,15 @@
 // (combinational logic, registers, SRAM; DRAM reported separately), for
 // the dense baseline and SparseTrain, plus the energy-efficiency ratio and
 // the paper's headline reduction percentages.
+//
+// Jobs are submitted to the Session up front and evaluated in parallel;
+// the per-backend reports (with stage breakdowns) are exported as JSON.
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
+#include "core/export.hpp"
 #include "core/session.hpp"
-#include "util/csv.hpp"
 #include "util/table.hpp"
 #include "workload/layer_config.hpp"
 #include "workload/sparsity_profile.hpp"
@@ -37,49 +40,47 @@ int main() {
   };
 
   core::Session session;
-  TextTable table({"workload", "arch", "Comb uJ", "Reg uJ", "SRAM uJ",
-                   "on-chip uJ", "DRAM uJ", "SRAM share"});
-  CsvWriter csv("fig9_energy.csv",
-                {"workload", "arch", "comb_uj", "reg_uj", "sram_uj",
-                 "dram_uj", "efficiency"});
-
-  double log_eff_sum = 0.0;
-  double min_eff = 1e9, max_eff = 0.0;
-  double min_sram_red = 1.0, max_sram_red = 0.0;
-  double min_comb_red = 1.0, max_comb_red = 0.0;
-
+  std::vector<core::Session::JobHandle> jobs;
   for (const auto& w : workloads) {
     const auto profile = workload::SparsityProfile::calibrated(
         w.net, workload::paper_act_density(w.family),
         workload::paper_table2_do_density(w.family, w.imagenet, 0.9),
         "table2-p90");
-    const auto r = session.compare(w.net, profile);
+    jobs.push_back(session.submit(
+        w.net, profile,
+        {core::Session::kSparseBackend, core::Session::kDenseBackend}));
+  }
 
-    auto add = [&](const char* arch, const sim::EnergyBreakdown& e,
-                   double eff) {
-      table.add_row({w.net.name, arch, TextTable::num(e.comb_pj * 1e-6, 1),
+  TextTable table({"workload", "arch", "Comb uJ", "Reg uJ", "SRAM uJ",
+                   "on-chip uJ", "DRAM uJ", "SRAM share"});
+  double log_eff_sum = 0.0;
+  double min_eff = 1e9, max_eff = 0.0;
+  double min_sram_red = 1.0, max_sram_red = 0.0;
+  double min_comb_red = 1.0, max_comb_red = 0.0;
+
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const core::EvalResult& r = session.wait(jobs[i]);
+    const auto& sparse = r.report(core::Session::kSparseBackend).energy;
+    const auto& dense = r.report(core::Session::kDenseBackend).energy;
+
+    auto add = [&](const char* arch, const sim::EnergyBreakdown& e) {
+      table.add_row({r.net.name, arch, TextTable::num(e.comb_pj * 1e-6, 1),
                      TextTable::num(e.reg_pj * 1e-6, 1),
                      TextTable::num(e.sram_pj * 1e-6, 1),
                      TextTable::num(e.on_chip_pj() * 1e-6, 1),
                      TextTable::num(e.dram_pj * 1e-6, 1),
                      TextTable::pct(e.sram_pj / e.on_chip_pj(), 0)});
-      csv.add_row({w.net.name, arch, TextTable::num(e.comb_pj * 1e-6, 3),
-                   TextTable::num(e.reg_pj * 1e-6, 3),
-                   TextTable::num(e.sram_pj * 1e-6, 3),
-                   TextTable::num(e.dram_pj * 1e-6, 3),
-                   TextTable::num(eff, 3)});
     };
-    const double eff = r.energy_efficiency();
-    add("baseline", r.dense.energy, 1.0);
-    add("SparseTrain", r.sparse.energy, eff);
+    add("baseline", dense);
+    add("SparseTrain", sparse);
 
+    const double eff = r.energy_ratio(core::Session::kDenseBackend,
+                                      core::Session::kSparseBackend);
     log_eff_sum += std::log(eff);
     min_eff = std::min(min_eff, eff);
     max_eff = std::max(max_eff, eff);
-    const double sram_red =
-        1.0 - r.sparse.energy.sram_pj / r.dense.energy.sram_pj;
-    const double comb_red =
-        1.0 - r.sparse.energy.comb_pj / r.dense.energy.comb_pj;
+    const double sram_red = 1.0 - sparse.sram_pj / dense.sram_pj;
+    const double comb_red = 1.0 - sparse.comb_pj / dense.comb_pj;
     min_sram_red = std::min(min_sram_red, sram_red);
     max_sram_red = std::max(max_sram_red, sram_red);
     min_comb_red = std::min(min_comb_red, comb_red);
@@ -96,6 +97,9 @@ int main() {
               min_sram_red * 100.0, max_sram_red * 100.0);
   std::printf("Comb energy reduction: %.0f%%-%.0f%% (paper: 53%%-88%%)\n",
               min_comb_red * 100.0, max_comb_red * 100.0);
-  std::printf("CSV written to fig9_energy.csv.\n");
+
+  core::export_json(session.results(), "fig9_energy.json");
+  std::printf("per-backend JSON (with stage breakdowns) written to "
+              "fig9_energy.json.\n");
   return 0;
 }

@@ -1,7 +1,7 @@
-// Quickstart: evaluate a workload on SparseTrain vs the dense baseline.
+// Quickstart: evaluate a workload through the Session evaluation service.
 //
 // Build and run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/example_quickstart
 #include <cstdio>
 
@@ -21,20 +21,43 @@ int main() {
   const auto profile = workload::SparsityProfile::pruned(net, /*p=*/0.9,
                                                          /*act_density=*/0.45);
 
-  // 3. Compare: compiles the workload to the accelerator ISA, runs the
-  //    cycle-level SparseTrain simulator and the Eyeriss-like dense
-  //    baseline (both 168 PEs, 386 KB buffer).
+  // 3. A Session comes with "sparsetrain" (168 PEs, 386 KB, sparse
+  //    semantics) and "eyeriss-dense" (same budget, sparsity-blind)
+  //    registered. Any ArchConfig variant can join the registry — here a
+  //    half-array SparseTrain for scale comparison.
   core::Session session;
-  const core::ComparisonResult result = session.compare(net, profile);
+  sim::ArchConfig half = session.config().sparse_arch;
+  half.name = "SparseTrain-28g";
+  half.pe_groups = 28;
+  session.backends().register_arch("sparsetrain-28g", half);
 
-  std::printf("workload: %s\n", net.name.c_str());
-  std::printf("  dense baseline : %8.3f ms/sample, %8.1f uJ on-chip\n",
-              result.dense_latency_ms(),
-              result.dense.energy.on_chip_pj() * 1e-6);
-  std::printf("  SparseTrain    : %8.3f ms/sample, %8.1f uJ on-chip\n",
-              result.sparse_latency_ms(),
-              result.sparse.energy.on_chip_pj() * 1e-6);
-  std::printf("  speedup %.2fx, energy efficiency %.2fx\n", result.speedup(),
-              result.energy_efficiency());
+  // 4. Submit the workload against all three backends. The job runs on
+  //    the session's thread pool; the compiler runs once per distinct
+  //    (net, profile) — both sparse backends share one compiled program.
+  const auto job = session.submit(
+      net, profile, {"sparsetrain", "eyeriss-dense", "sparsetrain-28g"});
+  const core::EvalResult& r = session.wait(job);
+
+  std::printf("workload: %s  (profile: %s)\n", net.name.c_str(),
+              profile.name().c_str());
+  for (const auto& run : r.runs) {
+    std::printf("  %-16s %8.3f ms/sample, %8.1f uJ on-chip, util %3.0f%%\n",
+                run.backend.c_str(), run.report.latency_ms(),
+                run.report.energy.on_chip_pj() * 1e-6,
+                run.report.utilization() * 100.0);
+  }
+  std::printf("  speedup %.2fx, energy efficiency %.2fx\n",
+              r.cycle_ratio("eyeriss-dense", "sparsetrain"),
+              r.energy_ratio("eyeriss-dense", "sparsetrain"));
+
+  // 5. The classic two-way comparison is a thin wrapper over the same
+  //    path — and hits the program cache, so nothing recompiles.
+  const core::ComparisonResult result = session.compare(net, profile);
+  const auto stats = session.program_cache().stats();
+  std::printf(
+      "\ncompare(): speedup %.2fx, energy efficiency %.2fx\n"
+      "program cache: %zu compiles for %zu program requests\n",
+      result.speedup(), result.energy_efficiency(), stats.misses,
+      stats.lookups());
   return 0;
 }

@@ -42,7 +42,7 @@ int main() {
               "on-chip, PE utilisation %.0f%%\n",
               report.total_cycles, report.latency_ms(), report.clock_ghz,
               report.energy.on_chip_pj() * 1e-6,
-              report.utilization(168) * 100);
+              report.utilization() * 100);
 
   if (sim::write_chrome_trace(report, "alexnet_trace.json")) {
     std::printf(

@@ -1,0 +1,128 @@
+#include "core/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain::core {
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void report_json(std::ostream& out, const sim::SimReport& r,
+                 const std::string& indent) {
+  out << indent << "{\"backend\": \"" << json_escape(r.backend) << "\",\n"
+      << indent << " \"arch\": \"" << json_escape(r.arch_name) << "\",\n"
+      << indent << " \"program\": \"" << json_escape(r.program_name)
+      << "\",\n"
+      << indent << " \"profile\": \"" << json_escape(r.profile_name)
+      << "\",\n"
+      << indent << " \"clock_ghz\": " << num(r.clock_ghz) << ",\n"
+      << indent << " \"total_pes\": " << r.total_pes << ",\n"
+      << indent << " \"total_cycles\": " << r.total_cycles << ",\n"
+      << indent << " \"latency_ms\": " << num(r.latency_ms()) << ",\n"
+      << indent << " \"utilization\": " << num(r.utilization()) << ",\n"
+      << indent << " \"energy_pj\": {\"comb\": " << num(r.energy.comb_pj)
+      << ", \"reg\": " << num(r.energy.reg_pj)
+      << ", \"sram\": " << num(r.energy.sram_pj)
+      << ", \"dram\": " << num(r.energy.dram_pj) << "},\n"
+      << indent << " \"stages\": [";
+  for (std::size_t i = 0; i < r.stages.size(); ++i) {
+    const auto& s = r.stages[i];
+    if (i) out << ", ";
+    out << "{\"layer\": \"" << json_escape(s.layer_name) << "\", \"stage\": \""
+        << isa::stage_name(s.stage) << "\", \"cycles\": " << s.cycles
+        << ", \"on_chip_pj\": " << num(s.energy.on_chip_pj()) << '}';
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+std::vector<std::string> csv_header() {
+  return {"workload",    "profile",   "backend",    "arch",
+          "total_cycles", "latency_ms", "utilization", "comb_uj",
+          "reg_uj",      "sram_uj",   "on_chip_uj", "dram_uj"};
+}
+
+void export_csv(const std::vector<EvalResult>& results, std::ostream& out) {
+  CsvWriter csv(out, csv_header());
+  for (const auto& job : results) {
+    for (const auto& run : job.runs) {
+      const auto& r = run.report;
+      // The report's own profile, not the job's: dense backends run an
+      // all-dense profile whatever the job submitted (matches the JSON).
+      csv.add_row({job.net.name, r.profile_name, run.backend, r.arch_name,
+                   std::to_string(r.total_cycles), num(r.latency_ms()),
+                   num(r.utilization()), num(r.energy.comb_pj * 1e-6),
+                   num(r.energy.reg_pj * 1e-6), num(r.energy.sram_pj * 1e-6),
+                   num(r.energy.on_chip_pj() * 1e-6),
+                   num(r.energy.dram_pj * 1e-6)});
+    }
+  }
+}
+
+void export_csv(const std::vector<EvalResult>& results,
+                const std::string& path) {
+  std::ofstream out(path);
+  ST_REQUIRE(static_cast<bool>(out), "cannot open '" + path + "'");
+  export_csv(results, out);
+}
+
+void export_json(const std::vector<EvalResult>& results, std::ostream& out) {
+  out << "[\n";
+  for (std::size_t j = 0; j < results.size(); ++j) {
+    const auto& job = results[j];
+    out << " {\"workload\": \"" << json_escape(job.net.name)
+        << "\", \"profile\": \"" << json_escape(job.profile_name)
+        << "\", \"runs\": [\n";
+    for (std::size_t i = 0; i < job.runs.size(); ++i) {
+      report_json(out, job.runs[i].report, "   ");
+      if (i + 1 < job.runs.size()) out << ',';
+      out << '\n';
+    }
+    out << " ]}" << (j + 1 < results.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+}
+
+void export_json(const std::vector<EvalResult>& results,
+                 const std::string& path) {
+  std::ofstream out(path);
+  ST_REQUIRE(static_cast<bool>(out), "cannot open '" + path + "'");
+  export_json(results, out);
+}
+
+}  // namespace sparsetrain::core

@@ -1,9 +1,25 @@
 #include "core/session.hpp"
 
-#include "compiler/compiler.hpp"
+#include <utility>
+
+#include "baseline/eyeriss_like.hpp"
+#include "util/hash.hpp"
 #include "util/require.hpp"
 
 namespace sparsetrain::core {
+
+namespace {
+
+/// splitmix64 finaliser — decorrelates (seed, program, backend) triples
+/// into independent scheduling streams.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 SessionConfig::SessionConfig()
     : baseline_arch(baseline::eyeriss_like_config()) {
@@ -11,8 +27,45 @@ SessionConfig::SessionConfig()
   sparse_arch.sparse = true;
 }
 
+bool EvalResult::has(const std::string& backend) const {
+  for (const auto& r : runs)
+    if (r.backend == backend) return true;
+  return false;
+}
+
+const sim::SimReport& EvalResult::report(const std::string& backend) const {
+  for (const auto& r : runs)
+    if (r.backend == backend) return r.report;
+  ST_REQUIRE(false, "job has no result for backend '" + backend + "'");
+  __builtin_unreachable();
+}
+
+double EvalResult::cycle_ratio(const std::string& numerator,
+                               const std::string& denominator) const {
+  const auto& num = report(numerator);
+  const auto& den = report(denominator);
+  ST_REQUIRE(den.total_cycles > 0,
+             "'" + denominator + "' run produced no cycles");
+  ST_REQUIRE(num.total_cycles > 0,
+             "'" + numerator + "' run produced no cycles");
+  return static_cast<double>(num.total_cycles) /
+         static_cast<double>(den.total_cycles);
+}
+
+double EvalResult::energy_ratio(const std::string& numerator,
+                                const std::string& denominator) const {
+  const auto& num = report(numerator);
+  const auto& den = report(denominator);
+  ST_REQUIRE(den.energy.on_chip_pj() > 0.0,
+             "'" + denominator + "' run produced no energy");
+  ST_REQUIRE(num.energy.on_chip_pj() > 0.0,
+             "'" + numerator + "' run produced no energy");
+  return num.energy.on_chip_pj() / den.energy.on_chip_pj();
+}
+
 double ComparisonResult::speedup() const {
   ST_REQUIRE(sparse.total_cycles > 0, "sparse run produced no cycles");
+  ST_REQUIRE(dense.total_cycles > 0, "dense run produced no cycles");
   return static_cast<double>(dense.total_cycles) /
          static_cast<double>(sparse.total_cycles);
 }
@@ -20,6 +73,8 @@ double ComparisonResult::speedup() const {
 double ComparisonResult::energy_efficiency() const {
   ST_REQUIRE(sparse.energy.on_chip_pj() > 0.0,
              "sparse run produced no energy");
+  ST_REQUIRE(dense.energy.on_chip_pj() > 0.0,
+             "dense run produced no energy");
   // The paper's Fig. 9 breakdown covers the synthesised design + buffer
   // (combinational, register, SRAM); off-chip DRAM is outside the design
   // and identical pressure-wise for both sides, so the efficiency claim is
@@ -28,37 +83,219 @@ double ComparisonResult::energy_efficiency() const {
 }
 
 Session::Session(SessionConfig cfg)
-    : cfg_(std::move(cfg)),
-      sparse_accel_(cfg_.sparse_arch),
-      baseline_(cfg_.baseline_arch) {
+    : cfg_(std::move(cfg)), pool_(cfg_.workers) {
   ST_REQUIRE(cfg_.batch > 0, "batch must be positive");
+  ST_REQUIRE(cfg_.sparse_arch.sparse,
+             "the sparse architecture must have sparse semantics");
+  ST_REQUIRE(!cfg_.baseline_arch.sparse,
+             "the baseline must run in dense mode");
+  registry_.register_arch(kSparseBackend, cfg_.sparse_arch);
+  registry_.register_arch(kDenseBackend, cfg_.baseline_arch);
 }
 
-ComparisonResult Session::compare(
+Session::~Session() {
+  // Let in-flight jobs finish before members they reference are torn
+  // down; task errors die with their futures.
+  pool_.wait_idle();
+}
+
+Session::JobHandle Session::submit(
     const workload::NetworkConfig& net,
-    const workload::SparsityProfile& profile) const {
+    const workload::SparsityProfile& profile,
+    const std::vector<std::string>& backend_names) {
+  return submit(net, profile, backend_names, JobOptions{});
+}
+
+Session::JobHandle Session::submit(
+    const workload::NetworkConfig& net,
+    const workload::SparsityProfile& profile,
+    const std::vector<std::string>& backend_names,
+    const JobOptions& options) {
+  // Build the job completely before publishing it, so a concurrent
+  // wait()/results() can never observe a half-submitted job. The Job is
+  // heap-allocated, so its address is stable for the running tasks.
+  auto job = std::make_unique<Job>();
+  start_job(*job, net, profile, backend_names, options);
+
+  JobHandle handle;
+  std::lock_guard lock(jobs_mu_);
+  handle.id = jobs_.size();
+  jobs_.push_back(std::move(job));
+  return handle;
+}
+
+void Session::start_job(Job& job, const workload::NetworkConfig& net,
+                        const workload::SparsityProfile& profile,
+                        const std::vector<std::string>& backend_names,
+                        const JobOptions& options) {
+  ST_REQUIRE(!backend_names.empty(), "job needs at least one backend");
+  ST_REQUIRE(profile.size() == net.layers.size(),
+             "profile does not match network");
+
+  // Resolve names up front so bad submissions fail on the caller's
+  // thread, not inside the pool.
+  std::vector<std::shared_ptr<const sim::Backend>> backends;
+  backends.reserve(backend_names.size());
+  for (const auto& name : backend_names) {
+    auto b = registry_.find(name);
+    ST_REQUIRE(b != nullptr, "no backend registered under '" + name + "'");
+    for (const auto& seen : backends) {
+      ST_REQUIRE(seen->name() != name,
+                 "backend '" + name + "' listed twice in one job");
+    }
+    backends.push_back(std::move(b));
+  }
+
+  compiler::CompileOptions copts;
+  copts.batch = options.batch != 0 ? options.batch : cfg_.batch;
+
+  // Shared immutable inputs for the worker tasks. The dense profile is
+  // materialised once per job and shared by every dense backend.
+  auto shared_net = std::make_shared<const workload::NetworkConfig>(net);
+  auto shared_profile =
+      std::make_shared<const workload::SparsityProfile>(profile);
+  std::shared_ptr<const workload::SparsityProfile> shared_dense;
+  for (const auto& b : backends) {
+    if (!b->sparse()) {
+      shared_dense = std::make_shared<const workload::SparsityProfile>(
+          workload::SparsityProfile::dense(net));
+      break;
+    }
+  }
+
+  job.result.net = net;
+  job.result.profile_name = profile.name();
+  job.result.runs.resize(backends.size());
+
+  // Seed from the evaluation's *content* (compiler inputs + backend
+  // name), not from submission order: identical evaluations reproduce
+  // bit-exactly anywhere in any session, and adding or reordering
+  // unrelated jobs in a driver cannot shift published numbers. At most
+  // two distinct fingerprints exist per job (submitted + dense profile);
+  // each is computed only if a backend of that kind is present.
+  bool any_sparse = false;
+  for (const auto& b : backends) any_sparse |= b->sparse();
+  const std::uint64_t sparse_fp =
+      any_sparse ? mix(cfg_.seed, compiler::ProgramCache::fingerprint(
+                                      *shared_net, *shared_profile, copts))
+                 : 0;
+  const std::uint64_t dense_fp =
+      shared_dense ? mix(cfg_.seed, compiler::ProgramCache::fingerprint(
+                                        *shared_net, *shared_dense, copts))
+                   : 0;
+
+  try {
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      auto backend = backends[i];
+      auto run_profile = backend->sparse() ? shared_profile : shared_dense;
+      const std::uint64_t seed = mix(backend->sparse() ? sparse_fp : dense_fp,
+                                     fnv1a(backend->name()));
+      job.result.runs[i].backend = backend->name();
+      // Each task writes only its own pre-sized slot, so no result lock
+      // is needed; completion is ordered by the futures.
+      job.pending.push_back(pool_.submit(
+          [this, backend = std::move(backend), shared_net,
+           run_profile = std::move(run_profile), copts, seed,
+           out = &job.result.runs[i]] {
+            const auto program = cache_.get(*shared_net, *run_profile, copts);
+            out->report =
+                backend->run(*program, *shared_net, *run_profile, seed);
+          }));
+    }
+  } catch (...) {
+    // Record a half-enqueued job as a sticky error (surfaced by the next
+    // collect) rather than throwing past tasks that already reference
+    // this job's storage.
+    job.error = std::current_exception();
+  }
+}
+
+Session::Job& Session::job_at(const JobHandle& handle) {
+  std::lock_guard lock(jobs_mu_);
+  ST_REQUIRE(handle.valid() && handle.id < jobs_.size(),
+             "unknown job handle");
+  return *jobs_[handle.id];
+}
+
+void Session::collect(Job& job) {
+  std::lock_guard lock(job.mu);
+  if (!job.collected) {
+    // Drain every future even when one throws, so no task is left
+    // running (or its error lost) behind a failed sibling.
+    for (auto& f : job.pending) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+    job.pending.clear();
+    job.collected = true;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+const EvalResult& Session::wait(const JobHandle& handle) {
+  Job& job = job_at(handle);
+  collect(job);
+  return job.result;
+}
+
+EvalResult Session::evaluate_now(
+    const workload::NetworkConfig& net,
+    const workload::SparsityProfile& profile,
+    const std::vector<std::string>& backend_names) {
+  Job job;  // never registered in jobs_ — retains nothing after return
+  start_job(job, net, profile, backend_names, JobOptions{});
+  collect(job);  // drains every task before `job` dies; rethrows errors
+  return std::move(job.result);
+}
+
+void Session::wait() {
+  std::size_t count = 0;
+  {
+    std::lock_guard lock(jobs_mu_);
+    count = jobs_.size();
+  }
+  for (std::size_t i = 0; i < count; ++i) wait(JobHandle{i});
+}
+
+std::vector<EvalResult> Session::results() {
+  // Snapshot the job count first: jobs submitted by another thread after
+  // this point are neither waited for nor copied half-written.
+  std::size_t count = 0;
+  {
+    std::lock_guard lock(jobs_mu_);
+    count = jobs_.size();
+  }
+  std::vector<EvalResult> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(wait(JobHandle{i}));  // collects before copying
+  }
+  return out;
+}
+
+ComparisonResult Session::compare(const workload::NetworkConfig& net,
+                                  const workload::SparsityProfile& profile) {
+  EvalResult r = evaluate_now(net, profile, {kSparseBackend, kDenseBackend});
   ComparisonResult result;
-  result.net = net;
-  result.sparse = run_sparse(net, profile);
-  result.dense = run_dense(net);
+  result.net = std::move(r.net);
+  result.sparse = r.report(kSparseBackend);
+  result.dense = r.report(kDenseBackend);
   return result;
 }
 
-sim::SimReport Session::run_sparse(
-    const workload::NetworkConfig& net,
-    const workload::SparsityProfile& profile) const {
-  compiler::CompileOptions opts;
-  opts.batch = cfg_.batch;
-  const isa::Program program = compiler::compile(net, profile, opts);
-  return sparse_accel_.run(program, net, profile);
+sim::SimReport Session::run_sparse(const workload::NetworkConfig& net,
+                                   const workload::SparsityProfile& profile) {
+  return evaluate_now(net, profile, {kSparseBackend})
+      .report(kSparseBackend);
 }
 
-sim::SimReport Session::run_dense(const workload::NetworkConfig& net) const {
-  const auto dense_profile = workload::SparsityProfile::dense(net);
-  compiler::CompileOptions opts;
-  opts.batch = cfg_.batch;
-  const isa::Program program = compiler::compile(net, dense_profile, opts);
-  return baseline_.run(program, net, dense_profile);
+sim::SimReport Session::run_dense(const workload::NetworkConfig& net) {
+  return evaluate_now(net, workload::SparsityProfile::dense(net),
+                      {kDenseBackend})
+      .report(kDenseBackend);
 }
 
 }  // namespace sparsetrain::core

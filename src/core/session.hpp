@@ -1,35 +1,92 @@
-// Top-level SparseTrain API.
+// Top-level SparseTrain API: an evaluation service.
 //
-// A Session owns the architecture configurations of the SparseTrain
-// accelerator and the dense baseline and evaluates workloads on both —
-// the comparison behind the paper's Fig. 8 (latency/speedup) and Fig. 9
-// (energy breakdown/efficiency).
+// A Session owns a BackendRegistry of named architectures ("sparsetrain",
+// "eyeriss-dense", plus any ArchConfig variant you register), a
+// ProgramCache that compiles each (network, sparsity profile, options)
+// once, and a fixed-size thread pool that executes submitted jobs in
+// parallel. Every run gets a deterministic seed derived from (session
+// seed, compiler inputs, backend name), so results are a pure function
+// of the inputs — byte-identical whatever the worker count or the order
+// jobs were submitted in.
 //
 // Typical use (see examples/quickstart.cpp):
 //   core::Session session;
 //   auto net = workload::alexnet_cifar();
 //   auto profile = workload::SparsityProfile::pruned(net, 0.9);
+//
+//   // Evaluation service: submit jobs against any registered backends.
+//   sim::ArchConfig half = session.config().sparse_arch;
+//   half.pe_groups = 28;
+//   session.backends().register_arch("sparsetrain-28g", half);
+//   auto job = session.submit(net, profile,
+//                             {"sparsetrain", "eyeriss-dense",
+//                              "sparsetrain-28g"});
+//   const core::EvalResult& r = session.wait(job);
+//   r.report("sparsetrain").latency_ms();
+//   r.cycle_ratio("eyeriss-dense", "sparsetrain");  // the Fig. 8 speedup
+//
+//   // Or the classic two-way comparison (thin wrapper over the same
+//   // path — Fig. 8 latency/speedup, Fig. 9 energy):
 //   auto result = session.compare(net, profile);
-//   result.speedup();            // SparseTrain vs dense baseline
-//   result.energy_efficiency();  // dense baseline energy / SparseTrain
+//   result.speedup();
+//   result.energy_efficiency();
 #pragma once
 
-#include "baseline/eyeriss_like.hpp"
-#include "sim/accelerator.hpp"
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "compiler/program_cache.hpp"
+#include "sim/backend.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/layer_config.hpp"
 #include "workload/sparsity_profile.hpp"
 
 namespace sparsetrain::core {
 
 struct SessionConfig {
-  sim::ArchConfig sparse_arch;            ///< defaults to SparseTrain 168 PE
-  sim::ArchConfig baseline_arch;          ///< defaults to the dense baseline
-  std::size_t batch = 1;                  ///< samples per iteration
+  sim::ArchConfig sparse_arch;    ///< defaults to SparseTrain 168 PE
+  sim::ArchConfig baseline_arch;  ///< defaults to the dense baseline
+  std::size_t batch = 1;          ///< samples per iteration
+  std::size_t workers = 0;        ///< pool size; 0 = hardware concurrency
+  std::uint64_t seed = 1;         ///< base of the per-run seed derivation
 
   SessionConfig();
 };
 
-/// Both simulators' results on one workload.
+/// One backend's report within a job.
+struct BackendRun {
+  std::string backend;
+  sim::SimReport report;
+};
+
+/// Multi-way outcome of one submitted job: one report per requested
+/// backend, in the order the backends were named at submit().
+struct EvalResult {
+  workload::NetworkConfig net;
+  std::string profile_name;
+  std::vector<BackendRun> runs;
+
+  bool has(const std::string& backend) const;
+
+  /// Report of the named backend; throws ContractError when the job was
+  /// not submitted against it.
+  const sim::SimReport& report(const std::string& backend) const;
+
+  /// cycles(numerator) / cycles(denominator) — e.g. the Fig. 8 speedup is
+  /// cycle_ratio("eyeriss-dense", "sparsetrain").
+  double cycle_ratio(const std::string& numerator,
+                     const std::string& denominator) const;
+
+  /// on-chip energy(numerator) / on-chip energy(denominator).
+  double energy_ratio(const std::string& numerator,
+                      const std::string& denominator) const;
+};
+
+/// Both simulators' results on one workload (the classic two-way view).
 struct ComparisonResult {
   workload::NetworkConfig net;
   sim::SimReport sparse;
@@ -38,7 +95,7 @@ struct ComparisonResult {
   /// Training latency improvement (dense cycles / sparse cycles).
   double speedup() const;
 
-  /// Energy improvement (dense total energy / sparse total energy).
+  /// Energy improvement (dense on-chip energy / sparse on-chip energy).
   double energy_efficiency() const;
 
   /// Per-sample latency in milliseconds.
@@ -48,26 +105,114 @@ struct ComparisonResult {
 
 class Session {
  public:
+  /// Names the constructor registers for the two paper architectures.
+  static constexpr const char* kSparseBackend = "sparsetrain";
+  static constexpr const char* kDenseBackend = "eyeriss-dense";
+
+  /// Ticket for a submitted job.
+  struct JobHandle {
+    static constexpr std::size_t kInvalid = static_cast<std::size_t>(-1);
+    std::size_t id = kInvalid;
+    bool valid() const { return id != kInvalid; }
+  };
+
+  /// Per-job overrides.
+  struct JobOptions {
+    std::size_t batch = 0;  ///< samples per iteration; 0 = session default
+  };
+
   explicit Session(SessionConfig cfg = SessionConfig{});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
 
   const SessionConfig& config() const { return cfg_; }
 
+  /// The backend registry. Register ArchConfig variants here before
+  /// submitting against their names.
+  sim::BackendRegistry& backends() { return registry_; }
+  const sim::BackendRegistry& backends() const { return registry_; }
+
+  /// The shared compiled-program cache (hit/miss stats for sweep logs).
+  compiler::ProgramCache& program_cache() { return cache_; }
+
+  /// Enqueues `net`×`profile` against every named backend. Sparse
+  /// backends run the submitted profile; dense backends run an all-dense
+  /// profile (and the matching program), as in the paper's comparison.
+  /// Throws ContractError on unknown backend names. Jobs execute on the
+  /// session's thread pool; results depend only on (session seed,
+  /// evaluation inputs, backend name) — not on worker count or
+  /// submission order.
+  JobHandle submit(const workload::NetworkConfig& net,
+                   const workload::SparsityProfile& profile,
+                   const std::vector<std::string>& backend_names,
+                   const JobOptions& options);
+  JobHandle submit(const workload::NetworkConfig& net,
+                   const workload::SparsityProfile& profile,
+                   const std::vector<std::string>& backend_names);
+
+  /// Blocks until the job finishes; rethrows any job error. The reference
+  /// stays valid for the session's lifetime.
+  const EvalResult& wait(const JobHandle& handle);
+
+  /// Blocks until every submitted job has finished.
+  void wait();
+
+  /// Waits for everything, then returns all results in submit order.
+  std::vector<EvalResult> results();
+
   /// Runs `net` with `profile` on SparseTrain and with a dense profile on
-  /// the baseline.
+  /// the baseline. A thin wrapper over the submit path: the evaluation
+  /// runs on the pool and counts in the program-cache stats, but is a
+  /// one-shot job that is never recorded — nothing accumulates in jobs_
+  /// or results(), so compare() loops stay flat in memory like the
+  /// pre-service API.
   ComparisonResult compare(const workload::NetworkConfig& net,
-                           const workload::SparsityProfile& profile) const;
+                           const workload::SparsityProfile& profile);
 
   /// Runs only the SparseTrain side (for sweeps/ablations).
   sim::SimReport run_sparse(const workload::NetworkConfig& net,
-                            const workload::SparsityProfile& profile) const;
+                            const workload::SparsityProfile& profile);
 
   /// Runs only the dense baseline.
-  sim::SimReport run_dense(const workload::NetworkConfig& net) const;
+  sim::SimReport run_dense(const workload::NetworkConfig& net);
 
  private:
+  struct Job {
+    EvalResult result;
+    std::mutex mu;                           ///< serialises collect()
+    std::vector<std::future<void>> pending;  ///< one per backend run
+    bool collected = false;                  ///< futures already drained
+    std::exception_ptr error;                ///< first task/enqueue error
+  };
+
+  /// Validates inputs and enqueues one task per backend into `job` (whose
+  /// address must be stable until the tasks finish). Validation errors
+  /// throw before any task exists; an enqueue failure is recorded in
+  /// job.error with the already-enqueued tasks left to be drained.
+  void start_job(Job& job, const workload::NetworkConfig& net,
+                 const workload::SparsityProfile& profile,
+                 const std::vector<std::string>& backend_names,
+                 const JobOptions& options);
+
+  /// Runs one unregistered job to completion (the legacy wrappers —
+  /// nothing is retained in jobs_).
+  EvalResult evaluate_now(const workload::NetworkConfig& net,
+                          const workload::SparsityProfile& profile,
+                          const std::vector<std::string>& backend_names);
+
+  Job& job_at(const JobHandle& handle);
+  /// Drains every future (even past the first failure), then rethrows the
+  /// first error — on this and every later wait of the same job.
+  void collect(Job& job);
+
   SessionConfig cfg_;
-  sim::Accelerator sparse_accel_;
-  baseline::EyerissLikeBaseline baseline_;
+  sim::BackendRegistry registry_;
+  compiler::ProgramCache cache_;
+  std::mutex jobs_mu_;  ///< guards jobs_ growth (submit vs. wait)
+  std::vector<std::unique_ptr<Job>> jobs_;
+  util::ThreadPool pool_;  ///< last member: joins before jobs_/cache_ die
 };
 
 }  // namespace sparsetrain::core

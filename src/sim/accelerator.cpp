@@ -125,14 +125,23 @@ Accelerator::Accelerator(ArchConfig cfg) : cfg_(std::move(cfg)) {
 SimReport Accelerator::run(const isa::Program& program,
                            const workload::NetworkConfig& net,
                            const workload::SparsityProfile& profile) const {
+  return run(program, net, profile, cfg_.seed);
+}
+
+SimReport Accelerator::run(const isa::Program& program,
+                           const workload::NetworkConfig& net,
+                           const workload::SparsityProfile& profile,
+                           std::uint64_t seed) const {
   ST_REQUIRE(profile.size() == net.layers.size(),
              "profile does not match network");
-  Rng rng(cfg_.seed);
+  Rng rng(seed);
 
   SimReport report;
   report.program_name = program.name;
   report.arch_name = cfg_.name;
   report.clock_ghz = cfg_.clock_ghz;
+  report.profile_name = profile.name();
+  report.total_pes = total_pes();
 
   std::vector<double> group_load(cfg_.pe_groups, 0.0);
   StageReport stage;

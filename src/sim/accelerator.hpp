@@ -57,10 +57,19 @@ class Accelerator {
 
   /// Executes a compiled program. `net`/`profile` provide the per-layer
   /// tensor footprints and densities needed for the DRAM traffic model and
-  /// must be the ones the program was compiled from.
+  /// must be the ones the program was compiled from. Uses the
+  /// architecture's configured scheduling seed.
   SimReport run(const isa::Program& program,
                 const workload::NetworkConfig& net,
                 const workload::SparsityProfile& profile) const;
+
+  /// Same, but with an explicit scheduling-noise seed. core::Session uses
+  /// this to give every submitted job its own deterministic stream, so
+  /// results do not depend on which pool worker runs the job.
+  SimReport run(const isa::Program& program,
+                const workload::NetworkConfig& net,
+                const workload::SparsityProfile& profile,
+                std::uint64_t seed) const;
 
  private:
   ArchConfig cfg_;

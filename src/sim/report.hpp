@@ -23,7 +23,10 @@ struct StageReport {
 struct SimReport {
   std::string program_name;
   std::string arch_name;
+  std::string backend;      ///< registry name of the backend that produced it
+  std::string profile_name; ///< sparsity profile the program was run with
   double clock_ghz = 0.8;
+  std::size_t total_pes = 0;  ///< PE count of the producing architecture
   std::vector<StageReport> stages;
   std::size_t total_cycles = 0;
   ActivityCounts activity;
@@ -39,6 +42,9 @@ struct SimReport {
 
   /// Mean PE utilisation: busy PE-cycles / (total cycles × PE count).
   double utilization(std::size_t total_pes) const;
+
+  /// Utilisation against the producing architecture's own PE count.
+  double utilization() const { return utilization(total_pes); }
 };
 
 }  // namespace sparsetrain::sim

@@ -18,7 +18,13 @@ std::string escape(const std::string& s) {
 }  // namespace
 
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
-    : out_(path), arity_(header.size()) {
+    : file_(path), out_(&file_), arity_(header.size()) {
+  ST_REQUIRE(arity_ > 0, "csv header must be non-empty");
+  write_row(header);
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(&out), arity_(header.size()) {
   ST_REQUIRE(arity_ > 0, "csv header must be non-empty");
   write_row(header);
 }
@@ -30,10 +36,10 @@ void CsvWriter::add_row(const std::vector<std::string>& row) {
 
 void CsvWriter::write_row(const std::vector<std::string>& row) {
   for (std::size_t i = 0; i < row.size(); ++i) {
-    out_ << escape(row[i]);
-    if (i + 1 < row.size()) out_ << ',';
+    *out_ << escape(row[i]);
+    if (i + 1 < row.size()) *out_ << ',';
   }
-  out_ << '\n';
+  *out_ << '\n';
 }
 
 }  // namespace sparsetrain

@@ -1,0 +1,20 @@
+// Small non-cryptographic hashing shared by the program cache
+// (fingerprints) and the session (seed derivation).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sparsetrain {
+
+/// 64-bit FNV-1a.
+inline std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace sparsetrain

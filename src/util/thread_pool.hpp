@@ -1,0 +1,55 @@
+// Fixed-size worker pool for the evaluation service.
+//
+// core::Session executes (workload × backend) jobs on one of these so
+// sweeps and multi-backend comparisons use every core. The pool makes no
+// ordering promises; callers that need determinism must make each task
+// self-contained (the Session derives each run's seed from the
+// evaluation's content, so simulation results are identical whatever the
+// worker count — see tests/test_session_api.cpp).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sparsetrain::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueues `fn`. The future resolves when the task returns (or rethrows
+  /// what the task threw).
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace sparsetrain::util
