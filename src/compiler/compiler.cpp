@@ -1,5 +1,7 @@
 #include "compiler/compiler.hpp"
 
+#include <algorithm>
+
 #include "util/require.hpp"
 
 namespace sparsetrain::compiler {
@@ -129,6 +131,8 @@ Program compile(const workload::NetworkConfig& net,
 
   Program prog;
   prog.name = net.name + " [" + profile.name() + "]";
+  prog.engine = options.engine;
+  prog.batch = options.batch;
 
   for (std::size_t li = 0; li < net.layers.size(); ++li) {
     const LayerConfig& l = net.layers[li];
@@ -177,10 +181,15 @@ Program compile(const workload::NetworkConfig& net,
       run.stage = Stage::GTA;
       RowBlock& b = run.block;
       b.kind = RowOpKind::MSRC;
-      // One task per dI row; each consumes all F dO channels × K kernel
-      // rows that scatter into it.
+      // One task per dI row; each consumes the dO rows that scatter into
+      // it. Only the (oy, ky) pairs with oy·S + ky − P = iy land on a
+      // given dI row — K·OH/H (≈ K/S) of the K taps on average, so the
+      // expected op count, not F·K, keeps strided GTA from overcounting
+      // row ops by ~S× (the exact engine is the ground truth here; see
+      // tests/test_exact_agreement_matrix.cpp).
       b.tasks = options.batch * l.in_channels * l.in_h;
-      b.ops_per_task = l.out_channels * l.kernel;
+      b.ops_per_task = std::max<std::size_t>(
+          1, (l.out_channels * l.kernel * oh + l.in_h / 2) / l.in_h);
       b.in_len = ow;        // the streamed operand is a dO row
       b.out_len = l.in_w;   // scattered into a dI row
       b.kernel = static_cast<std::uint32_t>(l.kernel);

@@ -20,6 +20,11 @@ struct CompileOptions {
   bool forward = true;
   bool gta = true;
   bool gtw = true;
+  /// Engine the program targets. The instruction stream is identical
+  /// either way; the choice is recorded as Program metadata (and keys the
+  /// ProgramCache) so backends dispatch statistical vs exact execution
+  /// from the program alone.
+  isa::EngineKind engine = isa::EngineKind::Statistical;
 };
 
 /// Lowers `net` with operand densities from `profile` (must have one entry

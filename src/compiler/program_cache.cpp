@@ -48,7 +48,7 @@ std::string ProgramCache::key(const workload::NetworkConfig& net,
     put_double(os, d.mask);
   }
   os << "opts=" << options.batch << ',' << options.forward << options.gta
-     << options.gtw;
+     << options.gtw << ',' << static_cast<int>(options.engine);
   return os.str();
 }
 

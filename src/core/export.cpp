@@ -45,6 +45,7 @@ void report_json(std::ostream& out, const sim::SimReport& r,
                  const std::string& indent) {
   out << indent << "{\"backend\": \"" << json_escape(r.backend) << "\",\n"
       << indent << " \"arch\": \"" << json_escape(r.arch_name) << "\",\n"
+      << indent << " \"engine\": \"" << isa::engine_name(r.engine) << "\",\n"
       << indent << " \"program\": \"" << json_escape(r.program_name)
       << "\",\n"
       << indent << " \"profile\": \"" << json_escape(r.profile_name)
@@ -72,9 +73,10 @@ void report_json(std::ostream& out, const sim::SimReport& r,
 }  // namespace
 
 std::vector<std::string> csv_header() {
-  return {"workload",    "profile",   "backend",    "arch",
-          "total_cycles", "latency_ms", "utilization", "comb_uj",
-          "reg_uj",      "sram_uj",   "on_chip_uj", "dram_uj"};
+  return {"workload",    "profile",    "backend",     "arch",
+          "engine",      "total_cycles", "latency_ms", "utilization",
+          "comb_uj",     "reg_uj",     "sram_uj",     "on_chip_uj",
+          "dram_uj"};
 }
 
 void export_csv(const std::vector<EvalResult>& results, std::ostream& out) {
@@ -85,6 +87,7 @@ void export_csv(const std::vector<EvalResult>& results, std::ostream& out) {
       // The report's own profile, not the job's: dense backends run an
       // all-dense profile whatever the job submitted (matches the JSON).
       csv.add_row({job.net.name, r.profile_name, run.backend, r.arch_name,
+                   isa::engine_name(r.engine),
                    std::to_string(r.total_cycles), num(r.latency_ms()),
                    num(r.utilization()), num(r.energy.comb_pj * 1e-6),
                    num(r.energy.reg_pj * 1e-6), num(r.energy.sram_pj * 1e-6),

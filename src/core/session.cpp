@@ -8,19 +8,6 @@
 
 namespace sparsetrain::core {
 
-namespace {
-
-/// splitmix64 finaliser — decorrelates (seed, program, backend) triples
-/// into independent scheduling streams.
-std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
-  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
-
 SessionConfig::SessionConfig()
     : baseline_arch(baseline::eyeriss_like_config()) {
   sparse_arch.name = "SparseTrain";
@@ -148,6 +135,11 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
 
   compiler::CompileOptions copts;
   copts.batch = options.batch != 0 ? options.batch : cfg_.batch;
+  copts.engine = options.sim.engine;
+  // The dense baseline has no exact semantics: its program (and cache
+  // entry) always stays statistical, whatever the job requested.
+  compiler::CompileOptions dense_copts = copts;
+  dense_copts.engine = isa::EngineKind::Statistical;
 
   // Shared immutable inputs for the worker tasks. The dense profile is
   // materialised once per job and shared by every dense backend.
@@ -176,30 +168,34 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
   bool any_sparse = false;
   for (const auto& b : backends) any_sparse |= b->sparse();
   const std::uint64_t sparse_fp =
-      any_sparse ? mix(cfg_.seed, compiler::ProgramCache::fingerprint(
+      any_sparse ? mix64(cfg_.seed, compiler::ProgramCache::fingerprint(
                                       *shared_net, *shared_profile, copts))
                  : 0;
   const std::uint64_t dense_fp =
-      shared_dense ? mix(cfg_.seed, compiler::ProgramCache::fingerprint(
-                                        *shared_net, *shared_dense, copts))
-                   : 0;
+      shared_dense
+          ? mix64(cfg_.seed, compiler::ProgramCache::fingerprint(
+                               *shared_net, *shared_dense, dense_copts))
+          : 0;
 
   try {
     for (std::size_t i = 0; i < backends.size(); ++i) {
       auto backend = backends[i];
-      auto run_profile = backend->sparse() ? shared_profile : shared_dense;
-      const std::uint64_t seed = mix(backend->sparse() ? sparse_fp : dense_fp,
-                                     fnv1a(backend->name()));
+      const bool sparse = backend->sparse();
+      auto run_profile = sparse ? shared_profile : shared_dense;
+      const auto run_copts = sparse ? copts : dense_copts;
+      const std::uint64_t seed =
+          mix64(sparse ? sparse_fp : dense_fp, fnv1a(backend->name()));
       job.result.runs[i].backend = backend->name();
       // Each task writes only its own pre-sized slot, so no result lock
       // is needed; completion is ordered by the futures.
       job.pending.push_back(pool_.submit(
           [this, backend = std::move(backend), shared_net,
-           run_profile = std::move(run_profile), copts, seed,
-           out = &job.result.runs[i]] {
-            const auto program = cache_.get(*shared_net, *run_profile, copts);
-            out->report =
-                backend->run(*program, *shared_net, *run_profile, seed);
+           run_profile = std::move(run_profile), run_copts, seed,
+           exact = options.sim.exact, out = &job.result.runs[i]] {
+            const auto program =
+                cache_.get(*shared_net, *run_profile, run_copts);
+            out->report = backend->run(*program, *shared_net, *run_profile,
+                                       seed, exact);
           }));
     }
   } catch (...) {

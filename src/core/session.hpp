@@ -119,6 +119,13 @@ class Session {
   /// Per-job overrides.
   struct JobOptions {
     std::size_t batch = 0;  ///< samples per iteration; 0 = session default
+    /// Engine selection + exact-mode parallelism for this job.
+    /// `sim.engine = isa::EngineKind::Exact` makes sparse backends re-drive
+    /// the program through the tensor-driven exact engine (tiled onto
+    /// `sim.exact.workers` threads — results are byte-identical for any
+    /// worker count / tile size); dense backends keep the statistical
+    /// model, which is the only one with dense semantics.
+    sim::SimOptions sim;
   };
 
   explicit Session(SessionConfig cfg = SessionConfig{});

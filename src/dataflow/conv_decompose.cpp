@@ -26,6 +26,16 @@ bool input_row_index(std::size_t oy, std::size_t ky, const ConvGeometry& geo,
 
 }  // namespace
 
+ConvGeometry layer_geometry(const workload::LayerConfig& l) {
+  ConvGeometry geo;
+  geo.in_channels = l.in_channels;
+  geo.out_channels = l.out_channels;
+  geo.kernel = l.kernel;
+  geo.stride = l.stride;
+  geo.padding = l.padding;
+  return geo;
+}
+
 Shape conv_output_shape(const ConvGeometry& geo, const Shape& input) {
   ST_REQUIRE(input.c == geo.in_channels, "decompose: channel mismatch");
   ST_REQUIRE(input.h + 2 * geo.padding >= geo.kernel &&

@@ -12,6 +12,7 @@
 
 #include "dataflow/row_ops.hpp"
 #include "tensor/tensor.hpp"
+#include "workload/layer_config.hpp"
 
 namespace sparsetrain::dataflow {
 
@@ -24,6 +25,10 @@ struct ConvGeometry {
   std::size_t stride = 1;
   std::size_t padding = 1;
 };
+
+/// Geometry of a workload layer — the one place the field-by-field
+/// conversion lives (exact engine, drivers and tests all use it).
+ConvGeometry layer_geometry(const workload::LayerConfig& l);
 
 /// Output spatial shape of the conv.
 Shape conv_output_shape(const ConvGeometry& geo, const Shape& input);

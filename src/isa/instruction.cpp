@@ -14,6 +14,16 @@ const char* stage_name(Stage s) {
   return "?";
 }
 
+const char* engine_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::Statistical:
+      return "statistical";
+    case EngineKind::Exact:
+      return "exact";
+  }
+  return "?";
+}
+
 const char* row_op_name(RowOpKind k) {
   switch (k) {
     case RowOpKind::SRC:

@@ -20,6 +20,17 @@ enum class Stage : std::uint8_t { Forward, GTA, GTW };
 
 const char* stage_name(Stage s);
 
+/// Which simulation engine a program is compiled for. Statistical programs
+/// are executed from the row-block densities (sim::Accelerator); Exact
+/// programs are re-driven through real synthesised tensors on the
+/// cycle-stepped PE model (sim::run_exact). The choice is program
+/// *metadata*: the instruction stream is identical, but carrying it here
+/// keys the program cache and lets backends dispatch without a side
+/// channel.
+enum class EngineKind : std::uint8_t { Statistical, Exact };
+
+const char* engine_name(EngineKind k);
+
 /// Which dataflow primitive the PEs run. SRC/MSRC/OSRC are the paper's
 /// three row convolutions; FC is the dot-product mapping used for
 /// fully-connected layers (the PE streams the compressed operand vector
@@ -69,6 +80,8 @@ struct Instruction {
 /// A compiled workload: the instruction stream plus bookkeeping.
 struct Program {
   std::string name;
+  EngineKind engine = EngineKind::Statistical;
+  std::size_t batch = 1;  ///< samples per iteration the blocks were sized for
   std::vector<Instruction> instructions;
 
   std::size_t count(Opcode op) const;

@@ -202,13 +202,18 @@ SimReport Accelerator::run(const isa::Program& program,
         const PeCostStats op =
             row_op_cost(b, cfg_.timing, cfg_.sparse);
         const std::size_t pes = cfg_.pes_per_group;
-        const std::size_t rounds = ceil_div(b.ops_per_task, pes);
+        // Only the dispatched fraction of a block's nominal ops occupies
+        // PE rounds (OSRC skips empty dO rows entirely).
+        const double eff_ops =
+            static_cast<double>(b.ops_per_task) * op.sched_fraction;
+        const double rounds =
+            std::ceil(eff_ops / static_cast<double>(pes));
         const std::size_t par = std::min(pes, b.ops_per_task);
         const double op_sd = std::sqrt(std::max(0.0, op.var_cycles));
         const double round_mean =
             op.mean_cycles + max_order_factor(par) * op_sd;
-        const double task_mean = static_cast<double>(rounds) * round_mean;
-        const double task_var = static_cast<double>(rounds) * op.var_cycles;
+        const double task_mean = rounds * round_mean;
+        const double task_var = rounds * op.var_cycles;
 
         // Dynamic dispatch to the least-loaded group, with bundling so
         // huge blocks do not need millions of samples.
@@ -237,9 +242,10 @@ SimReport Accelerator::run(const isa::Program& program,
           heap.pop();
         }
 
-        // Expected-value activity accounting.
-        const double ops_total =
-            static_cast<double>(b.tasks) * static_cast<double>(b.ops_per_task);
+        // Expected-value activity accounting (dispatched ops only).
+        const double ops_total = static_cast<double>(b.tasks) *
+                                 static_cast<double>(b.ops_per_task) *
+                                 op.sched_fraction;
         const bool is_fc = b.kind == isa::RowOpKind::FC;
         const double wload =
             is_fc ? 0.0

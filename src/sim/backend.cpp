@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sim/exact_network.hpp"
 #include "util/require.hpp"
 
 namespace sparsetrain::sim {
@@ -14,8 +15,29 @@ AcceleratorBackend::AcceleratorBackend(std::string name, ArchConfig cfg)
 SimReport AcceleratorBackend::run(const isa::Program& program,
                                   const workload::NetworkConfig& net,
                                   const workload::SparsityProfile& profile,
-                                  std::uint64_t seed) const {
-  SimReport report = accel_.run(program, net, profile, seed);
+                                  std::uint64_t seed,
+                                  const ExactOptions& exact) const {
+  const bool exact_run = program.engine == isa::EngineKind::Exact &&
+                         accel_.config().sparse;
+  SimReport report =
+      exact_run
+          ? run_exact(accel_.config(), program, net, profile, seed, exact)
+          : accel_.run(program, net, profile, seed);
+  report.backend = name_;
+  return report;
+}
+
+ExactBackend::ExactBackend(std::string name, ArchConfig cfg, ExactOptions opts)
+    : name_(std::move(name)), engine_(std::move(cfg), opts) {
+  ST_REQUIRE(!name_.empty(), "backend name must be non-empty");
+}
+
+SimReport ExactBackend::run(const isa::Program& program,
+                            const workload::NetworkConfig& net,
+                            const workload::SparsityProfile& profile,
+                            std::uint64_t seed,
+                            const ExactOptions& /*exact*/) const {
+  SimReport report = run_exact(engine_, program, net, profile, seed);
   report.backend = name_;
   return report;
 }
@@ -34,6 +56,15 @@ std::shared_ptr<Backend> BackendRegistry::register_arch(std::string name,
                                                         ArchConfig cfg) {
   auto backend =
       std::make_shared<AcceleratorBackend>(std::move(name), std::move(cfg));
+  add(backend);
+  return backend;
+}
+
+std::shared_ptr<Backend> BackendRegistry::register_exact(std::string name,
+                                                         ArchConfig cfg,
+                                                         ExactOptions opts) {
+  auto backend =
+      std::make_shared<ExactBackend>(std::move(name), std::move(cfg), opts);
   add(backend);
   return backend;
 }

@@ -16,8 +16,19 @@
 #include <vector>
 
 #include "sim/accelerator.hpp"
+#include "sim/exact_engine.hpp"
 
 namespace sparsetrain::sim {
+
+/// Per-job simulation options (core::Session::JobOptions carries one).
+/// `engine` selects which engine the job's programs are *compiled* for —
+/// backends dispatch on the program's metadata, so the choice travels
+/// with the program, not this struct. The exact knobs only affect
+/// wall-clock time, never results.
+struct SimOptions {
+  isa::EngineKind engine = isa::EngineKind::Statistical;
+  ExactOptions exact;  ///< worker budget / tile size for exact runs
+};
 
 /// One named, runnable architecture.
 class Backend {
@@ -31,18 +42,29 @@ class Backend {
   virtual const ArchConfig& arch() const = 0;
 
   /// Runs a compiled program with an explicit scheduling seed. `seed`
-  /// replaces the architecture's configured seed so a caller (the Session
-  /// job queue) can give every job its own deterministic stream.
+  /// replaces the architecture's configured seed so a caller (the
+  /// Session job queue) can give every job its own deterministic stream.
+  /// Which engine runs is the *program's* metadata (Program::engine);
+  /// `exact` only sizes the parallelism of exact runs.
   virtual SimReport run(const isa::Program& program,
                         const workload::NetworkConfig& net,
                         const workload::SparsityProfile& profile,
-                        std::uint64_t seed) const = 0;
+                        std::uint64_t seed,
+                        const ExactOptions& exact) const = 0;
+
+  /// Runs with default parallelism.
+  SimReport run(const isa::Program& program,
+                const workload::NetworkConfig& net,
+                const workload::SparsityProfile& profile,
+                std::uint64_t seed) const {
+    return run(program, net, profile, seed, ExactOptions{});
+  }
 
   /// Runs with the architecture's own seed.
   SimReport run(const isa::Program& program,
                 const workload::NetworkConfig& net,
                 const workload::SparsityProfile& profile) const {
-    return run(program, net, profile, arch().seed);
+    return run(program, net, profile, arch().seed, ExactOptions{});
   }
 
   /// Whether the backend exploits sparsity. Dense backends are handed an
@@ -51,7 +73,11 @@ class Backend {
 };
 
 /// Backend wrapping the cycle-level Accelerator engine (both sparse and
-/// dense modes — the dense baseline is `cfg.sparse = false`).
+/// dense modes — the dense baseline is `cfg.sparse = false`). Programs
+/// compiled for the exact engine are re-driven through sim::run_exact
+/// with the caller's exact options, provided the architecture is sparse;
+/// dense architectures always use the statistical model (the exact
+/// engine has no dense semantics).
 class AcceleratorBackend : public Backend {
  public:
   AcceleratorBackend(std::string name, ArchConfig cfg);
@@ -63,11 +89,36 @@ class AcceleratorBackend : public Backend {
   SimReport run(const isa::Program& program,
                 const workload::NetworkConfig& net,
                 const workload::SparsityProfile& profile,
-                std::uint64_t seed) const override;
+                std::uint64_t seed, const ExactOptions& exact) const override;
 
  private:
   std::string name_;
   Accelerator accel_;
+};
+
+/// Backend pinned to the exact tensor-driven engine: every program runs
+/// through sim::run_exact with the parallelism options fixed at
+/// registration, whatever engine the program was compiled for (only its
+/// stage structure is read). Register one next to its statistical twin to
+/// A/B the two engines on identical submissions. Holds one long-lived
+/// engine (and worker pool) for its lifetime; concurrent jobs share it.
+class ExactBackend : public Backend {
+ public:
+  ExactBackend(std::string name, ArchConfig cfg, ExactOptions opts = {});
+
+  const std::string& name() const override { return name_; }
+  const ArchConfig& arch() const override { return engine_.config(); }
+  const ExactOptions& exact_options() const { return engine_.options(); }
+
+  using Backend::run;
+  SimReport run(const isa::Program& program,
+                const workload::NetworkConfig& net,
+                const workload::SparsityProfile& profile,
+                std::uint64_t seed, const ExactOptions& exact) const override;
+
+ private:
+  std::string name_;
+  ExactEngine engine_;
 };
 
 /// Name → backend map with stable registration order.
@@ -84,6 +135,11 @@ class BackendRegistry {
   /// Convenience: registers an AcceleratorBackend for `cfg` under `name`
   /// and returns it.
   std::shared_ptr<Backend> register_arch(std::string name, ArchConfig cfg);
+
+  /// Convenience: registers an ExactBackend (exact tensor-driven engine,
+  /// parallelised per `opts`) for `cfg` under `name` and returns it.
+  std::shared_ptr<Backend> register_exact(std::string name, ArchConfig cfg,
+                                          ExactOptions opts = {});
 
   /// nullptr when no backend has that name.
   std::shared_ptr<const Backend> find(const std::string& name) const;

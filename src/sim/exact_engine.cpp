@@ -41,184 +41,90 @@ double ExactStageResult::utilization(std::size_t total_pes) const {
          (static_cast<double>(cycles) * static_cast<double>(total_pes));
 }
 
-ExactEngine::ExactEngine(ArchConfig cfg)
-    : cfg_(std::move(cfg)), pe_(cfg_.timing) {
+ExactEngine::ExactEngine(ArchConfig cfg, ExactOptions opts)
+    : cfg_(std::move(cfg)), opts_(opts), pe_(cfg_.timing) {
   ST_REQUIRE(cfg_.sparse, "the exact engine models the sparse architecture");
-}
-
-ExactStageResult ExactEngine::run_forward(
-    const Tensor& input, const dataflow::ConvGeometry& geo) const {
-  const Shape out_shape = dataflow::conv_output_shape(geo, input.shape());
-  const isa::RowBlock b =
-      block_from(geo, input.shape().w, out_shape.w, isa::RowOpKind::SRC);
-
-  // Pre-compress each distinct input row once (the buffer holds it once;
-  // every consuming row op streams the same compressed bytes).
-  std::vector<std::vector<SparseRow>> rows(input.shape().n *
-                                           input.shape().c);
-  for (std::size_t n = 0; n < input.shape().n; ++n)
-    for (std::size_t c = 0; c < input.shape().c; ++c) {
-      auto& channel_rows = rows[n * input.shape().c + c];
-      channel_rows.reserve(input.shape().h);
-      for (std::size_t y = 0; y < input.shape().h; ++y)
-        channel_rows.push_back(compress_row(input.row(n, c, y)));
-    }
-
-  // One task per output row (n, f, oy): C·K row ops.
-  std::vector<std::vector<PeCost>> tasks;
-  tasks.reserve(input.shape().n * geo.out_channels * out_shape.h);
-  for (std::size_t n = 0; n < input.shape().n; ++n) {
-    for (std::size_t f = 0; f < geo.out_channels; ++f) {
-      for (std::size_t oy = 0; oy < out_shape.h; ++oy) {
-        std::vector<PeCost> ops;
-        ops.reserve(geo.in_channels * geo.kernel);
-        for (std::size_t c = 0; c < geo.in_channels; ++c) {
-          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
-            std::size_t iy;
-            if (!input_row_index(oy, ky, geo, input.shape().h, iy)) continue;
-            ops.push_back(
-                pe_.run_src(rows[n * input.shape().c + c][iy], b));
-          }
-        }
-        tasks.push_back(std::move(ops));
-      }
-    }
+  ST_REQUIRE(cfg_.pe_groups > 0 && cfg_.pes_per_group > 0,
+             "architecture needs PEs");
+  if (opts_.workers != 1) {
+    pool_ = std::make_unique<util::ThreadPool>(opts_.workers);
   }
-  return schedule(std::move(tasks), geo.kernel);
 }
 
-ExactStageResult ExactEngine::run_gta(const Tensor& grad_output,
-                                      const Shape& input_shape,
-                                      const Tensor* prev_mask,
-                                      const dataflow::ConvGeometry& geo) const {
-  const Shape& out = grad_output.shape();
-  const isa::RowBlock b =
-      block_from(geo, out.w, input_shape.w, isa::RowOpKind::MSRC);
+ExactEngine::~ExactEngine() = default;
 
-  std::vector<std::vector<SparseRow>> go_rows(out.n * out.c);
-  for (std::size_t n = 0; n < out.n; ++n)
-    for (std::size_t f = 0; f < out.c; ++f) {
-      auto& channel = go_rows[n * out.c + f];
-      channel.reserve(out.h);
-      for (std::size_t y = 0; y < out.h; ++y)
-        channel.push_back(compress_row(grad_output.row(n, f, y)));
-    }
-
-  MaskRow all_pass;
-  all_pass.length = static_cast<std::uint32_t>(input_shape.w);
-  for (std::uint32_t i = 0; i < input_shape.w; ++i)
-    all_pass.offsets.push_back(i);
-
-  // One task per dI row (n, c, iy): F·K row ops scatter into it.
-  std::vector<std::vector<PeCost>> tasks;
-  tasks.reserve(out.n * geo.in_channels * input_shape.h);
-  for (std::size_t n = 0; n < out.n; ++n) {
-    for (std::size_t c = 0; c < geo.in_channels; ++c) {
-      for (std::size_t iy = 0; iy < input_shape.h; ++iy) {
-        const MaskRow mask =
-            prev_mask != nullptr
-                ? mask_from_dense(prev_mask->row(n, c, iy))
-                : all_pass;
-        std::vector<PeCost> ops;
-        ops.reserve(geo.out_channels * geo.kernel);
-        for (std::size_t f = 0; f < geo.out_channels; ++f) {
-          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
-            // oy·S + ky − P = iy → every (oy, ky) pair writing this row.
-            const std::int64_t num = static_cast<std::int64_t>(iy) +
-                                     static_cast<std::int64_t>(geo.padding) -
-                                     static_cast<std::int64_t>(ky);
-            if (num < 0 || num % static_cast<std::int64_t>(geo.stride) != 0)
-              continue;
-            const auto oy = static_cast<std::size_t>(
-                num / static_cast<std::int64_t>(geo.stride));
-            if (oy >= out.h) continue;
-            ops.push_back(
-                pe_.run_msrc(go_rows[n * out.c + f][oy], mask, b));
-          }
+ExactEngine::RowSet ExactEngine::compress(const Tensor& t) const {
+  // The buffer holds each distinct row once; every consuming row op
+  // streams the same compressed bytes, so compress each row exactly once.
+  const Shape& s = t.shape();
+  const std::size_t channels = s.n * s.c;
+  std::vector<std::vector<SparseRow>> rows(channels);
+  util::parallel_for(
+      pool_.get(), channels, /*grain=*/4,
+      [&](std::size_t first, std::size_t last) {
+        for (std::size_t ch = first; ch < last; ++ch) {
+          const std::size_t n = ch / s.c;
+          const std::size_t c = ch % s.c;
+          auto& channel_rows = rows[ch];
+          channel_rows.reserve(s.h);
+          for (std::size_t y = 0; y < s.h; ++y)
+            channel_rows.push_back(compress_row(t.row(n, c, y)));
         }
-        tasks.push_back(std::move(ops));
-      }
-    }
-  }
-  return schedule(std::move(tasks), geo.kernel);
+      });
+  return rows;
 }
 
-ExactStageResult ExactEngine::run_gtw(const Tensor& grad_output,
-                                      const Tensor& input,
-                                      const dataflow::ConvGeometry& geo) const {
-  const Shape& out = grad_output.shape();
-  const Shape& in = input.shape();
-  isa::RowBlock b = block_from(geo, out.w, geo.kernel, isa::RowOpKind::OSRC);
-  b.second_len = in.w;
-
-  std::vector<std::vector<SparseRow>> go_rows(out.n * out.c);
-  for (std::size_t n = 0; n < out.n; ++n)
-    for (std::size_t f = 0; f < out.c; ++f) {
-      auto& channel = go_rows[n * out.c + f];
-      for (std::size_t y = 0; y < out.h; ++y)
-        channel.push_back(compress_row(grad_output.row(n, f, y)));
+ExactEngine::TaskCost ExactEngine::reduce_task(const std::vector<PeCost>& ops,
+                                               std::size_t lanes) const {
+  // The group's PEs take the task's row ops in parallel rounds; each
+  // round lasts as long as its slowest op.
+  TaskCost cost;
+  cost.row_ops = ops.size();
+  for (std::size_t i = 0; i < ops.size(); i += cfg_.pes_per_group) {
+    std::size_t round = 0;
+    for (std::size_t j = i; j < std::min(i + cfg_.pes_per_group, ops.size());
+         ++j) {
+      round = std::max(round, ops[j].cycles);
+      cost.busy += ops[j].cycles;
+      cost.macs += ops[j].macs;
+      cost.reg += ops[j].ingested * 2 * lanes + lanes;
     }
-  std::vector<std::vector<SparseRow>> in_rows(in.n * in.c);
-  for (std::size_t n = 0; n < in.n; ++n)
-    for (std::size_t c = 0; c < in.c; ++c) {
-      auto& channel = in_rows[n * in.c + c];
-      for (std::size_t y = 0; y < in.h; ++y)
-        channel.push_back(compress_row(input.row(n, c, y)));
-    }
-
-  // One task per (n, f, c) kernel slice: OH·K row ops.
-  std::vector<std::vector<PeCost>> tasks;
-  tasks.reserve(out.n * geo.out_channels * geo.in_channels);
-  for (std::size_t n = 0; n < out.n; ++n) {
-    for (std::size_t f = 0; f < geo.out_channels; ++f) {
-      for (std::size_t c = 0; c < geo.in_channels; ++c) {
-        std::vector<PeCost> ops;
-        ops.reserve(out.h * geo.kernel);
-        for (std::size_t oy = 0; oy < out.h; ++oy) {
-          const SparseRow& go = go_rows[n * out.c + f][oy];
-          if (go.empty()) continue;  // zero dO row: nothing scheduled
-          for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
-            std::size_t iy;
-            if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
-            ops.push_back(pe_.run_osrc(in_rows[n * in.c + c][iy], go, b));
-          }
-        }
-        tasks.push_back(std::move(ops));
-      }
-    }
+    cost.cycles += round;
   }
-  return schedule(std::move(tasks), geo.kernel);
+  return cost;
 }
 
-ExactStageResult ExactEngine::schedule(
-    std::vector<std::vector<PeCost>> tasks, std::size_t lanes) const {
+ExactStageResult ExactEngine::run_tasks(
+    std::size_t task_count,
+    const std::function<TaskCost(std::size_t)>& eval) const {
+  // Evaluate: tiles of contiguous task indices step their PEs in
+  // parallel, each writing only its own pre-sized slots. Tile boundaries
+  // depend only on (task_count, tile_tasks), never on the worker count.
+  std::vector<TaskCost> costs(task_count);
+  util::parallel_for(pool_.get(), task_count, tile_tasks(),
+                     [&](std::size_t first, std::size_t last) {
+                       for (std::size_t i = first; i < last; ++i)
+                         costs[i] = eval(i);
+                     });
+
+  // Merge: consume the per-task cycle list in task order — the identical
+  // deterministic stream the serial path produces — through the
+  // least-loaded-group scheduler.
   ExactStageResult result;
-  result.tasks = tasks.size();
+  result.tasks = task_count;
 
   using Slot = std::pair<std::size_t, std::size_t>;  // (load, group)
   std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
   for (std::size_t g = 0; g < cfg_.pe_groups; ++g) heap.emplace(0, g);
 
-  for (const auto& ops : tasks) {
-    // The group's PEs take the task's row ops in parallel rounds; each
-    // round lasts as long as its slowest op.
-    std::size_t task_cycles = 0;
-    for (std::size_t i = 0; i < ops.size(); i += cfg_.pes_per_group) {
-      std::size_t round = 0;
-      for (std::size_t j = i;
-           j < std::min(i + cfg_.pes_per_group, ops.size()); ++j) {
-        round = std::max(round, ops[j].cycles);
-        result.activity.busy_cycles += ops[j].cycles;
-        result.activity.macs += ops[j].macs;
-        result.activity.reg_accesses +=
-            ops[j].ingested * 2 * lanes + lanes;
-      }
-      task_cycles += round;
-    }
-    result.row_ops += ops.size();
+  for (const TaskCost& cost : costs) {
+    result.row_ops += cost.row_ops;
+    result.activity.busy_cycles += cost.busy;
+    result.activity.macs += cost.macs;
+    result.activity.reg_accesses += cost.reg;
     auto [load, g] = heap.top();
     heap.pop();
-    heap.emplace(load + task_cycles, g);
+    heap.emplace(load + cost.cycles, g);
   }
 
   std::size_t makespan = 0;
@@ -228,6 +134,150 @@ ExactStageResult ExactEngine::schedule(
   }
   result.cycles = makespan;
   return result;
+}
+
+ExactStageResult ExactEngine::run_forward(
+    const Tensor& input, const dataflow::ConvGeometry& geo) const {
+  return run_forward(compress(input), input.shape(), geo);
+}
+
+ExactStageResult ExactEngine::run_forward(
+    const RowSet& rows, const Shape& in_shape,
+    const dataflow::ConvGeometry& geo) const {
+  const Shape out_shape = dataflow::conv_output_shape(geo, in_shape);
+  const isa::RowBlock b =
+      block_from(geo, in_shape.w, out_shape.w, isa::RowOpKind::SRC);
+
+  // One task per output row (n, f, oy): C·K row ops.
+  const std::size_t task_count =
+      in_shape.n * geo.out_channels * out_shape.h;
+  return run_tasks(task_count, [&, b](std::size_t index) {
+    const std::size_t oy = index % out_shape.h;
+    const std::size_t n = index / (out_shape.h * geo.out_channels);
+    std::vector<PeCost> ops;
+    ops.reserve(geo.in_channels * geo.kernel);
+    for (std::size_t c = 0; c < geo.in_channels; ++c) {
+      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+        std::size_t iy;
+        if (!input_row_index(oy, ky, geo, in_shape.h, iy)) continue;
+        ops.push_back(pe_.run_src(rows[n * in_shape.c + c][iy], b));
+      }
+    }
+    return reduce_task(ops, geo.kernel);
+  });
+}
+
+ExactStageResult ExactEngine::run_gta(const Tensor& grad_output,
+                                      const Shape& input_shape,
+                                      const Tensor* prev_mask,
+                                      const dataflow::ConvGeometry& geo) const {
+  return run_gta(compress(grad_output), grad_output.shape(), input_shape,
+                 prev_mask, geo);
+}
+
+ExactStageResult ExactEngine::run_gta(const RowSet& go_rows,
+                                      const Shape& out, const Shape& input_shape,
+                                      const Tensor* prev_mask,
+                                      const dataflow::ConvGeometry& geo) const {
+  const isa::RowBlock b =
+      block_from(geo, out.w, input_shape.w, isa::RowOpKind::MSRC);
+
+  MaskRow all_pass;
+  all_pass.length = static_cast<std::uint32_t>(input_shape.w);
+  for (std::uint32_t i = 0; i < input_shape.w; ++i)
+    all_pass.offsets.push_back(i);
+
+  // One task per dI row (n, c, iy): F·K row ops scatter into it.
+  const std::size_t task_count =
+      out.n * geo.in_channels * input_shape.h;
+  return run_tasks(task_count, [&, b](std::size_t index) {
+    const std::size_t iy = index % input_shape.h;
+    const std::size_t c = (index / input_shape.h) % geo.in_channels;
+    const std::size_t n = index / (input_shape.h * geo.in_channels);
+    const MaskRow mask = prev_mask != nullptr
+                             ? mask_from_dense(prev_mask->row(n, c, iy))
+                             : all_pass;
+    std::vector<PeCost> ops;
+    ops.reserve(geo.out_channels * geo.kernel);
+    for (std::size_t f = 0; f < geo.out_channels; ++f) {
+      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+        // oy·S + ky − P = iy → every (oy, ky) pair writing this row.
+        const std::int64_t num = static_cast<std::int64_t>(iy) +
+                                 static_cast<std::int64_t>(geo.padding) -
+                                 static_cast<std::int64_t>(ky);
+        if (num < 0 || num % static_cast<std::int64_t>(geo.stride) != 0)
+          continue;
+        const auto oy = static_cast<std::size_t>(
+            num / static_cast<std::int64_t>(geo.stride));
+        if (oy >= out.h) continue;
+        ops.push_back(pe_.run_msrc(go_rows[n * out.c + f][oy], mask, b));
+      }
+    }
+    return reduce_task(ops, geo.kernel);
+  });
+}
+
+ExactStageResult ExactEngine::run_gtw(const Tensor& grad_output,
+                                      const Tensor& input,
+                                      const dataflow::ConvGeometry& geo) const {
+  return run_gtw(compress(grad_output), grad_output.shape(),
+                 compress(input), input.shape(), geo);
+}
+
+ExactStageResult ExactEngine::run_gtw(const RowSet& go_rows,
+                                      const Shape& out, const RowSet& in_rows,
+                                      const Shape& in,
+                                      const dataflow::ConvGeometry& geo) const {
+  isa::RowBlock b = block_from(geo, out.w, geo.kernel, isa::RowOpKind::OSRC);
+  b.second_len = in.w;
+
+  // One task per (n, f, c) kernel slice: OH·K row ops.
+  const std::size_t task_count =
+      out.n * geo.out_channels * geo.in_channels;
+  return run_tasks(task_count, [&, b](std::size_t index) {
+    const std::size_t c = index % geo.in_channels;
+    const std::size_t f = (index / geo.in_channels) % geo.out_channels;
+    const std::size_t n = index / (geo.in_channels * geo.out_channels);
+    std::vector<PeCost> ops;
+    ops.reserve(out.h * geo.kernel);
+    for (std::size_t oy = 0; oy < out.h; ++oy) {
+      const SparseRow& go = go_rows[n * out.c + f][oy];
+      if (go.empty()) continue;  // zero dO row: nothing scheduled
+      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+        std::size_t iy;
+        if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
+        ops.push_back(pe_.run_osrc(in_rows[n * in.c + c][iy], go, b));
+      }
+    }
+    return reduce_task(ops, geo.kernel);
+  });
+}
+
+ExactStageResult ExactEngine::run_fc(const Tensor& operands,
+                                     std::size_t groups_per_sample,
+                                     std::size_t lanes) const {
+  const Shape& s = operands.shape();
+  ST_REQUIRE(s.c == 1 && s.h == 1,
+             "FC operands must be {N, 1, 1, L} (one vector per sample)");
+  ST_REQUIRE(groups_per_sample > 0 && lanes > 0,
+             "FC stage needs lane groups");
+
+  const RowSet rows = compress(operands);
+
+  // One task per (sample, lane group); every task streams the sample's
+  // compressed vector once into `lanes` accumulators (no kernel preload —
+  // weight columns arrive from the buffer per ingested element).
+  const std::size_t task_count = s.n * groups_per_sample;
+  const std::size_t drain = cfg_.timing.pipeline_drain;
+  return run_tasks(task_count, [&, drain, lanes](std::size_t index) {
+    const std::size_t n = index / groups_per_sample;
+    const SparseRow& vec = rows[n][0];
+    PeCost op;
+    op.ingested = vec.nnz();
+    op.macs = vec.nnz() * lanes;
+    op.cycles = vec.nnz() + drain;
+    return reduce_task({op}, lanes);
+  });
 }
 
 }  // namespace sparsetrain::sim

@@ -9,15 +9,39 @@
 // what "cycle-accurate" means in this reproduction: per-element PE timing
 // semantics, not density approximations.
 //
-// Use it for real (small/medium) layers; ImageNet-scale blocks would take
-// minutes per stage, which is what the statistical mode is for.
+// Scaling: a stage's tasks are split into deterministic, contiguous tiles
+// that evaluate in parallel on a util::ThreadPool; per-task cycle counts
+// are then merged into the group scheduler in task order. Tile boundaries
+// and the merge order depend only on the task indices — never on the
+// worker count or which worker ran a tile — so results are byte-identical
+// to the serial path for any ExactOptions. That makes full-size layer
+// geometries (AlexNet/VGG/ResNet conv layers from the workload zoo)
+// practical to validate exactly; whole ImageNet *networks* in one exact
+// job are still minutes-scale and remain the statistical mode's territory.
 #pragma once
+
+#include <functional>
+#include <memory>
 
 #include "dataflow/conv_decompose.hpp"
 #include "sim/accelerator.hpp"
 #include "tensor/tensor.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sparsetrain::sim {
+
+/// Parallelism knobs of the exact engine. Neither field changes any
+/// simulated number — only wall-clock time.
+struct ExactOptions {
+  /// Worker threads stepping PE tiles. 1 = serial (no pool is created);
+  /// 0 = hardware concurrency.
+  std::size_t workers = 1;
+  /// Group tasks per tile; 0 = kDefaultTileTasks. Smaller tiles balance
+  /// better, larger tiles amortise queueing.
+  std::size_t tile_tasks = 0;
+
+  static constexpr std::size_t kDefaultTileTasks = 32;
+};
 
 /// Outcome of one exactly-simulated layer stage.
 struct ExactStageResult {
@@ -26,17 +50,37 @@ struct ExactStageResult {
   std::size_t row_ops = 0;
   std::size_t tasks = 0;
 
+  /// busy PE-cycles / (makespan × PE count); 0 (never NaN) for empty
+  /// stages or a zero PE count.
   double utilization(std::size_t total_pes) const;
 };
 
 class ExactEngine {
  public:
-  explicit ExactEngine(ArchConfig cfg);
+  explicit ExactEngine(ArchConfig cfg, ExactOptions opts = {});
+  ~ExactEngine();
+
+  ExactEngine(const ExactEngine&) = delete;
+  ExactEngine& operator=(const ExactEngine&) = delete;
 
   const ArchConfig& config() const { return cfg_; }
+  const ExactOptions& options() const { return opts_; }
+
+  /// A tensor's rows in the accelerator's compressed on-wire format,
+  /// indexed [n·C + c][y]. The buffer holds each distinct row once, so a
+  /// caller running several stages over the same tensor (Forward + GTW
+  /// share I, GTA + GTW share dO) should compress() once and pass the
+  /// rows to the row-set overloads below.
+  using RowSet = std::vector<std::vector<SparseRow>>;
+
+  /// Compresses every row of `t` once (tiled across the pool).
+  RowSet compress(const Tensor& t) const;
 
   /// Forward stage: SRC ops over the real input activations.
   ExactStageResult run_forward(const Tensor& input,
+                               const dataflow::ConvGeometry& geo) const;
+  ExactStageResult run_forward(const RowSet& input_rows,
+                               const Shape& input_shape,
                                const dataflow::ConvGeometry& geo) const;
 
   /// GTA stage: MSRC ops over the real dO with the real upstream mask
@@ -44,18 +88,61 @@ class ExactEngine {
   ExactStageResult run_gta(const Tensor& grad_output,
                            const Shape& input_shape, const Tensor* prev_mask,
                            const dataflow::ConvGeometry& geo) const;
+  ExactStageResult run_gta(const RowSet& go_rows, const Shape& out_shape,
+                           const Shape& input_shape, const Tensor* prev_mask,
+                           const dataflow::ConvGeometry& geo) const;
 
   /// GTW stage: OSRC ops pairing real dO rows with real I rows.
   ExactStageResult run_gtw(const Tensor& grad_output, const Tensor& input,
                            const dataflow::ConvGeometry& geo) const;
+  ExactStageResult run_gtw(const RowSet& go_rows, const Shape& out_shape,
+                           const RowSet& in_rows, const Shape& in_shape,
+                           const dataflow::ConvGeometry& geo) const;
+
+  /// FC stage (dot-product mapping): every task streams one sample's
+  /// compressed operand vector once into `lanes` output accumulators.
+  /// `operands` is {N, 1, 1, L} (one vector per sample);
+  /// `groups_per_sample` is the number of lane-groups scheduled per
+  /// sample (ceil(outputs / lanes) after any mask/zero-lane packing).
+  ExactStageResult run_fc(const Tensor& operands,
+                          std::size_t groups_per_sample,
+                          std::size_t lanes) const;
 
  private:
-  /// Schedules per-task cycle lists onto groups; fills cycles/activity.
-  ExactStageResult schedule(std::vector<std::vector<PeCost>> tasks,
-                            std::size_t lanes) const;
+  /// One group task's already-reduced outcome. Tiles fill these by task
+  /// index; the merge consumes them in index order.
+  struct TaskCost {
+    std::size_t cycles = 0;   ///< parallel-round makespan within the group
+    std::size_t row_ops = 0;
+    std::size_t busy = 0;
+    std::size_t macs = 0;
+    std::size_t reg = 0;
+  };
+
+  /// Evaluates `eval(i)` for every task (tiled across the pool), then
+  /// merges the per-task costs into the least-loaded-group scheduler in
+  /// task order. Byte-identical for any workers/tile_tasks.
+  ExactStageResult run_tasks(
+      std::size_t task_count,
+      const std::function<TaskCost(std::size_t)>& eval) const;
+
+  /// Folds one task's row ops into rounds of pes_per_group (each round as
+  /// slow as its slowest op) and the activity counters.
+  TaskCost reduce_task(const std::vector<PeCost>& ops,
+                       std::size_t lanes) const;
+
+  std::size_t tile_tasks() const {
+    return opts_.tile_tasks != 0 ? opts_.tile_tasks
+                                 : ExactOptions::kDefaultTileTasks;
+  }
 
   ArchConfig cfg_;
+  ExactOptions opts_;
   PeExact pe_;
+  /// Created only when opts_.workers != 1; shared by all run_* calls
+  /// (which wait on their own tile futures, so concurrent stages on one
+  /// engine are safe).
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace sparsetrain::sim

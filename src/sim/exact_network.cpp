@@ -1,0 +1,170 @@
+#include "sim/exact_network.hpp"
+
+#include <optional>
+
+#include "util/hash.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace sparsetrain::sim {
+
+namespace {
+
+/// Operand tags for the per-tensor stream derivation: mix64 over (seed,
+/// layer, tag) — the same decorrelation the Session's seeding uses — so
+/// every synthesised tensor gets an independent stream whatever stage
+/// subset the program contains.
+enum : std::uint64_t { kInput = 1, kGrad = 2, kMask = 3, kFcBase = 4 };
+
+Rng stream(std::uint64_t seed, std::size_t layer, std::uint64_t tag) {
+  return Rng(mix64(mix64(seed, layer), tag));
+}
+
+/// Lazily synthesised operands of the layer currently executing, held in
+/// compressed-row form so the stages sharing a tensor (Forward + GTW
+/// share I, GTA + GTW share dO) compress it exactly once. Programs emit a
+/// layer's stages contiguously, so one layer's operands are alive at a
+/// time.
+struct LayerOperands {
+  std::size_t layer = static_cast<std::size_t>(-1);
+  std::optional<ExactEngine::RowSet> input;
+  Shape input_shape;
+  std::optional<ExactEngine::RowSet> grad;
+  Shape grad_shape;
+  std::optional<Tensor> mask;  ///< engaged only when the mask gates (ρ < 1)
+
+  void reset(std::size_t li) {
+    layer = li;
+    input.reset();
+    grad.reset();
+    mask.reset();
+  }
+};
+
+}  // namespace
+
+SimReport run_exact(const ArchConfig& cfg, const isa::Program& program,
+                    const workload::NetworkConfig& net,
+                    const workload::SparsityProfile& profile,
+                    std::uint64_t seed, const ExactOptions& opts) {
+  return run_exact(ExactEngine(cfg, opts), program, net, profile, seed);
+}
+
+SimReport run_exact(const ExactEngine& engine, const isa::Program& program,
+                    const workload::NetworkConfig& net,
+                    const workload::SparsityProfile& profile,
+                    std::uint64_t seed) {
+  const ArchConfig& cfg = engine.config();
+  ST_REQUIRE(profile.size() == net.layers.size(),
+             "profile does not match network");
+  ST_REQUIRE(program.batch > 0, "program batch must be positive");
+  const std::size_t batch = program.batch;
+
+  SimReport report;
+  report.program_name = program.name;
+  report.arch_name = cfg.name;
+  report.profile_name = profile.name();
+  report.clock_ghz = cfg.clock_ghz;
+  report.total_pes = cfg.pe_groups * cfg.pes_per_group;
+  report.engine = isa::EngineKind::Exact;
+
+  LayerOperands t;
+
+  auto input_of = [&](std::size_t li) -> const ExactEngine::RowSet& {
+    if (!t.input) {
+      const auto& l = net.layers[li];
+      Rng rng = stream(seed, li, kInput);
+      Tensor x(Shape{batch, l.in_channels, l.in_h, l.in_w});
+      x.fill_sparse_normal(rng, profile.layer(li).input_acts);
+      t.input_shape = x.shape();
+      t.input = engine.compress(x);
+    }
+    return *t.input;
+  };
+  auto grad_of = [&](std::size_t li) -> const ExactEngine::RowSet& {
+    if (!t.grad) {
+      const auto& l = net.layers[li];
+      Rng rng = stream(seed, li, kGrad);
+      Tensor g(Shape{batch, l.out_channels, l.out_h(), l.out_w()});
+      g.fill_sparse_normal(rng, profile.layer(li).output_grads);
+      t.grad_shape = g.shape();
+      t.grad = engine.compress(g);
+    }
+    return *t.grad;
+  };
+  auto mask_of = [&](std::size_t li) -> const Tensor* {
+    const double rho = profile.layer(li).mask;
+    if (rho >= 1.0) return nullptr;  // all-pass
+    if (!t.mask) {
+      const auto& l = net.layers[li];
+      Rng rng = stream(seed, li, kMask);
+      Tensor m(Shape{batch, l.in_channels, l.in_h, l.in_w});
+      m.fill_sparse_normal(rng, rho);
+      for (float& v : m.flat())
+        if (v != 0.0f) v = 1.0f;
+      t.mask = std::move(m);
+    }
+    return &*t.mask;
+  };
+
+  for (const auto& inst : program.instructions) {
+    if (inst.op != isa::Opcode::Run) continue;
+    ST_REQUIRE(inst.layer_index < net.layers.size(),
+               "instruction references unknown layer");
+    if (inst.layer_index != t.layer) t.reset(inst.layer_index);
+    const std::size_t li = inst.layer_index;
+    const auto& l = net.layers[li];
+    const isa::RowBlock& b = inst.block;
+
+    ExactStageResult r;
+    switch (b.kind) {
+      case isa::RowOpKind::SRC: {
+        const auto& in = input_of(li);  // fills t.input_shape
+        r = engine.run_forward(in, t.input_shape, dataflow::layer_geometry(l));
+        break;
+      }
+      case isa::RowOpKind::MSRC: {
+        const auto& go = grad_of(li);  // fills t.grad_shape
+        r = engine.run_gta(go, t.grad_shape,
+                           Shape{batch, l.in_channels, l.in_h, l.in_w},
+                           mask_of(li), dataflow::layer_geometry(l));
+        break;
+      }
+      case isa::RowOpKind::OSRC: {
+        const auto& go = grad_of(li);
+        const auto& in = input_of(li);
+        r = engine.run_gtw(go, t.grad_shape, in, t.input_shape,
+                           dataflow::layer_geometry(l));
+        break;
+      }
+      case isa::RowOpKind::FC: {
+        // The block already encodes the compiler's lane packing: tasks =
+        // batch × lane groups over the useful outputs of this stage.
+        ST_REQUIRE(b.tasks % batch == 0,
+                   "FC block tasks not divisible by program batch");
+        const std::size_t groups = b.tasks / batch;
+        Rng rng = stream(seed, li,
+                         kFcBase + static_cast<std::uint64_t>(inst.stage));
+        Tensor vec(Shape{batch, 1, 1, b.in_len});
+        vec.fill_sparse_normal(rng, b.density_in);
+        r = engine.run_fc(vec, groups, b.fc_lanes);
+        break;
+      }
+    }
+
+    StageReport stage;
+    stage.layer_index = li;
+    stage.layer_name = l.name;
+    stage.stage = inst.stage;
+    stage.cycles = r.cycles;
+    stage.activity = r.activity;
+    stage.energy = price(r.activity, cfg.energy);
+    report.total_cycles += stage.cycles;
+    report.activity += stage.activity;
+    report.energy += stage.energy;
+    report.stages.push_back(std::move(stage));
+  }
+  return report;
+}
+
+}  // namespace sparsetrain::sim

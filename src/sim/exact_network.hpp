@@ -1,0 +1,42 @@
+// Whole-program exact simulation.
+//
+// run_exact() re-drives a compiled Program through the tensor-driven
+// ExactEngine: for every Run instruction it synthesises the layer's
+// operand tensors at the profile's densities (deterministically from the
+// run seed, so results are a pure function of the inputs) and steps the
+// real row ops through the cycle-exact PE model. The program's
+// instruction stream supplies the stage structure — which layers/stages
+// were compiled, batch, FC lane packing — so exact and statistical runs
+// of the same program cover the identical work list and their cycle
+// counts are directly comparable (tests/test_exact_agreement_matrix.cpp).
+//
+// Scope: exact mode is the *compute-timing* ground truth. It reports
+// cycles, busy/MAC/register activity and the energy those events price
+// to; it does not model SRAM/DRAM streaming (those counters stay zero),
+// which is the statistical engine's footprint model's job.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/exact_engine.hpp"
+#include "sim/report.hpp"
+
+namespace sparsetrain::sim {
+
+/// Runs `program` exactly on `engine` (a long-lived engine amortises its
+/// worker pool across jobs — see ExactBackend). `seed` drives the tensor
+/// synthesis; the engine's options only affect wall-clock time (results
+/// are byte-identical for any workers/tile combination).
+SimReport run_exact(const ExactEngine& engine, const isa::Program& program,
+                    const workload::NetworkConfig& net,
+                    const workload::SparsityProfile& profile,
+                    std::uint64_t seed);
+
+/// Convenience: one-shot engine for the architecture `cfg` (which must
+/// be sparse), parallelised per `opts`.
+SimReport run_exact(const ArchConfig& cfg, const isa::Program& program,
+                    const workload::NetworkConfig& net,
+                    const workload::SparsityProfile& profile,
+                    std::uint64_t seed, const ExactOptions& opts = {});
+
+}  // namespace sparsetrain::sim

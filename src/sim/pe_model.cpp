@@ -117,14 +117,49 @@ PeCostStats row_op_cost(const isa::RowBlock& block, const PeTiming& timing,
       const double rho_i = sparse_mode ? block.density_second : 1.0;
       const double nnz_do = L * rho_do;
       const double nnz_i = Li * rho_i;
-      const double chunks = std::ceil(std::max(0.0, nnz_do) / K);
+      // The dO nonzero count X is Binomial(L, ρ) and the PE pays
+      // ceil(X/K) chunk reloads. Two effects matter at high sparsity that
+      // the naive ceil(E[X]/K) misses (it overcharges strided/pruned GTW
+      // by up to ~2× — see tests/test_exact_agreement_matrix.cpp):
+      // E[ceil(X/K)] ≠ ceil(E[X]/K), and an empty dO row is never
+      // scheduled at all (no chunks, no drain). Small rows get the exact
+      // binomial sum; long rows span many chunks, where X/K + 1/2 is the
+      // right mean and emptiness is negligible.
+      double p0 = 0.0;
+      double mean_chunks = std::ceil(std::max(0.0, nnz_do) / K);
+      const std::size_t len = block.in_len;
+      if (sparse_mode && rho_do < 1.0) {
+        // The pmf recurrence needs a nonzero P[X=0] seed: for wide,
+        // dense-ish rows (1-ρ)^L underflows to exactly 0 and the sum
+        // would silently collapse to zero chunks — those rows span many
+        // chunks anyway, which is the closed form's regime.
+        const double pmf0 =
+            std::pow(1.0 - rho_do, static_cast<double>(len));
+        if (len <= 512 && pmf0 > 0.0) {
+          double pmf = pmf0;
+          p0 = pmf;
+          double acc = 0.0;
+          for (std::size_t x = 1; x <= len; ++x) {
+            pmf *= (static_cast<double>(len - x + 1) /
+                    static_cast<double>(x)) *
+                   (rho_do / (1.0 - rho_do));
+            acc += pmf * std::ceil(static_cast<double>(x) / K);
+          }
+          mean_chunks = acc;  // unconditional; conditioned below
+        } else {
+          p0 = std::exp(static_cast<double>(len) * std::log1p(-rho_do));
+          mean_chunks = nnz_do / K + 0.5;
+        }
+      }
+      stats.sched_fraction = std::max(1e-12, 1.0 - p0);
+      const double chunks = mean_chunks / stats.sched_fraction;
       stats.mean_cycles = chunks * (wload + nnz_i) + drain;
       // Variance from both operands (delta-method on the product form).
       const double var_i = sparse_mode ? Li * rho_i * (1.0 - rho_i) : 0.0;
       const double var_do = sparse_mode ? L * rho_do * (1.0 - rho_do) : 0.0;
       const double dc_ddo = (wload + nnz_i) / K;
       stats.var_cycles = chunks * chunks * var_i + dc_ddo * dc_ddo * var_do;
-      stats.mean_macs = nnz_do * K * rho_i;
+      stats.mean_macs = nnz_do * K * rho_i / stats.sched_fraction;
       break;
     }
   }

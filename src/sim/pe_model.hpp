@@ -55,11 +55,15 @@ class PeExact {
   PeTiming timing_;
 };
 
-/// Closed-form statistics of one row op's PE cost.
+/// Closed-form statistics of one row op's PE cost. Means are per
+/// *scheduled* op: ops the controller never dispatches (OSRC with an
+/// empty dO row) are excluded, and `sched_fraction` tells the scheduler
+/// what fraction of a block's nominal ops is dispatched at all.
 struct PeCostStats {
   double mean_cycles = 0.0;
   double var_cycles = 0.0;
   double mean_macs = 0.0;
+  double sched_fraction = 1.0;  ///< P[the op is scheduled] (OSRC: dO ≠ 0)
 };
 
 /// Mean/variance of the PE cost for a row op drawn from `block`'s operand

@@ -25,6 +25,9 @@ struct SimReport {
   std::string arch_name;
   std::string backend;      ///< registry name of the backend that produced it
   std::string profile_name; ///< sparsity profile the program was run with
+  /// Which engine produced the numbers (exact runs leave SRAM/DRAM
+  /// counters at zero — see sim/exact_network.hpp).
+  isa::EngineKind engine = isa::EngineKind::Statistical;
   double clock_ghz = 0.8;
   std::size_t total_pes = 0;  ///< PE count of the producing architecture
   std::vector<StageReport> stages;

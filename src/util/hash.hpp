@@ -17,4 +17,15 @@ inline std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
+/// splitmix64 finaliser over (a, b) — decorrelates seed/fingerprint/tag
+/// tuples into independent streams. The session's per-run seeds and the
+/// exact engine's tensor-synthesis streams both derive from this one
+/// definition, so reproducibility cannot drift between them.
+inline std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace sparsetrain

@@ -44,6 +44,38 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+void parallel_for(ThreadPool* pool, std::size_t total, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  ST_REQUIRE(fn != nullptr, "parallel_for needs a body");
+  if (total == 0) return;
+  if (pool == nullptr || grain == 0 || grain >= total) {
+    fn(0, total);
+    return;
+  }
+  // Drain everything before surfacing an error — whether a chunk threw
+  // or a later submit() failed: the body captures caller state by
+  // reference, so no chunk may outlive this frame.
+  std::vector<std::future<void>> chunks;
+  chunks.reserve((total + grain - 1) / grain);
+  std::exception_ptr error;
+  try {
+    for (std::size_t first = 0; first < total; first += grain) {
+      const std::size_t last = std::min(first + grain, total);
+      chunks.push_back(pool->submit([&fn, first, last] { fn(first, last); }));
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (auto& c : chunks) {
+    try {
+      c.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;

@@ -52,4 +52,14 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Runs `fn(first, last)` over every contiguous chunk of at most `grain`
+/// indices covering [0, total), on `pool` when one is given. The chunk
+/// boundaries depend only on (total, grain) — never on the pool size — so
+/// a caller that merges per-chunk results in chunk order gets identical
+/// output for any worker count. Blocks until every chunk finished;
+/// rethrows the first chunk error (after all chunks were drained). With a
+/// null pool, a zero grain, or a single chunk the call runs inline.
+void parallel_for(ThreadPool* pool, std::size_t total, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
 }  // namespace sparsetrain::util

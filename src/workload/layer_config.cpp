@@ -154,6 +154,52 @@ NetworkConfig resnet34_imagenet() {
                 /*imagenet_stem=*/true);
 }
 
+namespace {
+
+/// Appends one VGG stage: `depth` same-shape 3×3 convs at `out_c`
+/// channels, then the 2×2/2 max-pool that halves the spatial extent.
+void add_vgg_stage(std::vector<LayerConfig>& layers, std::size_t stage,
+                   std::size_t depth, std::size_t& c, std::size_t out_c,
+                   std::size_t& hw) {
+  for (std::size_t i = 0; i < depth; ++i) {
+    layers.push_back(conv("conv" + std::to_string(stage) + "_" +
+                              std::to_string(i + 1),
+                          c, hw, hw, out_c, 3, 1, 1, /*bn=*/false));
+    c = out_c;
+  }
+  hw /= 2;  // 2×2/2 max-pool
+}
+
+NetworkConfig vgg16(std::string name, std::size_t input_hw,
+                    std::size_t head_width, std::size_t classes) {
+  NetworkConfig net;
+  net.name = std::move(name);
+  std::size_t hw = input_hw;
+  std::size_t c = 3;
+  add_vgg_stage(net.layers, 1, 2, c, 64, hw);
+  add_vgg_stage(net.layers, 2, 2, c, 128, hw);
+  add_vgg_stage(net.layers, 3, 3, c, 256, hw);
+  add_vgg_stage(net.layers, 4, 3, c, 512, hw);
+  add_vgg_stage(net.layers, 5, 3, c, 512, hw);
+  net.layers[0].first_layer = true;
+  net.layers.push_back(fc("fc6", c * hw * hw, head_width, true));
+  net.layers.push_back(fc("fc7", head_width, head_width, true));
+  net.layers.push_back(fc("fc8", head_width, classes, false));
+  return net;
+}
+
+}  // namespace
+
+NetworkConfig vgg16_cifar() {
+  // The common CIFAR adaptation keeps the 512-wide head (4096 would dwarf
+  // the 1×1 feature map).
+  return vgg16("VGG-16/CIFAR", 32, 512, 10);
+}
+
+NetworkConfig vgg16_imagenet() {
+  return vgg16("VGG-16/ImageNet", 224, 4096, 1000);
+}
+
 NetworkConfig tiny_workload() {
   NetworkConfig net;
   net.name = "tiny";
@@ -168,6 +214,52 @@ NetworkConfig tiny_workload() {
 std::vector<NetworkConfig> paper_workloads() {
   return {alexnet_cifar(),  resnet18_cifar(),    resnet34_cifar(),
           alexnet_imagenet(), resnet18_imagenet(), resnet34_imagenet()};
+}
+
+const std::vector<ZooEntry>& workload_zoo() {
+  static const std::vector<ZooEntry> zoo = [] {
+    std::vector<ZooEntry> z;
+    z.push_back({alexnet_cifar(), ModelFamily::AlexNet, false});
+    z.push_back({vgg16_cifar(), ModelFamily::VGG, false});
+    z.push_back({resnet18_cifar(), ModelFamily::ResNet, false});
+    z.push_back({resnet34_cifar(), ModelFamily::ResNet, false});
+    z.push_back({alexnet_imagenet(), ModelFamily::AlexNet, true});
+    z.push_back({vgg16_imagenet(), ModelFamily::VGG, true});
+    z.push_back({resnet18_imagenet(), ModelFamily::ResNet, true});
+    z.push_back({resnet34_imagenet(), ModelFamily::ResNet, true});
+    return z;
+  }();
+  return zoo;
+}
+
+const ZooEntry& find_workload(const std::string& name) {
+  for (const auto& entry : workload_zoo())
+    if (entry.net.name == name) return entry;
+  std::string known;
+  for (const auto& entry : workload_zoo()) {
+    if (!known.empty()) known += ", ";
+    known += entry.net.name;
+  }
+  ST_REQUIRE(false, "no zoo workload named '" + name + "' (known: " + known +
+                        ")");
+  __builtin_unreachable();
+}
+
+const LayerConfig& find_layer(const std::string& workload,
+                              const std::string& layer) {
+  const ZooEntry& entry = find_workload(workload);
+  for (const auto& l : entry.net.layers)
+    if (l.name == layer) return l;
+  ST_REQUIRE(false, "workload '" + workload + "' has no layer named '" +
+                        layer + "'");
+  __builtin_unreachable();
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  names.reserve(workload_zoo().size());
+  for (const auto& entry : workload_zoo()) names.push_back(entry.net.name);
+  return names;
 }
 
 }  // namespace sparsetrain::workload

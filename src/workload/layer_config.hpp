@@ -50,6 +50,11 @@ struct NetworkConfig {
   std::size_t total_forward_macs() const;
 };
 
+/// Model family for density calibration (the paper's Table II lookups).
+/// VGG shares AlexNet's CONV-ReLU structure (no BN), so it calibrates
+/// like AlexNet; ResNet's BN-ReLU blocks densify gradients.
+enum class ModelFamily { AlexNet, VGG, ResNet };
+
 /// The paper's evaluation workloads (Fig. 8/9 x-axis).
 NetworkConfig alexnet_cifar();
 NetworkConfig alexnet_imagenet();
@@ -58,10 +63,41 @@ NetworkConfig resnet18_imagenet();
 NetworkConfig resnet34_cifar();
 NetworkConfig resnet34_imagenet();
 
+/// VGG-16 (classic, no BN) — not in the paper's evaluation, added to the
+/// zoo for scenario coverage: deep stacks of same-shape 3×3 layers.
+NetworkConfig vgg16_cifar();
+NetworkConfig vgg16_imagenet();
+
 /// Small synthetic workload for tests.
 NetworkConfig tiny_workload();
 
 /// All six paper workloads in Fig. 8 order.
 std::vector<NetworkConfig> paper_workloads();
+
+/// One workload-zoo entry: a full-size network plus the tags the density
+/// calibration (Table II lookups) needs.
+struct ZooEntry {
+  NetworkConfig net;
+  ModelFamily family = ModelFamily::AlexNet;
+  bool imagenet = false;
+};
+
+/// The workload zoo: every full-size evaluation geometry — the paper's
+/// six plus VGG-16 at both input sizes — CIFAR group first, each in
+/// Fig. 8 order. Drivers and the exact-vs-statistical agreement matrix
+/// iterate this instead of hand-picking networks.
+const std::vector<ZooEntry>& workload_zoo();
+
+/// Zoo entry by network name (e.g. "AlexNet/ImageNet"). Throws
+/// ContractError naming the known entries on a miss.
+const ZooEntry& find_workload(const std::string& name);
+
+/// Layer by name inside a zoo network, e.g. ("AlexNet/ImageNet", "conv2").
+/// Throws ContractError on unknown workload or layer.
+const LayerConfig& find_layer(const std::string& workload,
+                              const std::string& layer);
+
+/// All zoo network names, in zoo order.
+std::vector<std::string> workload_names();
 
 }  // namespace sparsetrain::workload

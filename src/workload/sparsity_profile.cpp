@@ -91,7 +91,9 @@ double paper_table2_do_density(ModelFamily family, bool imagenet, double p) {
   static const Point resnet_imagenet[] = {
       {0.0, 1.0}, {0.7, 0.41}, {0.8, 0.40}, {0.9, 0.38}, {0.99, 0.36}};
 
-  const Point* table = family == ModelFamily::AlexNet
+  // VGG has AlexNet's CONV-ReLU structure, so it calibrates off the same
+  // published column.
+  const Point* table = family != ModelFamily::ResNet
                            ? (imagenet ? alexnet_imagenet : alexnet_cifar)
                            : (imagenet ? resnet_imagenet : resnet_cifar);
   const std::size_t n = 5;
@@ -106,7 +108,7 @@ double paper_table2_do_density(ModelFamily family, bool imagenet, double p) {
 }
 
 double paper_act_density(ModelFamily family) {
-  return family == ModelFamily::AlexNet ? 0.35 : 0.45;
+  return family != ModelFamily::ResNet ? 0.35 : 0.45;
 }
 
 double analytic_pruned_density(double p) {

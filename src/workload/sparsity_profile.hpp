@@ -63,11 +63,9 @@ class SparsityProfile {
 /// tests/test_pruning.cpp for the derivation): 1 − p + p·E[|g| | |g|<τ]/τ.
 double analytic_pruned_density(double p);
 
-/// Model family for the paper-published density lookups.
-enum class ModelFamily { AlexNet, ResNet };
-
 /// dO density published in the paper's Table II (ρ_nnz) for the given
-/// family/dataset/pruning rate. p == 0 returns the baseline (no-pruning)
+/// family/dataset/pruning rate (ModelFamily lives in layer_config.hpp;
+/// VGG calibrates like AlexNet). p == 0 returns the baseline (no-pruning)
 /// density. Values between published p points are interpolated.
 double paper_table2_do_density(ModelFamily family, bool imagenet, double p);
 

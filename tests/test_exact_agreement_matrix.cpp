@@ -1,0 +1,240 @@
+// Statistical-vs-exact agreement matrix (AMOS-style op × config grid).
+//
+// Every cell compiles a single-layer probe, runs the program through the
+// statistical Accelerator AND through sim::run_exact (the tensor-driven
+// ground truth, tiled across 2 workers), and asserts the stage cycle
+// counts agree within a few percent. The grid spans the three row-op
+// stages × sparsity profiles (dense, 0.5, 0.9-sparse) × stride/pad
+// variants; on any disagreement the whole matrix is printed as a summary
+// table so a modelling regression is diagnosable from the log alone.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/backend.hpp"
+#include "sim/exact_network.hpp"
+#include "util/table.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+namespace sparsetrain::sim {
+namespace {
+
+struct GeoCase {
+  std::size_t kernel;
+  std::size_t stride;
+  std::size_t padding;
+};
+
+struct Cell {
+  std::string stage;
+  double density;
+  GeoCase geo;
+  std::size_t stat_cycles = 0;
+  std::size_t exact_cycles = 0;
+  double rel_err = 0.0;
+  double tolerance = 0.0;
+  bool pass = false;
+};
+
+/// Probe: one mid-size conv layer (not first, so GTA compiles too).
+workload::NetworkConfig probe_net(const GeoCase& g) {
+  workload::NetworkConfig net;
+  net.name = "probe-k" + std::to_string(g.kernel) + "s" +
+             std::to_string(g.stride) + "p" + std::to_string(g.padding);
+  workload::LayerConfig l;
+  l.name = "conv";
+  l.in_channels = 8;
+  l.in_h = 24;
+  l.in_w = 24;
+  l.out_channels = 16;
+  l.kernel = g.kernel;
+  l.stride = g.stride;
+  l.padding = g.padding;
+  net.layers = {l};
+  return net;
+}
+
+/// A smaller array than the paper's 56 groups so the probe's task counts
+/// give the makespan decent statistics per group.
+ArchConfig probe_arch() {
+  ArchConfig cfg;
+  cfg.pe_groups = 8;
+  return cfg;
+}
+
+Cell run_cell(isa::Stage stage, double density, const GeoCase& g) {
+  const auto net = probe_net(g);
+  std::vector<workload::LayerDensities> densities(1);
+  densities[0].input_acts = density;
+  densities[0].output_grads = density;
+  densities[0].mask = density;
+  const workload::SparsityProfile profile(
+      "d" + std::to_string(density), densities);
+
+  compiler::CompileOptions copts;
+  copts.forward = stage == isa::Stage::Forward;
+  copts.gta = stage == isa::Stage::GTA;
+  copts.gtw = stage == isa::Stage::GTW;
+
+  const ArchConfig cfg = probe_arch();
+  const std::uint64_t seed = 99;
+
+  const auto stat_prog = compiler::compile(net, profile, copts);
+  const SimReport stat = Accelerator(cfg).run(stat_prog, net, profile, seed);
+
+  copts.engine = isa::EngineKind::Exact;
+  const auto exact_prog = compiler::compile(net, profile, copts);
+  ExactOptions opts;
+  opts.workers = 2;
+  const SimReport exact =
+      run_exact(cfg, exact_prog, net, profile, seed, opts);
+
+  Cell cell;
+  cell.stage = isa::stage_name(stage);
+  cell.density = density;
+  cell.geo = g;
+  cell.stat_cycles = stat.total_cycles;
+  cell.exact_cycles = exact.total_cycles;
+  const auto e = static_cast<double>(exact.total_cycles);
+  cell.rel_err =
+      e > 0.0 ? std::abs(static_cast<double>(stat.total_cycles) - e) / e
+              : 0.0;
+  // The statistical model's weakest approximations are the mask
+  // look-ahead (MSRC) and the chunked two-operand OSRC cost; SRC is
+  // nearly closed-form. An absolute slack floor keeps near-empty stages
+  // (density 0.1 probes are small) from failing on scheduling grain.
+  cell.tolerance = stage == isa::Stage::Forward  ? 0.12
+                   : stage == isa::Stage::GTA    ? 0.20
+                                                 : 0.25;
+  const double slack = 400.0;
+  cell.pass = std::abs(static_cast<double>(cell.stat_cycles) - e) <=
+              cell.tolerance * e + slack;
+  return cell;
+}
+
+TEST(ExactAgreementMatrix, StatisticalMatchesExactAcrossStagesAndProfiles) {
+  const std::vector<GeoCase> geos = {{3, 1, 1}, {3, 2, 1}, {5, 2, 2}};
+  const std::vector<double> densities = {1.0, 0.5, 0.1};
+  const std::vector<isa::Stage> stages = {
+      isa::Stage::Forward, isa::Stage::GTA, isa::Stage::GTW};
+
+  std::vector<Cell> cells;
+  for (const auto stage : stages)
+    for (const double density : densities)
+      for (const auto& g : geos)
+        cells.push_back(run_cell(stage, density, g));
+
+  bool all_pass = true;
+  for (const auto& c : cells) all_pass &= c.pass;
+
+  if (!all_pass) {
+    TextTable table({"stage", "density", "k/s/p", "statistical", "exact",
+                     "rel err", "tol", "verdict"});
+    for (const auto& c : cells) {
+      table.add_row({c.stage, TextTable::num(c.density, 2),
+                     std::to_string(c.geo.kernel) + "/" +
+                         std::to_string(c.geo.stride) + "/" +
+                         std::to_string(c.geo.padding),
+                     std::to_string(c.stat_cycles),
+                     std::to_string(c.exact_cycles),
+                     TextTable::pct(c.rel_err, 1),
+                     TextTable::pct(c.tolerance, 0),
+                     c.pass ? "ok" : "FAIL"});
+    }
+    ADD_FAILURE() << "statistical vs exact disagreement:\n"
+                  << table.to_string();
+  }
+  // Pin each cell individually too, so a single regression names itself.
+  for (const auto& c : cells) {
+    SCOPED_TRACE(c.stage + " density=" + std::to_string(c.density) +
+                 " k/s/p=" + std::to_string(c.geo.kernel) + "/" +
+                 std::to_string(c.geo.stride) + "/" +
+                 std::to_string(c.geo.padding));
+    EXPECT_TRUE(c.pass) << "stat=" << c.stat_cycles
+                        << " exact=" << c.exact_cycles
+                        << " rel_err=" << c.rel_err;
+  }
+}
+
+// The same program content must produce byte-identical exact reports for
+// any parallelism (the determinism contract, at whole-program level).
+TEST(ExactAgreementMatrix, WholeProgramExactRunIsDeterministic) {
+  const GeoCase g{3, 2, 1};
+  const auto net = probe_net(g);
+  const auto profile =
+      workload::SparsityProfile::calibrated(net, 0.5, 0.3, "probe");
+  compiler::CompileOptions copts;
+  copts.engine = isa::EngineKind::Exact;
+  const auto prog = compiler::compile(net, profile, copts);
+  const ArchConfig cfg = probe_arch();
+
+  ExactOptions serial;  // workers = 1
+  ExactOptions wide;
+  wide.workers = 8;
+  wide.tile_tasks = 3;
+  const SimReport a = run_exact(cfg, prog, net, profile, 7, serial);
+  const SimReport b = run_exact(cfg, prog, net, profile, 7, wide);
+
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  EXPECT_GT(a.total_cycles, 0u);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.activity.busy_cycles, b.activity.busy_cycles);
+  EXPECT_EQ(a.activity.macs, b.activity.macs);
+  EXPECT_EQ(a.activity.reg_accesses, b.activity.reg_accesses);
+  for (std::size_t i = 0; i < a.stages.size(); ++i)
+    EXPECT_EQ(a.stages[i].cycles, b.stages[i].cycles);
+  EXPECT_EQ(a.engine, isa::EngineKind::Exact);
+  // Exact mode scopes to compute timing: no memory-system traffic.
+  EXPECT_EQ(a.activity.dram_bytes, 0u);
+
+  // A different seed synthesises different tensors → different cycles
+  // (the seed is part of the result's identity, not noise).
+  const SimReport c = run_exact(cfg, prog, net, profile, 8, serial);
+  EXPECT_NE(a.total_cycles, c.total_cycles);
+}
+
+// FC layers run exactly too (dot-product mapping): agreement on a pure-FC
+// probe keeps whole-network exact runs honest.
+TEST(ExactAgreementMatrix, FcStageAgreesWithStatisticalModel) {
+  workload::NetworkConfig net;
+  net.name = "fc-probe";
+  workload::LayerConfig l;
+  l.name = "fc";
+  l.in_channels = 512;
+  l.in_h = 1;
+  l.in_w = 1;
+  l.out_channels = 256;
+  l.kernel = 1;
+  l.stride = 1;
+  l.padding = 0;
+  l.is_fc = true;
+  net.layers = {l};
+
+  std::vector<workload::LayerDensities> densities(1);
+  densities[0].input_acts = 0.4;
+  densities[0].output_grads = 0.3;
+  densities[0].mask = 0.4;
+  const workload::SparsityProfile profile("fc", densities);
+
+  const ArchConfig cfg = probe_arch();
+  compiler::CompileOptions copts;
+  const auto stat_prog = compiler::compile(net, profile, copts);
+  const SimReport stat = Accelerator(cfg).run(stat_prog, net, profile, 5);
+
+  copts.engine = isa::EngineKind::Exact;
+  const auto exact_prog = compiler::compile(net, profile, copts);
+  const SimReport exact = run_exact(cfg, exact_prog, net, profile, 5);
+
+  ASSERT_GT(exact.total_cycles, 0u);
+  EXPECT_NEAR(static_cast<double>(stat.total_cycles),
+              static_cast<double>(exact.total_cycles),
+              0.15 * static_cast<double>(exact.total_cycles) + 200.0);
+}
+
+}  // namespace
+}  // namespace sparsetrain::sim

@@ -22,6 +22,15 @@ dataflow::ConvGeometry geo_3x3(std::size_t c, std::size_t f) {
   return geo;
 }
 
+void expect_identical(const ExactStageResult& a, const ExactStageResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.row_ops, b.row_ops);
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.activity.busy_cycles, b.activity.busy_cycles);
+  EXPECT_EQ(a.activity.macs, b.activity.macs);
+  EXPECT_EQ(a.activity.reg_accesses, b.activity.reg_accesses);
+}
+
 TEST(ExactEngine, RequiresSparseMode) {
   ArchConfig cfg;
   cfg.sparse = false;
@@ -100,6 +109,112 @@ TEST(ExactEngine, MoreGroupsShortenMakespan) {
   // Same total work either way.
   EXPECT_EQ(rs.activity.busy_cycles, rl.activity.busy_cycles);
   EXPECT_EQ(rs.activity.macs, rl.activity.macs);
+}
+
+// Regression for the empty-stage edge cases: a stage with zero scheduled
+// row ops must report utilization 0, never NaN or a division by zero.
+TEST(ExactEngine, EmptyStageUtilizationIsZeroNotNaN) {
+  const ExactStageResult empty;
+  EXPECT_EQ(empty.utilization(168), 0.0);
+  EXPECT_EQ(empty.utilization(0), 0.0);
+
+  ArchConfig cfg;
+  ExactEngine engine(cfg);
+  Rng rng(12);
+  Tensor input(Shape{1, 2, 6, 6});
+  input.fill_sparse_normal(rng, 0.5);
+  Tensor zero_grad(Shape{1, 2, 6, 6});  // all zero → no GTW row ops
+  const auto r = engine.run_gtw(zero_grad, input, geo_3x3(2, 2));
+  EXPECT_EQ(r.row_ops, 0u);
+  EXPECT_EQ(r.cycles, 0u);
+  const double u = r.utilization(cfg.pe_groups * cfg.pes_per_group);
+  EXPECT_FALSE(std::isnan(u));
+  EXPECT_EQ(u, 0.0);
+
+  // Busy stages still report sane utilization against any PE count.
+  const auto f = engine.run_forward(input, geo_3x3(2, 2));
+  EXPECT_GT(f.cycles, 0u);
+  EXPECT_EQ(f.utilization(0), 0.0);
+  EXPECT_GT(f.utilization(1), 0.0);
+}
+
+// The parallel tiling contract: results are byte-identical to the serial
+// path for any worker count and any tile size, on all three stages.
+TEST(ExactEngineParallel, IdenticalForAnyWorkersAndTileSize) {
+  Rng rng(21);
+  const auto geo = [] {
+    auto g = geo_3x3(6, 12);
+    g.kernel = 3;
+    g.stride = 2;
+    g.padding = 1;
+    return g;
+  }();
+  Tensor input(Shape{2, 6, 24, 24});
+  input.fill_sparse_normal(rng, 0.4);
+  const Shape out_shape = dataflow::conv_output_shape(geo, input.shape());
+  Tensor grad(out_shape);
+  grad.fill_sparse_normal(rng, 0.3);
+  Tensor mask(input.shape());
+  mask.fill_sparse_normal(rng, 0.5);
+  for (float& v : mask.flat())
+    if (v != 0.0f) v = 1.0f;
+
+  ArchConfig cfg;
+  const ExactEngine serial(cfg);  // workers = 1: no pool at all
+  const auto fwd = serial.run_forward(input, geo);
+  const auto gta = serial.run_gta(grad, input.shape(), &mask, geo);
+  const auto gtw = serial.run_gtw(grad, input, geo);
+  EXPECT_GT(fwd.cycles, 0u);
+  EXPECT_GT(gta.cycles, 0u);
+  EXPECT_GT(gtw.cycles, 0u);
+
+  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+    for (const std::size_t tile :
+         {std::size_t{1}, std::size_t{7}, std::size_t{64},
+          std::size_t{1000000}}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " tile=" + std::to_string(tile));
+      ExactOptions opts;
+      opts.workers = workers;
+      opts.tile_tasks = tile;
+      const ExactEngine parallel(cfg, opts);
+      expect_identical(parallel.run_forward(input, geo), fwd);
+      expect_identical(parallel.run_gta(grad, input.shape(), &mask, geo),
+                       gta);
+      expect_identical(parallel.run_gtw(grad, input, geo), gtw);
+    }
+  }
+}
+
+// Acceptance: a full-size AlexNet CONV layer (conv2 at ImageNet scale,
+// 96→256 channels over 27×27, 5×5 kernel — the workload zoo geometry)
+// simulates exactly with 4 workers, byte-identical to the serial path.
+TEST(ExactEngineParallel, FullSizeAlexNetConvLayerMatchesSerial) {
+  const workload::LayerConfig& l =
+      workload::find_layer("AlexNet/ImageNet", "conv2");
+  const dataflow::ConvGeometry geo = dataflow::layer_geometry(l);
+
+  Rng rng(31);
+  Tensor input(Shape{1, l.in_channels, l.in_h, l.in_w});
+  input.fill_sparse_normal(rng, 0.35);
+  Tensor grad(Shape{1, l.out_channels, l.out_h(), l.out_w()});
+  grad.fill_sparse_normal(rng, 0.1);
+
+  ArchConfig cfg;
+  ExactOptions quad;
+  quad.workers = 4;
+  const ExactEngine serial(cfg);
+  const ExactEngine parallel(cfg, quad);
+
+  const auto fwd_s = serial.run_forward(input, geo);
+  const auto fwd_p = parallel.run_forward(input, geo);
+  EXPECT_GT(fwd_s.cycles, 0u);
+  EXPECT_EQ(fwd_s.tasks,
+            static_cast<std::size_t>(l.out_channels) * l.out_h());
+  expect_identical(fwd_p, fwd_s);
+
+  expect_identical(parallel.run_gtw(grad, input, geo),
+                   serial.run_gtw(grad, input, geo));
 }
 
 // The cross-validation: statistical engine vs exact engine on matched

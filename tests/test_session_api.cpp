@@ -234,9 +234,10 @@ class ExplodingBackend : public sim::Backend {
  public:
   const std::string& name() const override { return name_; }
   const sim::ArchConfig& arch() const override { return cfg_; }
+  using sim::Backend::run;
   sim::SimReport run(const isa::Program&, const workload::NetworkConfig&,
-                     const workload::SparsityProfile&,
-                     std::uint64_t) const override {
+                     const workload::SparsityProfile&, std::uint64_t,
+                     const sim::ExactOptions&) const override {
     throw std::runtime_error("backend exploded");
   }
 
@@ -244,6 +245,89 @@ class ExplodingBackend : public sim::Backend {
   std::string name_ = "exploding";
   sim::ArchConfig cfg_;
 };
+
+// ------------------------------------------------------------- exact mode
+
+TEST(Session, ExactJobsDeterministicAcrossWorkersAndTiles) {
+  const auto net = workload::tiny_workload();
+  const auto profile = SparsityProfile::pruned(net, 0.9);
+
+  auto run = [&](std::size_t pool_workers, std::size_t exact_workers,
+                 std::size_t tile) {
+    SessionConfig cfg;
+    cfg.workers = pool_workers;
+    Session session(cfg);
+    Session::JobOptions options;
+    options.sim.engine = isa::EngineKind::Exact;
+    options.sim.exact.workers = exact_workers;
+    options.sim.exact.tile_tasks = tile;
+    const auto job = session.submit(
+        net, profile, {Session::kSparseBackend, Session::kDenseBackend},
+        options);
+    return session.wait(job);
+  };
+
+  const EvalResult a = run(1, 1, 0);
+  const EvalResult b = run(4, 8, 3);
+  const auto& ra = a.report(Session::kSparseBackend);
+  const auto& rb = b.report(Session::kSparseBackend);
+  EXPECT_GT(ra.total_cycles, 0u);
+  EXPECT_EQ(ra.total_cycles, rb.total_cycles);
+  EXPECT_EQ(ra.activity.busy_cycles, rb.activity.busy_cycles);
+  EXPECT_EQ(ra.activity.macs, rb.activity.macs);
+  // Sparse side ran exactly; the dense baseline has no exact semantics
+  // and keeps the statistical model.
+  EXPECT_EQ(ra.engine, isa::EngineKind::Exact);
+  EXPECT_EQ(a.report(Session::kDenseBackend).engine,
+            isa::EngineKind::Statistical);
+  EXPECT_EQ(a.report(Session::kDenseBackend).total_cycles,
+            b.report(Session::kDenseBackend).total_cycles);
+}
+
+TEST(Session, ExactAndStatisticalJobsCacheSeparatePrograms) {
+  Session session;
+  const auto net = workload::tiny_workload();
+  const auto profile = SparsityProfile::pruned(net, 0.9);
+
+  Session::JobOptions exact;
+  exact.sim.engine = isa::EngineKind::Exact;
+  session.wait(session.submit(net, profile, {Session::kSparseBackend}));
+  session.wait(
+      session.submit(net, profile, {Session::kSparseBackend}, exact));
+  // Engine choice is program metadata, so the cache key differs.
+  EXPECT_EQ(session.program_cache().stats().misses, 2u);
+  // Re-submitting either engine hits.
+  session.wait(
+      session.submit(net, profile, {Session::kSparseBackend}, exact));
+  EXPECT_EQ(session.program_cache().stats().misses, 2u);
+  EXPECT_GT(session.program_cache().stats().hits, 0u);
+}
+
+TEST(Session, RegisteredExactBackendRunsExactlyOnAnyJob) {
+  Session session;
+  sim::ExactOptions opts;
+  opts.workers = 2;
+  session.backends().register_exact("sparsetrain-exact",
+                                    session.config().sparse_arch, opts);
+  const auto net = workload::tiny_workload();
+  const auto profile = SparsityProfile::pruned(net, 0.9);
+  // Plain statistical job: the exact backend still runs exactly.
+  const auto job = session.submit(
+      net, profile, {Session::kSparseBackend, "sparsetrain-exact"});
+  const EvalResult& r = session.wait(job);
+  EXPECT_EQ(r.report("sparsetrain-exact").engine, isa::EngineKind::Exact);
+  EXPECT_EQ(r.report(Session::kSparseBackend).engine,
+            isa::EngineKind::Statistical);
+  EXPECT_GT(r.report("sparsetrain-exact").total_cycles, 0u);
+  // Both engines simulate the same machine on the same workload: the
+  // reports should be in the same ballpark (loose integration band).
+  const double stat =
+      static_cast<double>(r.report(Session::kSparseBackend).total_cycles);
+  const double exact =
+      static_cast<double>(r.report("sparsetrain-exact").total_cycles);
+  EXPECT_LT(stat, 3.0 * exact + 500.0);
+  EXPECT_GT(stat, exact / 3.0 - 500.0);
+}
 
 TEST(Session, TaskErrorsRethrownOnEveryWaitAndSiblingsStillRun) {
   Session session;
