@@ -1,0 +1,267 @@
+// Exact-engine throughput benchmark — the repo's perf trajectory.
+//
+// For a set of workload-zoo conv layers this driver times the three
+// training stages (Forward / GTA-with-mask / GTW) on the tensor-driven
+// exact engine, single-threaded, on deterministically synthesised
+// operands, and reports rows/s (row ops per second) and MACs/s. A second
+// pass re-runs each stage with a worker pool to record the parallel
+// scaling factor. Results go to stdout as a table and to a JSON file
+// (default BENCH_exact_engine.json — schema documented in the README's
+// Performance section) so CI can archive the trajectory run over run.
+//
+// Layer selection: every zoo workload contributes its median-MACs conv
+// layer, and AlexNet/ImageNet conv2 (the acceptance geometry tracked
+// since PR 3) is always included. --full benches every conv layer of
+// every zoo workload; --quick benches only the CIFAR AlexNet entry (the
+// CI perf-smoke subset).
+//
+// The simulated numbers (cycles, MACs, row ops) are pure functions of
+// the inputs — only the seconds/throughput fields vary run to run.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "dataflow/conv_decompose.hpp"
+#include "sim/exact_engine.hpp"
+#include "util/args.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "workload/layer_config.hpp"
+
+using namespace sparsetrain;
+
+namespace {
+
+// The operating point every entry is synthesised at (recorded in the
+// JSON): moderately sparse activations, 90%-pruned gradients, a typical
+// ReLU mask.
+constexpr double kInputDensity = 0.35;
+constexpr double kGradDensity = 0.10;
+constexpr double kMaskDensity = 0.5;
+
+struct BenchCase {
+  std::string workload;
+  const workload::LayerConfig* layer = nullptr;
+};
+
+struct StageRun {
+  std::string stage;
+  std::size_t tasks = 0;
+  std::size_t row_ops = 0;
+  std::size_t macs = 0;
+  std::size_t cycles = 0;
+  double seconds_serial = 0.0;
+  double rows_per_s = 0.0;
+  double macs_per_s = 0.0;
+  double seconds_parallel = 0.0;
+  double parallel_speedup = 0.0;
+};
+
+/// Median-forward-MACs conv layer of a network (FC layers excluded: the
+/// FC dot-product stage has its own cost model and tiny spatial rows).
+const workload::LayerConfig* median_conv_layer(
+    const workload::NetworkConfig& net) {
+  std::vector<const workload::LayerConfig*> convs;
+  for (const auto& l : net.layers)
+    if (!l.is_fc) convs.push_back(&l);
+  if (convs.empty()) return nullptr;
+  std::sort(convs.begin(), convs.end(),
+            [](const auto* a, const auto* b) {
+              return a->forward_macs() < b->forward_macs();
+            });
+  return convs[convs.size() / 2];
+}
+
+/// Times `fn` (which returns an ExactStageResult) until it has run for
+/// at least `min_time` seconds, returning seconds per run.
+template <typename Fn>
+double time_stage(const Fn& fn, double min_time, int* reps_out = nullptr) {
+  WallTimer timer;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (timer.seconds() < min_time);
+  if (reps_out != nullptr) *reps_out = reps;
+  return timer.seconds() / reps;
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::string out_path = args.get("out", "BENCH_exact_engine.json");
+  const double min_time = args.get("min-time", 0.3);
+  const bool quick = args.has("quick");
+  const bool full = args.has("full");
+  const auto workers = static_cast<std::size_t>(args.get("workers", 0L));
+
+  // ---- select the bench cases
+  std::vector<BenchCase> cases;
+  const auto add_case = [&](const std::string& wl,
+                            const workload::LayerConfig* l) {
+    if (l == nullptr) return;
+    for (const auto& c : cases)
+      if (c.workload == wl && c.layer->name == l->name) return;
+    cases.push_back({wl, l});
+  };
+  if (quick) {
+    add_case("AlexNet/CIFAR",
+             median_conv_layer(workload::find_workload("AlexNet/CIFAR").net));
+  } else {
+    // The tracked acceptance geometry first, then one representative
+    // layer per zoo workload (or all conv layers with --full).
+    add_case("AlexNet/ImageNet",
+             &workload::find_layer("AlexNet/ImageNet", "conv2"));
+    for (const auto& entry : workload::workload_zoo()) {
+      if (full) {
+        for (const auto& l : entry.net.layers)
+          if (!l.is_fc) add_case(entry.net.name, &l);
+      } else {
+        add_case(entry.net.name, median_conv_layer(entry.net));
+      }
+    }
+  }
+
+  sim::ArchConfig cfg;
+  const sim::ExactEngine serial(cfg);
+  sim::ExactOptions popts;
+  popts.workers = workers;  // 0 = hardware concurrency
+  const sim::ExactEngine parallel(cfg, popts);
+
+  std::printf("exact-engine throughput, single-thread (parallel pass: %zu "
+              "workers)\n\n",
+              popts.workers == 0 ? std::thread::hardware_concurrency()
+                                 : popts.workers);
+  TextTable table({"workload", "layer", "stage", "row ops", "s/run",
+                   "Mrows/s", "MMACs/s", "par x"});
+
+  std::string json;
+  json += "{\n";
+  json += "  \"schema\": \"sparsetrain.bench_exact_throughput/v1\",\n";
+  json += "  \"densities\": {\"input_acts\": " + std::to_string(kInputDensity) +
+          ", \"output_grads\": " + std::to_string(kGradDensity) +
+          ", \"mask\": " + std::to_string(kMaskDensity) + "},\n";
+  json += "  \"arch\": {\"pe_groups\": " + std::to_string(cfg.pe_groups) +
+          ", \"pes_per_group\": " + std::to_string(cfg.pes_per_group) + "},\n";
+  json += "  \"entries\": [\n";
+  bool first_entry = true;
+
+  for (const auto& bc : cases) {
+    const workload::LayerConfig& l = *bc.layer;
+    const dataflow::ConvGeometry geo = dataflow::layer_geometry(l);
+
+    // Deterministic operands: the stream depends only on the names.
+    Rng rng(mix64(fnv1a(bc.workload), fnv1a(l.name)));
+    Tensor input(Shape{1, l.in_channels, l.in_h, l.in_w});
+    input.fill_sparse_normal(rng, kInputDensity);
+    Tensor grad(Shape{1, l.out_channels, l.out_h(), l.out_w()});
+    grad.fill_sparse_normal(rng, kGradDensity);
+    Tensor mask(input.shape());
+    mask.fill_sparse_normal(rng, kMaskDensity);
+    for (float& v : mask.flat())
+      if (v != 0.0f) v = 1.0f;
+
+    // One arena per operand: compress_tensor's layout is byte-identical
+    // for any worker count, so both engines share the same rows.
+    const auto in_rows = serial.compress(input);
+    const auto go_rows = serial.compress(grad);
+    const Shape in_shape = input.shape();
+    const Shape out_shape = grad.shape();
+
+    std::vector<StageRun> runs;
+    const auto bench_stage = [&](const char* name, const auto& run_serial,
+                                 const auto& run_parallel) {
+      StageRun sr;
+      sr.stage = name;
+      const sim::ExactStageResult r = run_serial();
+      sr.tasks = r.tasks;
+      sr.row_ops = r.row_ops;
+      sr.macs = r.activity.macs;
+      sr.cycles = r.cycles;
+      sr.seconds_serial = time_stage(run_serial, min_time);
+      sr.rows_per_s = static_cast<double>(sr.row_ops) / sr.seconds_serial;
+      sr.macs_per_s = static_cast<double>(sr.macs) / sr.seconds_serial;
+      sr.seconds_parallel = time_stage(run_parallel, min_time);
+      sr.parallel_speedup = sr.seconds_parallel > 0.0
+                                ? sr.seconds_serial / sr.seconds_parallel
+                                : 0.0;
+      runs.push_back(sr);
+    };
+
+    bench_stage(
+        "forward",
+        [&] { return serial.run_forward(in_rows, in_shape, geo); },
+        [&] { return parallel.run_forward(in_rows, in_shape, geo); });
+    bench_stage(
+        "gta",
+        [&] {
+          return serial.run_gta(go_rows, out_shape, in_shape, &mask, geo);
+        },
+        [&] {
+          return parallel.run_gta(go_rows, out_shape, in_shape, &mask, geo);
+        });
+    bench_stage(
+        "gtw",
+        [&] {
+          return serial.run_gtw(go_rows, out_shape, in_rows, in_shape, geo);
+        },
+        [&] {
+          return parallel.run_gtw(go_rows, out_shape, in_rows, in_shape,
+                                  geo);
+        });
+
+    for (const StageRun& sr : runs) {
+      table.add_row(
+          {bc.workload, l.name, sr.stage, std::to_string(sr.row_ops),
+           TextTable::num(sr.seconds_serial, 4),
+           TextTable::num(sr.rows_per_s / 1e6, 2),
+           TextTable::num(sr.macs_per_s / 1e6, 1),
+           TextTable::num(sr.parallel_speedup, 2)});
+
+      if (!first_entry) json += ",\n";
+      first_entry = false;
+      std::string wl_escaped, layer_escaped;
+      json_escape(wl_escaped, bc.workload);
+      json_escape(layer_escaped, l.name);
+      json += "    {\"workload\": \"" + wl_escaped + "\", \"layer\": \"" +
+              layer_escaped + "\", \"stage\": \"" + sr.stage + "\"";
+      json += ", \"tasks\": " + std::to_string(sr.tasks);
+      json += ", \"row_ops\": " + std::to_string(sr.row_ops);
+      json += ", \"macs\": " + std::to_string(sr.macs);
+      json += ", \"cycles\": " + std::to_string(sr.cycles);
+      json += ", \"seconds_serial\": " + std::to_string(sr.seconds_serial);
+      json += ", \"rows_per_s\": " + std::to_string(sr.rows_per_s);
+      json += ", \"macs_per_s\": " + std::to_string(sr.macs_per_s);
+      json += ", \"seconds_parallel\": " + std::to_string(sr.seconds_parallel);
+      json +=
+          ", \"parallel_speedup\": " + std::to_string(sr.parallel_speedup);
+      json += "}";
+    }
+  }
+  json += "\n  ]\n}\n";
+
+  std::printf("%s", table.to_string().c_str());
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu entries)\n", out_path.c_str(),
+              cases.size() * 3);
+  return 0;
+}

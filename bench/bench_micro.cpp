@@ -10,6 +10,8 @@
 #include "pruning/stochastic_pruner.hpp"
 #include "pruning/threshold.hpp"
 #include "sim/accelerator.hpp"
+#include "tensor/bit_mask.hpp"
+#include "tensor/compressed_rows.hpp"
 #include "tensor/sparse_row.hpp"
 #include "util/rng.hpp"
 #include "workload/layer_config.hpp"
@@ -24,6 +26,16 @@ std::vector<float> normal_data(std::size_t n, std::uint64_t seed) {
   std::vector<float> v(n);
   for (auto& x : v) x = static_cast<float>(rng.normal());
   return v;
+}
+
+/// A {1,1,rows,len} tensor at the given density, compressed into one
+/// arena — the exact engine's operand layout.
+CompressedRows random_rows(std::size_t rows, std::size_t len, double density,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(Shape{1, 1, rows, len});
+  t.fill_sparse_normal(rng, density);
+  return compress_tensor(t);
 }
 
 void BM_ThresholdDetermination(benchmark::State& state) {
@@ -90,6 +102,73 @@ void BM_SrcRowConv(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SrcRowConv)->Arg(10)->Arg(45)->Arg(100);
+
+// ---- row-op inner loops on view-based (arena) rows -------------------
+// The exact engine's hot path at {dense, 0.5, 0.9}-sparsity operating
+// points (Arg = density %). Any regression in the O(1)/two-pointer work
+// kernels shows up here in isolation, without engine scheduling noise.
+
+constexpr std::size_t kViewRows = 64;
+constexpr std::size_t kViewLen = 256;
+
+void BM_SrcWorkView(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const CompressedRows rows = random_rows(kViewRows, kViewLen, density, 41);
+  const dataflow::RowGeometry geo{3, 1, 1};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto w = dataflow::src_work(rows.row(i), geo, kViewLen);
+    benchmark::DoNotOptimize(w.macs);
+    i = (i + 1) % kViewRows;
+  }
+  state.SetItemsProcessed(state.iterations() * kViewLen);
+}
+BENCHMARK(BM_SrcWorkView)->Arg(100)->Arg(50)->Arg(10);
+
+void BM_MsrcWorkView(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const CompressedRows rows = random_rows(kViewRows, kViewLen, density, 42);
+  Rng rng(43);
+  std::vector<float> mask_dense(kViewLen, 0.0f);
+  for (auto& v : mask_dense)
+    if (rng.bernoulli(0.5)) v = 1.0f;
+  const BitMask mask = bitmask_from_dense(mask_dense);
+  const dataflow::RowGeometry geo{3, 1, 1};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto w = dataflow::msrc_work(rows.row(i), mask, geo, kViewLen);
+    benchmark::DoNotOptimize(w.macs);
+    i = (i + 1) % kViewRows;
+  }
+  state.SetItemsProcessed(state.iterations() * kViewLen);
+}
+BENCHMARK(BM_MsrcWorkView)->Arg(100)->Arg(50)->Arg(10);
+
+void BM_OsrcWorkView(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  const CompressedRows acts = random_rows(kViewRows, kViewLen, density, 44);
+  const CompressedRows grads = random_rows(kViewRows, kViewLen, density, 45);
+  const dataflow::RowGeometry geo{3, 1, 1};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto w = dataflow::osrc_work(acts.row(i), grads.row(i), geo);
+    benchmark::DoNotOptimize(w.macs);
+    i = (i + 1) % kViewRows;
+  }
+  state.SetItemsProcessed(state.iterations() * kViewLen);
+}
+BENCHMARK(BM_OsrcWorkView)->Arg(100)->Arg(50)->Arg(10);
+
+void BM_CompressTensorArena(benchmark::State& state) {
+  Rng rng(46);
+  Tensor t(Shape{1, 16, 64, 256});
+  t.fill_sparse_normal(rng, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress_tensor(t));
+  }
+  state.SetItemsProcessed(state.iterations() * t.size());
+}
+BENCHMARK(BM_CompressTensorArena);
 
 void BM_Conv2DForward(benchmark::State& state) {
   nn::Conv2DConfig cfg;

@@ -1,5 +1,6 @@
 #include "dataflow/conv_decompose.hpp"
 
+#include "tensor/compressed_rows.hpp"
 #include "util/require.hpp"
 
 namespace sparsetrain::dataflow {
@@ -23,6 +24,44 @@ bool input_row_index(std::size_t oy, std::size_t ky, const ConvGeometry& geo,
   iy = static_cast<std::size_t>(v);
   return true;
 }
+
+/// Flat CompressedRows index of tensor row (n, c, y).
+std::size_t flat_row(const Shape& s, std::size_t n, std::size_t c,
+                     std::size_t y) {
+  return (n * s.c + c) * s.h + y;
+}
+
+/// Mask rows of one (n, c) image plane, built once and reused by every
+/// (f, oy, ky) combination that scatters into the plane. All-pass when
+/// `prev_mask` is null.
+class PlaneMasks {
+ public:
+  PlaneMasks(const Tensor* prev_mask, const Shape& input_shape)
+      : prev_mask_(prev_mask), h_(input_shape.h) {
+    if (prev_mask_ == nullptr) {
+      all_pass_.assign_all(static_cast<std::uint32_t>(input_shape.w));
+    } else {
+      rows_.resize(h_);
+    }
+  }
+
+  /// Rebuilds for plane (n, c); no-op in the all-pass case.
+  void load_plane(std::size_t n, std::size_t c) {
+    if (prev_mask_ == nullptr) return;
+    for (std::size_t iy = 0; iy < h_; ++iy)
+      rows_[iy].assign_from_dense(prev_mask_->row(n, c, iy));
+  }
+
+  const BitMask& row(std::size_t iy) const {
+    return prev_mask_ == nullptr ? all_pass_ : rows_[iy];
+  }
+
+ private:
+  const Tensor* prev_mask_;
+  std::size_t h_;
+  BitMask all_pass_;
+  std::vector<BitMask> rows_;
+};
 
 }  // namespace
 
@@ -55,17 +94,19 @@ Tensor forward_by_rows(const Tensor& input, const Tensor& weights,
              "decompose: weight shape mismatch");
   Tensor output(out_shape);
   const RowGeometry rg = row_geo(geo);
+  const CompressedRows in_rows = compress_tensor(input);
+  const Shape& in = input.shape();
 
-  for (std::size_t n = 0; n < input.shape().n; ++n) {
+  for (std::size_t n = 0; n < in.n; ++n) {
     for (std::size_t f = 0; f < geo.out_channels; ++f) {
       for (std::size_t oy = 0; oy < out_shape.h; ++oy) {
         auto out_row = output.row(n, f, oy);
         for (std::size_t c = 0; c < geo.in_channels; ++c) {
           for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
             std::size_t iy;
-            if (!input_row_index(oy, ky, geo, input.shape().h, iy)) continue;
-            const SparseRow in_row = compress_row(input.row(n, c, iy));
-            src_row_conv(in_row, weights.row(f, c, ky), rg, out_row);
+            if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
+            src_row_conv(in_rows.row(flat_row(in, n, c, iy)),
+                         weights.row(f, c, ky), rg, out_row);
           }
         }
         if (bias != nullptr) {
@@ -89,27 +130,21 @@ Tensor gta_by_rows(const Tensor& grad_output, const Tensor& weights,
   Tensor grad_in(input_shape);
   const RowGeometry rg = row_geo(geo);
   const Shape& out = grad_output.shape();
+  const CompressedRows go_rows = compress_tensor(grad_output);
+  PlaneMasks masks(prev_mask, input_shape);
 
   for (std::size_t n = 0; n < out.n; ++n) {
     for (std::size_t c = 0; c < geo.in_channels; ++c) {
+      masks.load_plane(n, c);
       for (std::size_t f = 0; f < geo.out_channels; ++f) {
         for (std::size_t oy = 0; oy < out.h; ++oy) {
-          const SparseRow go_row = compress_row(grad_output.row(n, f, oy));
+          const SparseRowView go_row = go_rows.row(flat_row(out, n, f, oy));
           if (go_row.empty()) continue;
           for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
             std::size_t iy;
             if (!input_row_index(oy, ky, geo, input_shape.h, iy)) continue;
-            auto gi_row = grad_in.row(n, c, iy);
-            MaskRow mask;
-            if (prev_mask != nullptr) {
-              mask = mask_from_dense(prev_mask->row(n, c, iy));
-            } else {
-              mask.length = static_cast<std::uint32_t>(gi_row.size());
-              mask.offsets.resize(gi_row.size());
-              for (std::uint32_t i = 0; i < gi_row.size(); ++i)
-                mask.offsets[i] = i;
-            }
-            msrc_row_conv(go_row, weights.row(f, c, ky), mask, rg, gi_row);
+            msrc_row_conv(go_row, weights.row(f, c, ky), masks.row(iy), rg,
+                          grad_in.row(n, c, iy));
           }
         }
       }
@@ -124,20 +159,22 @@ Tensor gtw_by_rows(const Tensor& grad_output, const Tensor& input,
   const Shape& in = input.shape();
   Tensor dW(Shape{geo.out_channels, geo.in_channels, geo.kernel, geo.kernel});
   const RowGeometry rg = row_geo(geo);
+  const CompressedRows go_rows = compress_tensor(grad_output);
+  const CompressedRows in_rows = compress_tensor(input);
 
   for (std::size_t n = 0; n < out.n; ++n) {
     for (std::size_t f = 0; f < geo.out_channels; ++f) {
       for (std::size_t oy = 0; oy < out.h; ++oy) {
-        const SparseRow go_row = compress_row(grad_output.row(n, f, oy));
+        const SparseRowView go_row = go_rows.row(flat_row(out, n, f, oy));
         if (dbias != nullptr)
-          for (float v : go_row.values) (*dbias)[f] += v;
+          for (const float v : go_row.values) (*dbias)[f] += v;
         if (go_row.empty()) continue;
         for (std::size_t c = 0; c < geo.in_channels; ++c) {
           for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
             std::size_t iy;
             if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
-            const SparseRow in_row = compress_row(input.row(n, c, iy));
-            osrc_row_conv(in_row, go_row, rg, dW.row(f, c, ky));
+            osrc_row_conv(in_rows.row(flat_row(in, n, c, iy)), go_row, rg,
+                          dW.row(f, c, ky));
           }
         }
       }
@@ -149,16 +186,18 @@ Tensor gtw_by_rows(const Tensor& grad_output, const Tensor& input,
 StageWork forward_work(const Tensor& input, const ConvGeometry& geo) {
   const Shape out_shape = conv_output_shape(geo, input.shape());
   const RowGeometry rg = row_geo(geo);
+  const CompressedRows in_rows = compress_tensor(input);
+  const Shape& in = input.shape();
   StageWork sw;
-  for (std::size_t n = 0; n < input.shape().n; ++n) {
+  for (std::size_t n = 0; n < in.n; ++n) {
     for (std::size_t f = 0; f < geo.out_channels; ++f) {
       for (std::size_t oy = 0; oy < out_shape.h; ++oy) {
         for (std::size_t c = 0; c < geo.in_channels; ++c) {
           for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
             std::size_t iy;
-            if (!input_row_index(oy, ky, geo, input.shape().h, iy)) continue;
-            const SparseRow in_row = compress_row(input.row(n, c, iy));
-            const RowOpWork w = src_work(in_row, rg, out_shape.w);
+            if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
+            const RowOpWork w = src_work(in_rows.row(flat_row(in, n, c, iy)),
+                                         rg, out_shape.w);
             ++sw.row_ops;
             sw.work.macs += w.macs;
             sw.work.active_inputs += w.active_inputs;
@@ -175,25 +214,20 @@ StageWork gta_work(const Tensor& grad_output, const Shape& input_shape,
                    const Tensor* prev_mask, const ConvGeometry& geo) {
   const RowGeometry rg = row_geo(geo);
   const Shape& out = grad_output.shape();
+  const CompressedRows go_rows = compress_tensor(grad_output);
+  PlaneMasks masks(prev_mask, input_shape);
   StageWork sw;
   for (std::size_t n = 0; n < out.n; ++n) {
     for (std::size_t c = 0; c < geo.in_channels; ++c) {
+      masks.load_plane(n, c);
       for (std::size_t f = 0; f < geo.out_channels; ++f) {
         for (std::size_t oy = 0; oy < out.h; ++oy) {
-          const SparseRow go_row = compress_row(grad_output.row(n, f, oy));
+          const SparseRowView go_row = go_rows.row(flat_row(out, n, f, oy));
           for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
             std::size_t iy;
             if (!input_row_index(oy, ky, geo, input_shape.h, iy)) continue;
-            MaskRow mask;
-            if (prev_mask != nullptr) {
-              mask = mask_from_dense(prev_mask->row(n, c, iy));
-            } else {
-              mask.length = static_cast<std::uint32_t>(input_shape.w);
-              mask.offsets.resize(input_shape.w);
-              for (std::uint32_t i = 0; i < input_shape.w; ++i)
-                mask.offsets[i] = i;
-            }
-            const RowOpWork w = msrc_work(go_row, mask, rg, input_shape.w);
+            const RowOpWork w =
+                msrc_work(go_row, masks.row(iy), rg, input_shape.w);
             ++sw.row_ops;
             sw.work.macs += w.macs;
             sw.work.active_inputs += w.active_inputs;
@@ -210,17 +244,20 @@ StageWork gtw_work(const Tensor& grad_output, const Tensor& input,
                    const ConvGeometry& geo) {
   const RowGeometry rg = row_geo(geo);
   const Shape& out = grad_output.shape();
+  const Shape& in = input.shape();
+  const CompressedRows go_rows = compress_tensor(grad_output);
+  const CompressedRows in_rows = compress_tensor(input);
   StageWork sw;
   for (std::size_t n = 0; n < out.n; ++n) {
     for (std::size_t f = 0; f < geo.out_channels; ++f) {
       for (std::size_t oy = 0; oy < out.h; ++oy) {
-        const SparseRow go_row = compress_row(grad_output.row(n, f, oy));
+        const SparseRowView go_row = go_rows.row(flat_row(out, n, f, oy));
         for (std::size_t c = 0; c < geo.in_channels; ++c) {
           for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
             std::size_t iy;
-            if (!input_row_index(oy, ky, geo, input.shape().h, iy)) continue;
-            const SparseRow in_row = compress_row(input.row(n, c, iy));
-            const RowOpWork w = osrc_work(in_row, go_row, rg);
+            if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
+            const RowOpWork w =
+                osrc_work(in_rows.row(flat_row(in, n, c, iy)), go_row, rg);
             ++sw.row_ops;
             sw.work.macs += w.macs;
             sw.work.active_inputs += w.active_inputs;

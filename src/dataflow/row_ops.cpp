@@ -42,7 +42,7 @@ bool msrc_output_index(std::uint32_t in_pos, std::uint32_t k,
 
 }  // namespace
 
-void src_row_conv(const SparseRow& input, std::span<const float> kernel,
+void src_row_conv(SparseRowView input, std::span<const float> kernel,
                   const RowGeometry& geo, std::span<float> out) {
   ST_REQUIRE(kernel.size() == geo.kernel, "SRC kernel length != K");
   for (std::size_t i = 0; i < input.nnz(); ++i) {
@@ -56,11 +56,11 @@ void src_row_conv(const SparseRow& input, std::span<const float> kernel,
   }
 }
 
-void msrc_row_conv(const SparseRow& input, std::span<const float> kernel,
-                   const MaskRow& mask, const RowGeometry& geo,
+void msrc_row_conv(SparseRowView input, std::span<const float> kernel,
+                   const BitMask& mask, const RowGeometry& geo,
                    std::span<float> out) {
   ST_REQUIRE(kernel.size() == geo.kernel, "MSRC kernel length != K");
-  ST_REQUIRE(mask.length == out.size(), "MSRC mask length != output length");
+  ST_REQUIRE(mask.length() == out.size(), "MSRC mask length != output length");
   for (std::size_t i = 0; i < input.nnz(); ++i) {
     const std::uint32_t pos = input.offsets[i];
     const float v = input.values[i];
@@ -73,104 +73,35 @@ void msrc_row_conv(const SparseRow& input, std::span<const float> kernel,
   }
 }
 
-void osrc_row_conv(const SparseRow& input_acts, const SparseRow& grad_out,
+void msrc_row_conv(SparseRowView input, std::span<const float> kernel,
+                   const MaskRow& mask, const RowGeometry& geo,
+                   std::span<float> out) {
+  ST_REQUIRE(mask.length == out.size(), "MSRC mask length != output length");
+  msrc_row_conv(input, kernel, bitmask_from(mask), geo, out);
+}
+
+void osrc_row_conv(SparseRowView input_acts, SparseRowView grad_out,
                    const RowGeometry& geo, std::span<float> dw) {
   ST_REQUIRE(dw.size() == geo.kernel, "OSRC scratchpad length != K");
-  // dw[k] += Σ dO[ox] · I[ox·S + k − P]: iterate dO nonzeros, look up the
-  // matching I positions among its nonzeros.
-  for (std::size_t j = 0; j < grad_out.nnz(); ++j) {
-    const std::uint32_t ox = grad_out.offsets[j];
-    const float g = grad_out.values[j];
-    for (std::uint32_t k = 0; k < geo.kernel; ++k) {
-      const std::int64_t ipos = static_cast<std::int64_t>(ox) *
-                                    static_cast<std::int64_t>(geo.stride) +
-                                static_cast<std::int64_t>(k) -
-                                static_cast<std::int64_t>(geo.padding);
-      if (ipos < 0 || ipos >= static_cast<std::int64_t>(input_acts.length))
-        continue;
-      // Binary search I's offsets for ipos.
-      const auto it = std::lower_bound(input_acts.offsets.begin(),
-                                       input_acts.offsets.end(),
-                                       static_cast<std::uint32_t>(ipos));
-      if (it != input_acts.offsets.end() &&
-          *it == static_cast<std::uint32_t>(ipos)) {
-        const auto idx =
-            static_cast<std::size_t>(it - input_acts.offsets.begin());
-        dw[k] += g * input_acts.values[idx];
-      }
-    }
-  }
+  // dw[k] += Σ dO[ox] · I[ox·S + k − P]: window member at I offset o
+  // contributes to tap k = o − win_lo.
+  osrc_window_sweep(
+      input_acts, grad_out, geo,
+      [&](std::size_t j, std::int64_t win_lo, std::size_t lo,
+          std::size_t hi) {
+        const float g = grad_out.values[j];
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const std::size_t k =
+              static_cast<std::size_t>(input_acts.offsets[idx] - win_lo);
+          dw[k] += g * input_acts.values[idx];
+        }
+      });
 }
 
-RowOpWork src_work(const SparseRow& input, const RowGeometry& geo,
-                   std::size_t out_len) {
-  RowOpWork w;
-  for (std::size_t i = 0; i < input.nnz(); ++i) {
-    std::size_t macs_here = 0;
-    for (std::uint32_t k = 0; k < geo.kernel; ++k) {
-      std::size_t ox;
-      if (src_output_index(input.offsets[i], k, geo, out_len, ox))
-        ++macs_here;
-    }
-    if (macs_here > 0) {
-      ++w.active_inputs;
-      w.macs += macs_here;
-    } else {
-      ++w.skipped_inputs;
-    }
-  }
-  return w;
-}
-
-RowOpWork msrc_work(const SparseRow& input, const MaskRow& mask,
+RowOpWork msrc_work(SparseRowView input, const MaskRow& mask,
                     const RowGeometry& geo, std::size_t out_len) {
-  RowOpWork w;
-  for (std::size_t i = 0; i < input.nnz(); ++i) {
-    std::size_t macs_here = 0;
-    for (std::uint32_t k = 0; k < geo.kernel; ++k) {
-      std::size_t ix;
-      if (!msrc_output_index(input.offsets[i], k, geo, out_len, ix)) continue;
-      if (!mask.allows(static_cast<std::uint32_t>(ix))) continue;
-      ++macs_here;
-    }
-    if (macs_here > 0) {
-      ++w.active_inputs;
-      w.macs += macs_here;
-    } else {
-      // Whole window masked/out-of-range: the PE's look-ahead skips this
-      // input without spending a cycle on it.
-      ++w.skipped_inputs;
-    }
-  }
-  return w;
-}
-
-RowOpWork osrc_work(const SparseRow& input_acts, const SparseRow& grad_out,
-                    const RowGeometry& geo) {
-  RowOpWork w;
-  for (std::size_t j = 0; j < grad_out.nnz(); ++j) {
-    const std::uint32_t ox = grad_out.offsets[j];
-    std::size_t macs_here = 0;
-    for (std::uint32_t k = 0; k < geo.kernel; ++k) {
-      const std::int64_t ipos = static_cast<std::int64_t>(ox) *
-                                    static_cast<std::int64_t>(geo.stride) +
-                                static_cast<std::int64_t>(k) -
-                                static_cast<std::int64_t>(geo.padding);
-      if (ipos < 0 || ipos >= static_cast<std::int64_t>(input_acts.length))
-        continue;
-      if (std::binary_search(input_acts.offsets.begin(),
-                             input_acts.offsets.end(),
-                             static_cast<std::uint32_t>(ipos)))
-        ++macs_here;
-    }
-    if (macs_here > 0) {
-      ++w.active_inputs;
-      w.macs += macs_here;
-    } else {
-      ++w.skipped_inputs;
-    }
-  }
-  return w;
+  ST_REQUIRE(mask.length == out_len, "MSRC mask length != output length");
+  return msrc_work(input, bitmask_from(mask), geo, out_len);
 }
 
 }  // namespace sparsetrain::dataflow

@@ -11,12 +11,19 @@
 //
 // These are the *functional references*: bit-exact semantics used both to
 // validate the dense layer implementations and as the ground truth for the
-// cycle simulator's work counting.
+// cycle simulator's work counting. Operands are SparseRowView spans (an
+// owning SparseRow converts implicitly), masks are word-packed BitMasks;
+// the work counters below are the exact engine's inner loop and use O(1)
+// window arithmetic per nonzero instead of per-tap searches.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <span>
 
+#include "tensor/bit_mask.hpp"
 #include "tensor/sparse_row.hpp"
+#include "util/require.hpp"
 
 namespace sparsetrain::dataflow {
 
@@ -31,22 +38,28 @@ struct RowGeometry {
 /// out[ox] += Σ_k kernel[k] · in[ox·S + k − P], for ox in [0, out.size()).
 /// `input` is the compressed activation row; `kernel` must have length K.
 /// Implementation iterates input nonzeros only (the PE's zero skipping).
-void src_row_conv(const SparseRow& input, std::span<const float> kernel,
+void src_row_conv(SparseRowView input, std::span<const float> kernel,
                   const RowGeometry& geo, std::span<float> out);
 
 /// MSRC — GTA-step row convolution with output masking.
 /// out[p·S + k − P] += Σ in[p] · kernel[k], but positions not allowed by
 /// `mask` are skipped entirely (their value is forced to zero by the
-/// following ReLU, so computing them is wasted work). `mask.length` must
-/// equal out.size(). Pass a full mask to disable skipping.
-void msrc_row_conv(const SparseRow& input, std::span<const float> kernel,
+/// following ReLU, so computing them is wasted work). `mask.length()` must
+/// equal out.size(). Pass an all-pass mask to disable skipping.
+void msrc_row_conv(SparseRowView input, std::span<const float> kernel,
+                   const BitMask& mask, const RowGeometry& geo,
+                   std::span<float> out);
+
+/// Compatibility overload for the sorted-offset mask representation
+/// (converts per call — reference/test paths only, never the hot loop).
+void msrc_row_conv(SparseRowView input, std::span<const float> kernel,
                    const MaskRow& mask, const RowGeometry& geo,
                    std::span<float> out);
 
 /// OSRC — GTW-step row correlation.
 /// dw[k] += Σ_ox dO[ox] · I[ox·S + k − P] for k in [0, K).
 /// Both operands are sparse; `dw` must have length K.
-void osrc_row_conv(const SparseRow& input_acts, const SparseRow& grad_out,
+void osrc_row_conv(SparseRowView input_acts, SparseRowView grad_out,
                    const RowGeometry& geo, std::span<float> dw);
 
 /// Work counters used by the cycle model: how many multiply-accumulates a
@@ -59,17 +72,135 @@ struct RowOpWork {
   std::size_t skipped_inputs = 0;  ///< nonzeros skipped via mask look-ahead
 };
 
-/// Work of an SRC op (mask-free).
-RowOpWork src_work(const SparseRow& input, const RowGeometry& geo,
-                   std::size_t out_len);
+// The three work counters below are the exact engine's innermost loop —
+// they run once per row op, tens of millions of times per stage — so they
+// are defined inline here: the per-op bodies are a handful of arithmetic
+// instructions, and a cross-TU call per op would cost more than the work.
 
-/// Work of an MSRC op: per-input-window mask intersection.
-RowOpWork msrc_work(const SparseRow& input, const MaskRow& mask,
+/// Work of an SRC op (mask-free). O(1) per input nonzero: the valid taps
+/// of position p form the arithmetic progression k ≡ (p+P) mod S inside a
+/// window, so their count needs no tap loop — and no division when S = 1.
+inline RowOpWork src_work(SparseRowView input, const RowGeometry& geo,
+                          std::size_t out_len) {
+  RowOpWork w;
+  if (out_len == 0) {
+    w.skipped_inputs = input.nnz();
+    return w;
+  }
+  const std::int64_t S = geo.stride;
+  const std::int64_t kmax = static_cast<std::int64_t>(geo.kernel) - 1;
+  const std::int64_t base_min =
+      S * (static_cast<std::int64_t>(out_len) - 1);  // klo > 0 above this
+  for (std::size_t i = 0; i < input.nnz(); ++i) {
+    const std::int64_t base = static_cast<std::int64_t>(input.offsets[i]) +
+                              static_cast<std::int64_t>(geo.padding);
+    const std::int64_t khi = std::min(kmax, base);
+    const std::int64_t klo = std::max<std::int64_t>(0, base - base_min);
+    std::size_t macs_here = 0;
+    if (khi >= klo) {
+      if (S == 1) {
+        macs_here = static_cast<std::size_t>(khi - klo + 1);
+      } else {
+        // First k ≥ klo congruent to base mod S (base ≥ klo ≥ 0, so the
+        // remainder needs the usual non-negative adjustment).
+        const std::int64_t r = base % S;
+        const std::int64_t k0 = klo + (((r - klo) % S) + S) % S;
+        if (k0 <= khi) macs_here = static_cast<std::size_t>((khi - k0) / S + 1);
+      }
+    }
+    if (macs_here > 0) {
+      ++w.active_inputs;
+      w.macs += macs_here;
+    } else {
+      ++w.skipped_inputs;
+    }
+  }
+  return w;
+}
+
+/// Work of an MSRC op: per-input-window mask intersection. The window of
+/// a nonzero is K consecutive output positions, so its allowed count is
+/// one BitMask::count_in.
+inline RowOpWork msrc_work(SparseRowView input, const BitMask& mask,
+                           const RowGeometry& geo, std::size_t out_len) {
+  ST_REQUIRE(mask.length() == out_len, "MSRC mask length != output length");
+  RowOpWork w;
+  for (std::size_t i = 0; i < input.nnz(); ++i) {
+    // The K output positions of nonzero p are the consecutive window
+    // [p·S − P, p·S − P + K); its surviving count is one popcount query.
+    const std::int64_t win_lo = static_cast<std::int64_t>(input.offsets[i]) *
+                                    static_cast<std::int64_t>(geo.stride) -
+                                static_cast<std::int64_t>(geo.padding);
+    const std::int64_t win_hi = win_lo + static_cast<std::int64_t>(geo.kernel);
+    std::size_t macs_here = 0;
+    if (win_hi > 0) {
+      const auto lo =
+          static_cast<std::uint32_t>(std::max<std::int64_t>(0, win_lo));
+      const auto hi = static_cast<std::uint32_t>(
+          std::min<std::int64_t>(static_cast<std::int64_t>(out_len), win_hi));
+      macs_here = mask.count_in(lo, hi);
+    }
+    if (macs_here > 0) {
+      ++w.active_inputs;
+      w.macs += macs_here;
+    } else {
+      // Whole window masked/out-of-range: the PE's look-ahead skips this
+      // input without spending a cycle on it.
+      ++w.skipped_inputs;
+    }
+  }
+  return w;
+}
+
+/// Compatibility overload (converts the mask per call).
+RowOpWork msrc_work(SparseRowView input, const MaskRow& mask,
                     const RowGeometry& geo, std::size_t out_len);
 
+/// The OSRC window sweep shared by osrc_work and osrc_row_conv: the
+/// matching I positions of dO nonzero j are the K-wide window
+/// [ox·S − P, ox·S − P + K) over I's sorted offsets. Window bounds grow
+/// monotonically with ox, so two pointers sweep I once across all dO
+/// nonzeros — O(nnz_dO + nnz_I) instead of nnz_dO · K · log(nnz_I).
+/// Calls visit(j, win_lo, lo, hi) per dO nonzero with I's members of the
+/// window at offsets[lo, hi).
+template <typename Visit>
+inline void osrc_window_sweep(SparseRowView input_acts,
+                              SparseRowView grad_out, const RowGeometry& geo,
+                              Visit&& visit) {
+  std::size_t lo = 0, hi = 0;
+  const std::size_t nnz_i = input_acts.nnz();
+  for (std::size_t j = 0; j < grad_out.nnz(); ++j) {
+    const std::int64_t win_lo = static_cast<std::int64_t>(grad_out.offsets[j]) *
+                                    static_cast<std::int64_t>(geo.stride) -
+                                static_cast<std::int64_t>(geo.padding);
+    const std::int64_t win_hi = win_lo + static_cast<std::int64_t>(geo.kernel);
+    while (lo < nnz_i &&
+           static_cast<std::int64_t>(input_acts.offsets[lo]) < win_lo)
+      ++lo;
+    if (hi < lo) hi = lo;
+    while (hi < nnz_i &&
+           static_cast<std::int64_t>(input_acts.offsets[hi]) < win_hi)
+      ++hi;
+    visit(j, win_lo, lo, hi);
+  }
+}
+
 /// Work of an OSRC op: pairs of nonzeros whose offset difference lands in
-/// the K-length scratchpad.
-RowOpWork osrc_work(const SparseRow& input_acts, const SparseRow& grad_out,
-                    const RowGeometry& geo);
+/// the K-length scratchpad (one window sweep, counts only).
+inline RowOpWork osrc_work(SparseRowView input_acts, SparseRowView grad_out,
+                           const RowGeometry& geo) {
+  RowOpWork w;
+  osrc_window_sweep(input_acts, grad_out, geo,
+                    [&](std::size_t, std::int64_t, std::size_t lo,
+                        std::size_t hi) {
+                      if (hi > lo) {
+                        ++w.active_inputs;
+                        w.macs += hi - lo;
+                      } else {
+                        ++w.skipped_inputs;
+                      }
+                    });
+  return w;
+}
 
 }  // namespace sparsetrain::dataflow

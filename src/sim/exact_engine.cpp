@@ -33,6 +33,22 @@ isa::RowBlock block_from(const dataflow::ConvGeometry& geo,
   return b;
 }
 
+/// Per-worker-thread scratch. Capacities grow to the stage's steady state
+/// within the first few tasks, after which evaluating a task performs no
+/// heap allocation at all (the zero-alloc contract of the hot path).
+struct TaskScratch {
+  std::vector<PeCost> ops;
+  BitMask mask;
+  std::vector<std::uint32_t> gta_oy;  ///< ky → source oy (kNoRow: padding)
+};
+
+constexpr std::uint32_t kNoRow = ~std::uint32_t{0};
+
+TaskScratch& task_scratch() {
+  thread_local TaskScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 double ExactStageResult::utilization(std::size_t total_pes) const {
@@ -54,27 +70,10 @@ ExactEngine::ExactEngine(ArchConfig cfg, ExactOptions opts)
 ExactEngine::~ExactEngine() = default;
 
 ExactEngine::RowSet ExactEngine::compress(const Tensor& t) const {
-  // The buffer holds each distinct row once; every consuming row op
-  // streams the same compressed bytes, so compress each row exactly once.
-  const Shape& s = t.shape();
-  const std::size_t channels = s.n * s.c;
-  std::vector<std::vector<SparseRow>> rows(channels);
-  util::parallel_for(
-      pool_.get(), channels, /*grain=*/4,
-      [&](std::size_t first, std::size_t last) {
-        for (std::size_t ch = first; ch < last; ++ch) {
-          const std::size_t n = ch / s.c;
-          const std::size_t c = ch % s.c;
-          auto& channel_rows = rows[ch];
-          channel_rows.reserve(s.h);
-          for (std::size_t y = 0; y < s.h; ++y)
-            channel_rows.push_back(compress_row(t.row(n, c, y)));
-        }
-      });
-  return rows;
+  return compress_tensor(t, pool_.get());
 }
 
-ExactEngine::TaskCost ExactEngine::reduce_task(const std::vector<PeCost>& ops,
+ExactEngine::TaskCost ExactEngine::reduce_task(std::span<const PeCost> ops,
                                                std::size_t lanes) const {
   // The group's PEs take the task's row ops in parallel rounds; each
   // round lasts as long as its slowest op.
@@ -154,13 +153,14 @@ ExactStageResult ExactEngine::run_forward(
   return run_tasks(task_count, [&, b](std::size_t index) {
     const std::size_t oy = index % out_shape.h;
     const std::size_t n = index / (out_shape.h * geo.out_channels);
-    std::vector<PeCost> ops;
-    ops.reserve(geo.in_channels * geo.kernel);
+    std::vector<PeCost>& ops = task_scratch().ops;
+    ops.clear();
     for (std::size_t c = 0; c < geo.in_channels; ++c) {
       for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
         std::size_t iy;
         if (!input_row_index(oy, ky, geo, in_shape.h, iy)) continue;
-        ops.push_back(pe_.run_src(rows[n * in_shape.c + c][iy], b));
+        ops.push_back(
+            pe_.run_src(rows.row((n * in_shape.c + c) * in_shape.h + iy), b));
       }
     }
     return reduce_task(ops, geo.kernel);
@@ -182,10 +182,11 @@ ExactStageResult ExactEngine::run_gta(const RowSet& go_rows,
   const isa::RowBlock b =
       block_from(geo, out.w, input_shape.w, isa::RowOpKind::MSRC);
 
-  MaskRow all_pass;
-  all_pass.length = static_cast<std::uint32_t>(input_shape.w);
-  for (std::uint32_t i = 0; i < input_shape.w; ++i)
-    all_pass.offsets.push_back(i);
+  // The all-pass mask is one shared constant — every unmasked task reads
+  // it in place. Masked tasks rebuild their row's BitMask in per-thread
+  // scratch instead of copying offset lists around.
+  BitMask all_pass;
+  all_pass.assign_all(static_cast<std::uint32_t>(input_shape.w));
 
   // One task per dI row (n, c, iy): F·K row ops scatter into it.
   const std::size_t task_count =
@@ -194,23 +195,35 @@ ExactStageResult ExactEngine::run_gta(const RowSet& go_rows,
     const std::size_t iy = index % input_shape.h;
     const std::size_t c = (index / input_shape.h) % geo.in_channels;
     const std::size_t n = index / (input_shape.h * geo.in_channels);
-    const MaskRow mask = prev_mask != nullptr
-                             ? mask_from_dense(prev_mask->row(n, c, iy))
-                             : all_pass;
-    std::vector<PeCost> ops;
-    ops.reserve(geo.out_channels * geo.kernel);
+    TaskScratch& scratch = task_scratch();
+    const BitMask* mask = &all_pass;
+    if (prev_mask != nullptr) {
+      scratch.mask.assign_from_dense(prev_mask->row(n, c, iy));
+      mask = &scratch.mask;
+    }
+    // oy·S + ky − P = iy → every (oy, ky) pair writing this row. The
+    // mapping depends only on iy, so resolve it once per task instead of
+    // once per (f, ky).
+    std::vector<std::uint32_t>& oy_of = scratch.gta_oy;
+    oy_of.assign(geo.kernel, kNoRow);
+    for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+      const std::int64_t num = static_cast<std::int64_t>(iy) +
+                               static_cast<std::int64_t>(geo.padding) -
+                               static_cast<std::int64_t>(ky);
+      if (num < 0 || num % static_cast<std::int64_t>(geo.stride) != 0)
+        continue;
+      const auto oy = static_cast<std::size_t>(
+          num / static_cast<std::int64_t>(geo.stride));
+      if (oy >= out.h) continue;
+      oy_of[ky] = static_cast<std::uint32_t>(oy);
+    }
+    std::vector<PeCost>& ops = scratch.ops;
+    ops.clear();
     for (std::size_t f = 0; f < geo.out_channels; ++f) {
       for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
-        // oy·S + ky − P = iy → every (oy, ky) pair writing this row.
-        const std::int64_t num = static_cast<std::int64_t>(iy) +
-                                 static_cast<std::int64_t>(geo.padding) -
-                                 static_cast<std::int64_t>(ky);
-        if (num < 0 || num % static_cast<std::int64_t>(geo.stride) != 0)
-          continue;
-        const auto oy = static_cast<std::size_t>(
-            num / static_cast<std::int64_t>(geo.stride));
-        if (oy >= out.h) continue;
-        ops.push_back(pe_.run_msrc(go_rows[n * out.c + f][oy], mask, b));
+        if (oy_of[ky] == kNoRow) continue;
+        ops.push_back(pe_.run_msrc(
+            go_rows.row((n * out.c + f) * out.h + oy_of[ky]), *mask, b));
       }
     }
     return reduce_task(ops, geo.kernel);
@@ -238,15 +251,16 @@ ExactStageResult ExactEngine::run_gtw(const RowSet& go_rows,
     const std::size_t c = index % geo.in_channels;
     const std::size_t f = (index / geo.in_channels) % geo.out_channels;
     const std::size_t n = index / (geo.in_channels * geo.out_channels);
-    std::vector<PeCost> ops;
-    ops.reserve(out.h * geo.kernel);
+    std::vector<PeCost>& ops = task_scratch().ops;
+    ops.clear();
     for (std::size_t oy = 0; oy < out.h; ++oy) {
-      const SparseRow& go = go_rows[n * out.c + f][oy];
+      const SparseRowView go = go_rows.row((n * out.c + f) * out.h + oy);
       if (go.empty()) continue;  // zero dO row: nothing scheduled
       for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
         std::size_t iy;
         if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
-        ops.push_back(pe_.run_osrc(in_rows[n * in.c + c][iy], go, b));
+        ops.push_back(
+            pe_.run_osrc(in_rows.row((n * in.c + c) * in.h + iy), go, b));
       }
     }
     return reduce_task(ops, geo.kernel);
@@ -271,12 +285,12 @@ ExactStageResult ExactEngine::run_fc(const Tensor& operands,
   const std::size_t drain = cfg_.timing.pipeline_drain;
   return run_tasks(task_count, [&, drain, lanes](std::size_t index) {
     const std::size_t n = index / groups_per_sample;
-    const SparseRow& vec = rows[n][0];
+    const SparseRowView vec = rows.row(n);
     PeCost op;
     op.ingested = vec.nnz();
     op.macs = vec.nnz() * lanes;
     op.cycles = vec.nnz() + drain;
-    return reduce_task({op}, lanes);
+    return reduce_task(std::span<const PeCost>(&op, 1), lanes);
   });
 }
 

@@ -14,7 +14,13 @@
 // are then merged into the group scheduler in task order. Tile boundaries
 // and the merge order depend only on the task indices — never on the
 // worker count or which worker ran a tile — so results are byte-identical
-// to the serial path for any ExactOptions. That makes full-size layer
+// to the serial path for any ExactOptions. The hot path is allocation-free
+// in steady state: operand tensors live in CompressedRows arenas, tasks
+// read them through SparseRowView spans, masks are word-packed BitMasks
+// (the all-pass mask is one shared constant per stage), and each worker
+// thread reuses a scratch buffer for its per-task PeCost list and mask
+// (tests/test_exact_alloc.cpp counts allocations). That makes full-size
+// layer
 // geometries (AlexNet/VGG/ResNet conv layers from the workload zoo)
 // practical to validate exactly; whole ImageNet *networks* in one exact
 // job are still minutes-scale and remain the statistical mode's territory.
@@ -22,9 +28,11 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "dataflow/conv_decompose.hpp"
 #include "sim/accelerator.hpp"
+#include "tensor/compressed_rows.hpp"
 #include "tensor/tensor.hpp"
 #include "util/thread_pool.hpp"
 
@@ -66,14 +74,16 @@ class ExactEngine {
   const ArchConfig& config() const { return cfg_; }
   const ExactOptions& options() const { return opts_; }
 
-  /// A tensor's rows in the accelerator's compressed on-wire format,
-  /// indexed [n·C + c][y]. The buffer holds each distinct row once, so a
-  /// caller running several stages over the same tensor (Forward + GTW
-  /// share I, GTA + GTW share dO) should compress() once and pass the
-  /// rows to the row-set overloads below.
-  using RowSet = std::vector<std::vector<SparseRow>>;
+  /// A tensor's rows in the accelerator's compressed on-wire format: one
+  /// arena-backed CSR structure whose flat row (n·C + c)·H + y is tensor
+  /// row (n, c, y). The arena holds each distinct row once, so a caller
+  /// running several stages over the same tensor (Forward + GTW share I,
+  /// GTA + GTW share dO) should compress() once and pass the rows to the
+  /// row-set overloads below.
+  using RowSet = CompressedRows;
 
-  /// Compresses every row of `t` once (tiled across the pool).
+  /// Compresses every row of `t` into one arena (tiled across the pool;
+  /// layout is identical for any worker count).
   RowSet compress(const Tensor& t) const;
 
   /// Forward stage: SRC ops over the real input activations.
@@ -127,9 +137,9 @@ class ExactEngine {
       const std::function<TaskCost(std::size_t)>& eval) const;
 
   /// Folds one task's row ops into rounds of pes_per_group (each round as
-  /// slow as its slowest op) and the activity counters.
-  TaskCost reduce_task(const std::vector<PeCost>& ops,
-                       std::size_t lanes) const;
+  /// slow as its slowest op) and the activity counters. Takes a span so
+  /// tasks can hand it their reusable per-thread scratch.
+  TaskCost reduce_task(std::span<const PeCost> ops, std::size_t lanes) const;
 
   std::size_t tile_tasks() const {
     return opts_.tile_tasks != 0 ? opts_.tile_tasks

@@ -20,21 +20,22 @@ Rng stream(std::uint64_t seed, std::size_t layer, std::uint64_t tag) {
   return Rng(mix64(mix64(seed, layer), tag));
 }
 
-/// Lazily synthesised operands of the layer currently executing, held in
-/// compressed-row form so the stages sharing a tensor (Forward + GTW
-/// share I, GTA + GTW share dO) compress it exactly once. Programs emit a
-/// layer's stages contiguously, so one layer's operands are alive at a
-/// time.
+/// Lazily synthesised operands of one layer, held in compressed-row form
+/// so every stage sharing a tensor (Forward + GTW share I, GTA + GTW
+/// share dO) compresses it exactly once per whole-program run — whatever
+/// order the program emits its Run instructions in. `pending_runs` is the
+/// number of this layer's Run instructions not yet executed; when it hits
+/// zero the operands are released, so a layer-contiguous program still
+/// keeps only ~one layer's tensors alive at a time.
 struct LayerOperands {
-  std::size_t layer = static_cast<std::size_t>(-1);
   std::optional<ExactEngine::RowSet> input;
   Shape input_shape;
   std::optional<ExactEngine::RowSet> grad;
   Shape grad_shape;
   std::optional<Tensor> mask;  ///< engaged only when the mask gates (ρ < 1)
+  std::size_t pending_runs = 0;
 
-  void reset(std::size_t li) {
-    layer = li;
+  void release() {
     input.reset();
     grad.reset();
     mask.reset();
@@ -68,9 +69,21 @@ SimReport run_exact(const ExactEngine& engine, const isa::Program& program,
   report.total_pes = cfg.pe_groups * cfg.pes_per_group;
   report.engine = isa::EngineKind::Exact;
 
-  LayerOperands t;
+  // One operand slot per layer, filled lazily and released after the
+  // layer's last Run instruction: each activation/gradient tensor of a
+  // whole-program run is synthesised and compressed exactly once, even if
+  // the program interleaves layers (e.g. a forward sweep followed by a
+  // reverse backward sweep).
+  std::vector<LayerOperands> operands(net.layers.size());
+  for (const auto& inst : program.instructions) {
+    if (inst.op != isa::Opcode::Run) continue;
+    ST_REQUIRE(inst.layer_index < net.layers.size(),
+               "instruction references unknown layer");
+    ++operands[inst.layer_index].pending_runs;
+  }
 
   auto input_of = [&](std::size_t li) -> const ExactEngine::RowSet& {
+    LayerOperands& t = operands[li];
     if (!t.input) {
       const auto& l = net.layers[li];
       Rng rng = stream(seed, li, kInput);
@@ -82,6 +95,7 @@ SimReport run_exact(const ExactEngine& engine, const isa::Program& program,
     return *t.input;
   };
   auto grad_of = [&](std::size_t li) -> const ExactEngine::RowSet& {
+    LayerOperands& t = operands[li];
     if (!t.grad) {
       const auto& l = net.layers[li];
       Rng rng = stream(seed, li, kGrad);
@@ -95,6 +109,7 @@ SimReport run_exact(const ExactEngine& engine, const isa::Program& program,
   auto mask_of = [&](std::size_t li) -> const Tensor* {
     const double rho = profile.layer(li).mask;
     if (rho >= 1.0) return nullptr;  // all-pass
+    LayerOperands& t = operands[li];
     if (!t.mask) {
       const auto& l = net.layers[li];
       Rng rng = stream(seed, li, kMask);
@@ -109,10 +124,8 @@ SimReport run_exact(const ExactEngine& engine, const isa::Program& program,
 
   for (const auto& inst : program.instructions) {
     if (inst.op != isa::Opcode::Run) continue;
-    ST_REQUIRE(inst.layer_index < net.layers.size(),
-               "instruction references unknown layer");
-    if (inst.layer_index != t.layer) t.reset(inst.layer_index);
     const std::size_t li = inst.layer_index;
+    LayerOperands& t = operands[li];
     const auto& l = net.layers[li];
     const isa::RowBlock& b = inst.block;
 
@@ -163,6 +176,9 @@ SimReport run_exact(const ExactEngine& engine, const isa::Program& program,
     report.activity += stage.activity;
     report.energy += stage.energy;
     report.stages.push_back(std::move(stage));
+
+    ST_REQUIRE(t.pending_runs > 0, "run refcount underflow");
+    if (--t.pending_runs == 0) t.release();
   }
   return report;
 }

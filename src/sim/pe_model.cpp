@@ -12,58 +12,7 @@ namespace {
 
 std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
 
-dataflow::RowGeometry to_geo(const isa::RowBlock& block) {
-  dataflow::RowGeometry geo;
-  geo.kernel = block.kernel;
-  geo.stride = block.stride;
-  geo.padding = block.padding;
-  return geo;
-}
-
 }  // namespace
-
-PeCost PeExact::run_src(const SparseRow& input,
-                        const isa::RowBlock& geo) const {
-  const dataflow::RowOpWork w =
-      dataflow::src_work(input, to_geo(geo), geo.out_len);
-  PeCost cost;
-  cost.ingested = w.active_inputs;
-  cost.macs = w.macs;
-  cost.cycles = ceil_div(geo.kernel, timing_.weight_port_width) +
-                w.active_inputs + timing_.pipeline_drain;
-  return cost;
-}
-
-PeCost PeExact::run_msrc(const SparseRow& input, const MaskRow& mask,
-                         const isa::RowBlock& geo) const {
-  const dataflow::RowOpWork w =
-      dataflow::msrc_work(input, mask, to_geo(geo), geo.out_len);
-  PeCost cost;
-  cost.ingested = w.active_inputs;  // look-ahead makes skips free
-  cost.macs = w.macs;
-  cost.cycles = ceil_div(geo.kernel, timing_.weight_port_width) +
-                w.active_inputs + timing_.pipeline_drain;
-  return cost;
-}
-
-PeCost PeExact::run_osrc(const SparseRow& input_acts,
-                         const SparseRow& grad_out,
-                         const isa::RowBlock& geo) const {
-  const dataflow::RowOpWork w =
-      dataflow::osrc_work(input_acts, grad_out, to_geo(geo));
-  PeCost cost;
-  cost.macs = w.macs;
-  // dO nonzeros are cached K at a time in Reg-1; each chunk streams every
-  // I nonzero once past the scratchpad.
-  const std::size_t chunks =
-      grad_out.nnz() == 0 ? 0 : ceil_div(grad_out.nnz(), geo.kernel);
-  const std::size_t chunk_load =
-      ceil_div(geo.kernel, timing_.weight_port_width);
-  cost.ingested = chunks * input_acts.nnz();
-  cost.cycles =
-      chunks * (chunk_load + input_acts.nnz()) + timing_.pipeline_drain;
-  return cost;
-}
 
 PeCostStats row_op_cost(const isa::RowBlock& block, const PeTiming& timing,
                         bool sparse_mode) {

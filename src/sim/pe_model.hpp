@@ -14,7 +14,9 @@
 
 #include <cstddef>
 
+#include "dataflow/row_ops.hpp"
 #include "isa/instruction.hpp"
+#include "tensor/bit_mask.hpp"
 #include "tensor/sparse_row.hpp"
 #include "util/rng.hpp"
 
@@ -33,25 +35,82 @@ struct PeCost {
   std::size_t ingested = 0;  ///< operand elements that cost a cycle
 };
 
-/// Exact cycle-stepped PE. Each call simulates one full row op.
+/// Exact cycle-stepped PE. Each call simulates one full row op. Operands
+/// are lightweight views (an owning SparseRow converts implicitly), so
+/// the exact engine can stream rows straight out of a CompressedRows
+/// arena without touching the heap. The run_* bodies are inline for the
+/// same reason the work counters are: they execute once per row op, and
+/// fusing them into the engine's task loops is worth more than a tidy TU
+/// boundary.
 class PeExact {
  public:
   explicit PeExact(PeTiming timing = {}) : timing_(timing) {}
 
   /// SRC: sparse input row against a K-length kernel row.
-  PeCost run_src(const SparseRow& input, const isa::RowBlock& geo) const;
+  PeCost run_src(SparseRowView input, const isa::RowBlock& geo) const {
+    const dataflow::RowOpWork w =
+        dataflow::src_work(input, row_geometry(geo), geo.out_len);
+    PeCost cost;
+    cost.ingested = w.active_inputs;
+    cost.macs = w.macs;
+    cost.cycles = weight_load(geo) + w.active_inputs + timing_.pipeline_drain;
+    return cost;
+  }
 
   /// MSRC: sparse dO row scattered under an output mask; inputs whose whole
   /// window is masked are skipped by look-ahead (zero cycles).
-  PeCost run_msrc(const SparseRow& input, const MaskRow& mask,
-                  const isa::RowBlock& geo) const;
+  PeCost run_msrc(SparseRowView input, const BitMask& mask,
+                  const isa::RowBlock& geo) const {
+    const dataflow::RowOpWork w =
+        dataflow::msrc_work(input, mask, row_geometry(geo), geo.out_len);
+    PeCost cost;
+    cost.ingested = w.active_inputs;  // look-ahead makes skips free
+    cost.macs = w.macs;
+    cost.cycles = weight_load(geo) + w.active_inputs + timing_.pipeline_drain;
+    return cost;
+  }
+
+  /// Compatibility overload for the sorted-offset mask representation
+  /// (converts per call — test/reference paths only).
+  PeCost run_msrc(SparseRowView input, const MaskRow& mask,
+                  const isa::RowBlock& geo) const {
+    return run_msrc(input, bitmask_from(mask), geo);
+  }
 
   /// OSRC: dO nonzeros are cached in Reg-1 in chunks of K; every I nonzero
   /// is streamed once per chunk.
-  PeCost run_osrc(const SparseRow& input_acts, const SparseRow& grad_out,
-                  const isa::RowBlock& geo) const;
+  PeCost run_osrc(SparseRowView input_acts, SparseRowView grad_out,
+                  const isa::RowBlock& geo) const {
+    const dataflow::RowOpWork w =
+        dataflow::osrc_work(input_acts, grad_out, row_geometry(geo));
+    PeCost cost;
+    cost.macs = w.macs;
+    // dO nonzeros are cached K at a time in Reg-1; each chunk streams every
+    // I nonzero once past the scratchpad.
+    const std::size_t chunks =
+        grad_out.nnz() == 0
+            ? 0
+            : (grad_out.nnz() + geo.kernel - 1) / geo.kernel;
+    cost.ingested = chunks * input_acts.nnz();
+    cost.cycles = chunks * (weight_load(geo) + input_acts.nnz()) +
+                  timing_.pipeline_drain;
+    return cost;
+  }
 
  private:
+  static dataflow::RowGeometry row_geometry(const isa::RowBlock& block) {
+    dataflow::RowGeometry geo;
+    geo.kernel = block.kernel;
+    geo.stride = block.stride;
+    geo.padding = block.padding;
+    return geo;
+  }
+
+  std::size_t weight_load(const isa::RowBlock& geo) const {
+    return (geo.kernel + timing_.weight_port_width - 1) /
+           timing_.weight_port_width;
+  }
+
   PeTiming timing_;
 };
 

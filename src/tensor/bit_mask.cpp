@@ -1,0 +1,83 @@
+#include "tensor/bit_mask.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace sparsetrain {
+
+void BitMask::reset_words(std::uint32_t length) {
+  length_ = length;
+  const std::size_t n = (static_cast<std::size_t>(length) + 63) / 64;
+  words_.assign(n, 0);  // reuses capacity: no allocation once warm
+}
+
+void BitMask::assign_all(std::uint32_t length) {
+  reset_words(length);
+  if (length == 0) return;
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  const std::uint32_t tail = length & 63;
+  if (tail != 0) words_.back() = (std::uint64_t{1} << tail) - 1;
+}
+
+void BitMask::assign_none(std::uint32_t length) { reset_words(length); }
+
+void BitMask::assign_from_dense(std::span<const float> dense) {
+  reset_words(static_cast<std::uint32_t>(dense.size()));
+  for (std::size_t i = 0; i < dense.size(); ++i)
+    if (dense[i] != 0.0f) words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+
+void BitMask::assign(const MaskRow& mask) {
+  reset_words(mask.length);
+  for (const std::uint32_t p : mask.offsets) {
+    ST_REQUIRE(p < length_, "BitMask: mask offset out of range");
+    words_[p >> 6] |= std::uint64_t{1} << (p & 63);
+  }
+}
+
+std::size_t BitMask::allowed() const {
+  std::size_t n = 0;
+  for (const std::uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+double BitMask::density() const {
+  if (length_ == 0) return 0.0;
+  return static_cast<double>(allowed()) / static_cast<double>(length_);
+}
+
+std::size_t BitMask::count_in(std::uint32_t lo, std::uint32_t hi) const {
+  hi = std::min(hi, length_);
+  if (lo >= hi) return 0;
+  const std::size_t wlo = lo >> 6;
+  const std::size_t whi = (hi - 1) >> 6;
+  const std::uint64_t lo_keep = ~std::uint64_t{0} << (lo & 63);
+  const std::uint64_t hi_keep =
+      ~std::uint64_t{0} >> (63 - ((hi - 1) & 63));
+  if (wlo == whi) return std::popcount(words_[wlo] & lo_keep & hi_keep);
+  std::size_t n = std::popcount(words_[wlo] & lo_keep);
+  for (std::size_t w = wlo + 1; w < whi; ++w)
+    n += std::popcount(words_[w]);
+  return n + std::popcount(words_[whi] & hi_keep);
+}
+
+BitMask bitmask_all(std::uint32_t length) {
+  BitMask m;
+  m.assign_all(length);
+  return m;
+}
+
+BitMask bitmask_from_dense(std::span<const float> dense) {
+  BitMask m;
+  m.assign_from_dense(dense);
+  return m;
+}
+
+BitMask bitmask_from(const MaskRow& mask) {
+  BitMask m;
+  m.assign(mask);
+  return m;
+}
+
+}  // namespace sparsetrain

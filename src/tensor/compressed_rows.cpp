@@ -1,0 +1,87 @@
+#include "tensor/compressed_rows.hpp"
+
+#include "tensor/tensor.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sparsetrain {
+
+double CompressedRows::density() const {
+  const std::size_t dense =
+      rows() * static_cast<std::size_t>(row_len_);
+  if (dense == 0) return 0.0;
+  return static_cast<double>(total_nnz()) / static_cast<double>(dense);
+}
+
+bool CompressedRows::valid() const {
+  if (row_ptr_.empty()) return offsets_.empty() && values_.empty();
+  if (row_ptr_.front() != 0 || row_ptr_.back() != values_.size()) return false;
+  if (offsets_.size() != values_.size()) return false;
+  for (std::size_t i = 0; i + 1 < row_ptr_.size(); ++i) {
+    if (row_ptr_[i] > row_ptr_[i + 1]) return false;
+    if (!row(i).valid()) return false;
+  }
+  return true;
+}
+
+void CompressedRows::start(std::uint32_t row_len,
+                           std::span<const std::uint32_t> counts) {
+  row_len_ = row_len;
+  row_ptr_.resize(counts.size() + 1);
+  row_ptr_[0] = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ST_REQUIRE(counts[i] <= row_len, "CompressedRows: count exceeds row");
+    row_ptr_[i + 1] = row_ptr_[i] + counts[i];
+  }
+  offsets_.resize(row_ptr_.back());
+  values_.resize(row_ptr_.back());
+}
+
+void CompressedRows::fill_row(std::size_t i, std::span<const float> dense) {
+  ST_REQUIRE(i + 1 < row_ptr_.size(), "CompressedRows fill_row out of range");
+  ST_REQUIRE(dense.size() == row_len_, "CompressedRows fill_row length");
+  std::size_t k = row_ptr_[i];
+  for (std::uint32_t p = 0; p < dense.size(); ++p) {
+    if (dense[p] != 0.0f) {
+      ST_REQUIRE(k < row_ptr_[i + 1],
+                 "CompressedRows fill_row: more nonzeros than counted");
+      offsets_[k] = p;
+      values_[k] = dense[p];
+      ++k;
+    }
+  }
+  ST_REQUIRE(k == row_ptr_[i + 1],
+             "CompressedRows fill_row: fewer nonzeros than counted");
+}
+
+CompressedRows compress_tensor(const Tensor& t, util::ThreadPool* pool) {
+  const Shape& s = t.shape();
+  const std::size_t n_rows = s.n * s.c * s.h;
+  const std::span<const float> flat = t.flat();
+  const std::size_t w = s.w;
+
+  // Pass 1: per-row nonzero counts (tiled; each chunk writes its own
+  // slots, so the count array is identical for any worker count).
+  std::vector<std::uint32_t> counts(n_rows);
+  constexpr std::size_t kGrain = 64;
+  util::parallel_for(pool, n_rows, kGrain,
+                     [&](std::size_t first, std::size_t last) {
+                       for (std::size_t r = first; r < last; ++r) {
+                         std::uint32_t c = 0;
+                         for (const float v : flat.subspan(r * w, w))
+                           c += (v != 0.0f);
+                         counts[r] = c;
+                       }
+                     });
+
+  // Pass 2: prefix-sum the index, then fill each row's disjoint slice.
+  CompressedRows rows;
+  rows.start(static_cast<std::uint32_t>(w), counts);
+  util::parallel_for(pool, n_rows, kGrain,
+                     [&](std::size_t first, std::size_t last) {
+                       for (std::size_t r = first; r < last; ++r)
+                         rows.fill_row(r, flat.subspan(r * w, w));
+                     });
+  return rows;
+}
+
+}  // namespace sparsetrain

@@ -7,11 +7,21 @@
 namespace sparsetrain {
 
 double SparseRow::density() const {
+  return SparseRowView(*this).density();
+}
+
+std::size_t SparseRow::encoded_bytes() const {
+  return SparseRowView(*this).encoded_bytes();
+}
+
+bool SparseRow::valid() const { return SparseRowView(*this).valid(); }
+
+double SparseRowView::density() const {
   if (length == 0) return 0.0;
   return static_cast<double>(nnz()) / static_cast<double>(length);
 }
 
-std::size_t SparseRow::encoded_bytes() const {
+std::size_t SparseRowView::encoded_bytes() const {
   // Modelled encoding: a presence bitmap (1 bit per dense position) plus
   // 16-bit values for the nonzeros, plus a 2-byte row descriptor. This is
   // what the PPU's format converter emits; it beats offset+value encodings
@@ -19,7 +29,7 @@ std::size_t SparseRow::encoded_bytes() const {
   return 2 + (length + 7) / 8 + nnz() * 2;
 }
 
-bool SparseRow::valid() const {
+bool SparseRowView::valid() const {
   if (offsets.size() != values.size()) return false;
   for (std::size_t i = 0; i < offsets.size(); ++i) {
     if (offsets[i] >= length) return false;
@@ -44,9 +54,23 @@ SparseRow compress_row(std::span<const float> dense) {
 std::vector<float> decompress_row(const SparseRow& row) {
   ST_REQUIRE(row.valid(), "decompress_row: malformed sparse row");
   std::vector<float> dense(row.length, 0.0f);
+  decompress_into(row, dense);
+  return dense;
+}
+
+void decompress_into(SparseRowView row, std::span<float> dense) {
+  ST_REQUIRE(dense.size() == row.length, "decompress_into length mismatch");
+  std::fill(dense.begin(), dense.end(), 0.0f);
   for (std::size_t i = 0; i < row.nnz(); ++i)
     dense[row.offsets[i]] = row.values[i];
-  return dense;
+}
+
+SparseRow materialize(SparseRowView row) {
+  SparseRow out;
+  out.length = row.length;
+  out.offsets.assign(row.offsets.begin(), row.offsets.end());
+  out.values.assign(row.values.begin(), row.values.end());
+  return out;
 }
 
 double MaskRow::density() const {

@@ -35,11 +35,47 @@ struct SparseRow {
   bool valid() const;
 };
 
+/// Non-owning view of one compressed row. This is what the hot paths pass
+/// around: two spans that may point into an owning SparseRow or into a
+/// CompressedRows arena. Trivially copyable — pass by value.
+struct SparseRowView {
+  std::uint32_t length = 0;            ///< dense length of the row
+  std::span<const std::uint32_t> offsets;
+  std::span<const float> values;
+
+  SparseRowView() = default;
+  SparseRowView(std::uint32_t len, std::span<const std::uint32_t> offs,
+                std::span<const float> vals)
+      : length(len), offsets(offs), values(vals) {}
+  /*implicit*/ SparseRowView(const SparseRow& row)
+      : length(row.length), offsets(row.offsets), values(row.values) {}
+
+  std::size_t nnz() const { return offsets.size(); }
+  bool empty() const { return offsets.empty(); }
+
+  /// Fraction of nonzeros; 0 for zero-length rows.
+  double density() const;
+
+  /// Same modelled encoding as SparseRow::encoded_bytes().
+  std::size_t encoded_bytes() const;
+
+  /// Representation invariants (sorted unique offsets in range, no stored
+  /// zeros, matching span sizes).
+  bool valid() const;
+};
+
 /// Compresses a dense row (exact zeros are dropped).
 SparseRow compress_row(std::span<const float> dense);
 
 /// Expands back to dense; output size is row.length.
 std::vector<float> decompress_row(const SparseRow& row);
+
+/// Expands a view into caller-provided storage (dense.size() must equal
+/// row.length; positions without a nonzero are zeroed).
+void decompress_into(SparseRowView row, std::span<float> dense);
+
+/// Owning copy of a view (for callers that outlive the arena).
+SparseRow materialize(SparseRowView row);
 
 /// Positions a ReLU/MaxPool mask allows (mask nonzero). The GTA step uses
 /// this to skip computing gradients the following mask would zero anyway.
