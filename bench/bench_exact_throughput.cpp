@@ -5,9 +5,12 @@
 // exact engine, single-threaded, on deterministically synthesised
 // operands, and reports rows/s (row ops per second) and MACs/s. A second
 // pass re-runs each stage with a worker pool to record the parallel
-// scaling factor. Results go to stdout as a table and to a JSON file
-// (default BENCH_exact_engine.json — schema documented in the README's
-// Performance section) so CI can archive the trajectory run over run.
+// scaling factor; with --scaling the pass becomes a {1, 2, 4, 8}-worker
+// sweep and each entry carries its whole speedup curve. Results go to
+// stdout as a table and to a JSON file (default BENCH_exact_engine.json —
+// schema sparsetrain.bench_exact_throughput/v2, documented in the
+// README's Performance section) so CI can archive the trajectory run
+// over run and gate on the 4-worker speedup.
 //
 // Layer selection: every zoo workload contributes its median-MACs conv
 // layer, and AlexNet/ImageNet conv2 (the acceptance geometry tracked
@@ -16,9 +19,12 @@
 // CI perf-smoke subset).
 //
 // The simulated numbers (cycles, MACs, row ops) are pure functions of
-// the inputs — only the seconds/throughput fields vary run to run.
+// the inputs — only the seconds/throughput fields vary run to run (and
+// with the host: `hw_concurrency` records how many cores the scaling
+// columns could possibly use).
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <string>
 #include <vector>
@@ -43,9 +49,20 @@ constexpr double kInputDensity = 0.35;
 constexpr double kGradDensity = 0.10;
 constexpr double kMaskDensity = 0.5;
 
+/// The --scaling sweep and the worker count the headline
+/// `parallel_speedup` field is defined at.
+constexpr std::size_t kSweepWorkers[] = {1, 2, 4, 8};
+constexpr std::size_t kHeadlineWorkers = 4;
+
 struct BenchCase {
   std::string workload;
   const workload::LayerConfig* layer = nullptr;
+};
+
+struct ScalePoint {
+  std::size_t workers = 0;
+  double seconds = 0.0;
+  double speedup = 0.0;
 };
 
 struct StageRun {
@@ -59,6 +76,7 @@ struct StageRun {
   double macs_per_s = 0.0;
   double seconds_parallel = 0.0;
   double parallel_speedup = 0.0;
+  std::vector<ScalePoint> scaling;
 };
 
 /// Median-forward-MACs conv layer of a network (FC layers excluded: the
@@ -105,6 +123,7 @@ int main(int argc, char** argv) {
   const double min_time = args.get("min-time", 0.3);
   const bool quick = args.has("quick");
   const bool full = args.has("full");
+  const bool scaling = args.has("scaling");
   const auto workers = static_cast<std::size_t>(args.get("workers", 0L));
 
   // ---- select the bench cases
@@ -136,25 +155,41 @@ int main(int argc, char** argv) {
 
   sim::ArchConfig cfg;
   const sim::ExactEngine serial(cfg);
-  sim::ExactOptions popts;
-  popts.workers = workers;  // 0 = hardware concurrency
-  const sim::ExactEngine parallel(cfg, popts);
 
-  std::printf("exact-engine throughput, single-thread (parallel pass: %zu "
-              "workers)\n\n",
-              popts.workers == 0 ? std::thread::hardware_concurrency()
-                                 : popts.workers);
+  // The parallel engines: the --scaling sweep set, or the single
+  // --workers pass. One long-lived engine per worker count so pool
+  // threads and arenas are warm across every case.
+  std::vector<std::size_t> sweep;
+  if (scaling) {
+    sweep.assign(std::begin(kSweepWorkers), std::end(kSweepWorkers));
+  } else {
+    sweep.push_back(workers);  // 0 = hardware concurrency
+  }
+  std::vector<std::unique_ptr<sim::ExactEngine>> engines;
+  for (const std::size_t w : sweep) {
+    sim::ExactOptions popts;
+    popts.workers = w;
+    engines.push_back(std::make_unique<sim::ExactEngine>(cfg, popts));
+  }
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  std::printf("exact-engine throughput, single-thread (parallel pass: %s; "
+              "%zu hardware threads)\n\n",
+              scaling ? "1/2/4/8-worker sweep"
+                      : (workers == 0 ? "hw workers" : "fixed workers"),
+              hw);
   TextTable table({"workload", "layer", "stage", "row ops", "s/run",
                    "Mrows/s", "MMACs/s", "par x"});
 
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"sparsetrain.bench_exact_throughput/v1\",\n";
+  json += "  \"schema\": \"sparsetrain.bench_exact_throughput/v2\",\n";
   json += "  \"densities\": {\"input_acts\": " + std::to_string(kInputDensity) +
           ", \"output_grads\": " + std::to_string(kGradDensity) +
           ", \"mask\": " + std::to_string(kMaskDensity) + "},\n";
   json += "  \"arch\": {\"pe_groups\": " + std::to_string(cfg.pe_groups) +
           ", \"pes_per_group\": " + std::to_string(cfg.pes_per_group) + "},\n";
+  json += "  \"hw_concurrency\": " + std::to_string(hw) + ",\n";
   json += "  \"entries\": [\n";
   bool first_entry = true;
 
@@ -174,53 +209,52 @@ int main(int argc, char** argv) {
       if (v != 0.0f) v = 1.0f;
 
     // One arena per operand: compress_tensor's layout is byte-identical
-    // for any worker count, so both engines share the same rows.
+    // for any worker count, so every engine shares the same rows.
     const auto in_rows = serial.compress(input);
     const auto go_rows = serial.compress(grad);
     const Shape in_shape = input.shape();
     const Shape out_shape = grad.shape();
 
     std::vector<StageRun> runs;
-    const auto bench_stage = [&](const char* name, const auto& run_serial,
-                                 const auto& run_parallel) {
+    const auto bench_stage = [&](const char* name, const auto& run_on) {
       StageRun sr;
       sr.stage = name;
-      const sim::ExactStageResult r = run_serial();
+      const sim::ExactStageResult r = run_on(serial);
       sr.tasks = r.tasks;
       sr.row_ops = r.row_ops;
       sr.macs = r.activity.macs;
       sr.cycles = r.cycles;
-      sr.seconds_serial = time_stage(run_serial, min_time);
+      sr.seconds_serial =
+          time_stage([&] { return run_on(serial); }, min_time);
       sr.rows_per_s = static_cast<double>(sr.row_ops) / sr.seconds_serial;
       sr.macs_per_s = static_cast<double>(sr.macs) / sr.seconds_serial;
-      sr.seconds_parallel = time_stage(run_parallel, min_time);
-      sr.parallel_speedup = sr.seconds_parallel > 0.0
-                                ? sr.seconds_serial / sr.seconds_parallel
-                                : 0.0;
+      for (std::size_t i = 0; i < engines.size(); ++i) {
+        ScalePoint p;
+        p.workers = sweep[i] == 0 ? hw : sweep[i];
+        p.seconds =
+            time_stage([&] { return run_on(*engines[i]); }, min_time);
+        p.speedup = p.seconds > 0.0 ? sr.seconds_serial / p.seconds : 0.0;
+        sr.scaling.push_back(p);
+      }
+      // The headline speedup: the 4-worker point of the sweep, or the
+      // single parallel pass when no sweep ran.
+      const ScalePoint* headline = &sr.scaling.back();
+      for (const ScalePoint& p : sr.scaling)
+        if (p.workers == kHeadlineWorkers) headline = &p;
+      sr.seconds_parallel = headline->seconds;
+      sr.parallel_speedup = headline->speedup;
       runs.push_back(sr);
     };
 
-    bench_stage(
-        "forward",
-        [&] { return serial.run_forward(in_rows, in_shape, geo); },
-        [&] { return parallel.run_forward(in_rows, in_shape, geo); });
-    bench_stage(
-        "gta",
-        [&] {
-          return serial.run_gta(go_rows, out_shape, in_shape, &mask, geo);
-        },
-        [&] {
-          return parallel.run_gta(go_rows, out_shape, in_shape, &mask, geo);
-        });
-    bench_stage(
-        "gtw",
-        [&] {
-          return serial.run_gtw(go_rows, out_shape, in_rows, in_shape, geo);
-        },
-        [&] {
-          return parallel.run_gtw(go_rows, out_shape, in_rows, in_shape,
-                                  geo);
-        });
+    bench_stage("forward", [&](const sim::ExactEngine& e) {
+      return e.run_forward(in_rows, in_shape, geo);
+    });
+    bench_stage("gta", [&](const sim::ExactEngine& e) {
+      return e.run_gta(go_rows, out_shape, in_shape, &mask, geo);
+    });
+    bench_stage("gtw", [&](const sim::ExactEngine& e) {
+      return e.run_gtw(go_rows, out_shape, in_rows, in_shape, geo);
+    });
 
     for (const StageRun& sr : runs) {
       table.add_row(
@@ -247,7 +281,15 @@ int main(int argc, char** argv) {
       json += ", \"seconds_parallel\": " + std::to_string(sr.seconds_parallel);
       json +=
           ", \"parallel_speedup\": " + std::to_string(sr.parallel_speedup);
-      json += "}";
+      json += ", \"scaling\": [";
+      for (std::size_t i = 0; i < sr.scaling.size(); ++i) {
+        const ScalePoint& p = sr.scaling[i];
+        if (i != 0) json += ", ";
+        json += "{\"workers\": " + std::to_string(p.workers) +
+                ", \"seconds\": " + std::to_string(p.seconds) +
+                ", \"speedup\": " + std::to_string(p.speedup) + "}";
+      }
+      json += "]}";
     }
   }
   json += "\n  ]\n}\n";

@@ -177,6 +177,18 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
                                *shared_net, *shared_dense, dense_copts))
           : 0;
 
+  // Exact jobs borrow the session's own pool instead of spawning one per
+  // run: the engine's stage tiles and the stage-graph units then
+  // interleave with other jobs' tasks in one two-level schedule on one
+  // set of threads (safe because the engine claims work instead of
+  // blocking on the queue; results are independent of any pool, so
+  // sharing changes wall-clock only). An explicitly borrowed pool or a
+  // serial request (workers == 1, the default) is left alone.
+  sim::ExactOptions exact_opts = options.sim.exact;
+  if (exact_opts.shared_pool == nullptr && exact_opts.workers != 1) {
+    exact_opts.shared_pool = &pool_;
+  }
+
   try {
     for (std::size_t i = 0; i < backends.size(); ++i) {
       auto backend = backends[i];
@@ -191,7 +203,7 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
       job.pending.push_back(pool_.submit(
           [this, backend = std::move(backend), shared_net,
            run_profile = std::move(run_profile), run_copts, seed,
-           exact = options.sim.exact, out = &job.result.runs[i]] {
+           exact = exact_opts, out = &job.result.runs[i]] {
             const auto program =
                 cache_.get(*shared_net, *run_profile, run_copts);
             out->report = backend->run(*program, *shared_net, *run_profile,

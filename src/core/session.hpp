@@ -121,10 +121,13 @@ class Session {
     std::size_t batch = 0;  ///< samples per iteration; 0 = session default
     /// Engine selection + exact-mode parallelism for this job.
     /// `sim.engine = isa::EngineKind::Exact` makes sparse backends re-drive
-    /// the program through the tensor-driven exact engine (tiled onto
-    /// `sim.exact.workers` threads — results are byte-identical for any
-    /// worker count / tile size); dense backends keep the statistical
-    /// model, which is the only one with dense semantics.
+    /// the program through the tensor-driven exact engine (results are
+    /// byte-identical for any worker count / tile size); dense backends
+    /// keep the statistical model, which is the only one with dense
+    /// semantics. When `sim.exact.workers != 1` the run borrows the
+    /// session's own pool (no per-job thread spawn): stage-graph units
+    /// and stage tiles interleave with other jobs' tasks in one
+    /// two-level schedule.
     sim::SimOptions sim;
   };
 

@@ -91,6 +91,23 @@ inline RowOpWork src_work(SparseRowView input, const RowGeometry& geo,
   const std::int64_t kmax = static_cast<std::int64_t>(geo.kernel) - 1;
   const std::int64_t base_min =
       S * (static_cast<std::int64_t>(out_len) - 1);  // klo > 0 above this
+  if (S == 1) {
+    // Unit stride: every k in [klo, khi] is a tap — the loop body is pure
+    // clamp arithmetic, kept branch-free of the stride-congruence path.
+    for (std::size_t i = 0; i < input.nnz(); ++i) {
+      const std::int64_t base = static_cast<std::int64_t>(input.offsets[i]) +
+                                static_cast<std::int64_t>(geo.padding);
+      const std::int64_t khi = std::min(kmax, base);
+      const std::int64_t klo = std::max<std::int64_t>(0, base - base_min);
+      if (khi >= klo) {
+        ++w.active_inputs;
+        w.macs += static_cast<std::size_t>(khi - klo + 1);
+      } else {
+        ++w.skipped_inputs;
+      }
+    }
+    return w;
+  }
   for (std::size_t i = 0; i < input.nnz(); ++i) {
     const std::int64_t base = static_cast<std::int64_t>(input.offsets[i]) +
                               static_cast<std::int64_t>(geo.padding);
@@ -98,15 +115,11 @@ inline RowOpWork src_work(SparseRowView input, const RowGeometry& geo,
     const std::int64_t klo = std::max<std::int64_t>(0, base - base_min);
     std::size_t macs_here = 0;
     if (khi >= klo) {
-      if (S == 1) {
-        macs_here = static_cast<std::size_t>(khi - klo + 1);
-      } else {
-        // First k ≥ klo congruent to base mod S (base ≥ klo ≥ 0, so the
-        // remainder needs the usual non-negative adjustment).
-        const std::int64_t r = base % S;
-        const std::int64_t k0 = klo + (((r - klo) % S) + S) % S;
-        if (k0 <= khi) macs_here = static_cast<std::size_t>((khi - k0) / S + 1);
-      }
+      // First k ≥ klo congruent to base mod S (base ≥ klo ≥ 0, so the
+      // remainder needs the usual non-negative adjustment).
+      const std::int64_t r = base % S;
+      const std::int64_t k0 = klo + (((r - klo) % S) + S) % S;
+      if (k0 <= khi) macs_here = static_cast<std::size_t>((khi - k0) / S + 1);
     }
     if (macs_here > 0) {
       ++w.active_inputs;

@@ -1,7 +1,9 @@
 #include "sim/exact_engine.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
 
 #include "util/require.hpp"
 
@@ -37,7 +39,6 @@ isa::RowBlock block_from(const dataflow::ConvGeometry& geo,
 /// within the first few tasks, after which evaluating a task performs no
 /// heap allocation at all (the zero-alloc contract of the hot path).
 struct TaskScratch {
-  std::vector<PeCost> ops;
   BitMask mask;
   std::vector<std::uint32_t> gta_oy;  ///< ky → source oy (kNoRow: padding)
 };
@@ -48,6 +49,89 @@ TaskScratch& task_scratch() {
   thread_local TaskScratch scratch;
   return scratch;
 }
+
+/// Flat indexed d-ary min-heap over the PE groups' loads, keyed by
+/// (load, group id) — the identical order std::priority_queue<pair,
+/// greater<>> gave the old merge, so task→group assignment (and thus
+/// every makespan) is byte-identical to the PR-3 engine. Only the root
+/// ever changes (assign = add to the least-loaded group, sift down), and
+/// the final makespan is a direct scan of the load array instead of
+/// destructively popping a heap.
+class GroupHeap {
+ public:
+  GroupHeap(std::size_t* loads, std::uint32_t* heap, std::size_t n)
+      : loads_(loads), heap_(heap), n_(n) {}
+
+  /// Assigns a task of `cycles` to the least-loaded group.
+  void assign(std::size_t cycles) {
+    loads_[heap_[0]] += cycles;
+    sift_down_root();
+  }
+
+  std::size_t max_load() const {
+    std::size_t m = 0;
+    for (std::size_t g = 0; g < n_; ++g) m = std::max(m, loads_[g]);
+    return m;
+  }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  bool before(std::uint32_t a, std::uint32_t b) const {
+    return loads_[a] != loads_[b] ? loads_[a] < loads_[b] : a < b;
+  }
+
+  void sift_down_root() {
+    std::size_t i = 0;
+    const std::uint32_t moved = heap_[0];
+    for (;;) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n_) break;
+      const std::size_t last = std::min(first + kArity, n_);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], moved)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = moved;
+  }
+
+  std::size_t* loads_;
+  std::uint32_t* heap_;
+  std::size_t n_;
+};
+
+/// Shared coordination state of one tiled stage. Heap-held behind a
+/// shared_ptr: helper tasks that reach the pool after the stage finished
+/// must still fail their tile claim safely. Helpers touch the kernel and
+/// arena (whose lifetimes end with run_tasks' frame) only after a
+/// successful claim, and the merging caller cannot return before every
+/// claimed tile's ready flag rose — so those references are always alive
+/// when dereferenced.
+struct TileRun {
+  explicit TileRun(std::size_t tiles) : ready(tiles, 0) {}
+  std::atomic<std::size_t> next{0};  ///< tile claim counter
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::uint8_t> ready;   ///< guarded by mu
+  std::exception_ptr error;          ///< first tile error (guarded by mu)
+
+  void mark_ready(std::size_t t) {
+    {
+      std::lock_guard lock(mu);
+      ready[t] = 1;
+    }
+    cv.notify_all();
+  }
+
+  void record_error() {
+    std::lock_guard lock(mu);
+    if (!error) error = std::current_exception();
+  }
+};
 
 }  // namespace
 
@@ -62,78 +146,320 @@ ExactEngine::ExactEngine(ArchConfig cfg, ExactOptions opts)
   ST_REQUIRE(cfg_.sparse, "the exact engine models the sparse architecture");
   ST_REQUIRE(cfg_.pe_groups > 0 && cfg_.pes_per_group > 0,
              "architecture needs PEs");
-  if (opts_.workers != 1) {
+  if (opts_.shared_pool == nullptr && opts_.workers != 1) {
     pool_ = std::make_unique<util::ThreadPool>(opts_.workers);
   }
 }
 
 ExactEngine::~ExactEngine() = default;
 
-ExactEngine::RowSet ExactEngine::compress(const Tensor& t) const {
-  return compress_tensor(t, pool_.get());
-}
-
-ExactEngine::TaskCost ExactEngine::reduce_task(std::span<const PeCost> ops,
-                                               std::size_t lanes) const {
-  // The group's PEs take the task's row ops in parallel rounds; each
-  // round lasts as long as its slowest op.
-  TaskCost cost;
-  cost.row_ops = ops.size();
-  for (std::size_t i = 0; i < ops.size(); i += cfg_.pes_per_group) {
-    std::size_t round = 0;
-    for (std::size_t j = i; j < std::min(i + cfg_.pes_per_group, ops.size());
-         ++j) {
-      round = std::max(round, ops[j].cycles);
-      cost.busy += ops[j].cycles;
-      cost.macs += ops[j].macs;
-      cost.reg += ops[j].ingested * 2 * lanes + lanes;
-    }
-    cost.cycles += round;
+ExactEngine::ArenaLease::~ArenaLease() {
+  if (engine != nullptr && arena != nullptr) {
+    engine->release_arena(std::move(arena));
   }
-  return cost;
 }
 
-ExactStageResult ExactEngine::run_tasks(
-    std::size_t task_count,
-    const std::function<TaskCost(std::size_t)>& eval) const {
-  // Evaluate: tiles of contiguous task indices step their PEs in
-  // parallel, each writing only its own pre-sized slots. Tile boundaries
-  // depend only on (task_count, tile_tasks), never on the worker count.
-  std::vector<TaskCost> costs(task_count);
-  util::parallel_for(pool_.get(), task_count, tile_tasks(),
-                     [&](std::size_t first, std::size_t last) {
-                       for (std::size_t i = first; i < last; ++i)
-                         costs[i] = eval(i);
-                     });
+ExactEngine::ArenaLease ExactEngine::acquire_arena() const {
+  std::unique_lock lock(arenas_mu_);
+  if (!free_arenas_.empty()) {
+    auto arena = std::move(free_arenas_.back());
+    free_arenas_.pop_back();
+    return ArenaLease(this, std::move(arena));
+  }
+  lock.unlock();
+  return ArenaLease(this, std::make_unique<StageArena>());
+}
 
-  // Merge: consume the per-task cycle list in task order — the identical
-  // deterministic stream the serial path produces — through the
-  // least-loaded-group scheduler.
+void ExactEngine::release_arena(std::unique_ptr<StageArena> arena) const {
+  std::lock_guard lock(arenas_mu_);
+  free_arenas_.push_back(std::move(arena));
+}
+
+ExactEngine::RowSet ExactEngine::compress(const Tensor& t) const {
+  return compress_tensor(t, worker_pool());
+}
+
+std::size_t ExactEngine::tile_for(std::size_t task_count,
+                                  std::size_t est_ops_per_task) const {
+  if (opts_.tile_tasks != 0) return opts_.tile_tasks;
+  // Aim for a roughly constant amount of work per tile: GTW tasks often
+  // schedule only a handful of row ops (sparse dO rows skip whole
+  // slices) and pack thousands of tasks per tile, while op-heavy forward
+  // tasks split finely. Then cap so the stage still spreads over the
+  // pool with slack for load balance. Tile size affects wall-clock only,
+  // never results (the merge consumes tasks in index order regardless).
+  constexpr std::size_t kTileRowOps = 2048;
+  constexpr std::size_t kMaxTile = 4096;
+  std::size_t tile =
+      kTileRowOps / std::max<std::size_t>(1, est_ops_per_task);
+  tile = std::clamp<std::size_t>(tile, 1, kMaxTile);
+  const util::ThreadPool* pool = worker_pool();
+  const std::size_t threads =
+      (pool != nullptr ? pool->worker_count() : 0) + 1;
+  const std::size_t balance_cap =
+      std::max<std::size_t>(1, task_count / (4 * threads));
+  return std::max<std::size_t>(1, std::min(tile, balance_cap));
+}
+
+template <typename Kernel>
+ExactStageResult ExactEngine::run_tasks(std::size_t task_count,
+                                        std::size_t est_ops_per_task,
+                                        const Kernel& kernel) const {
   ExactStageResult result;
   result.tasks = task_count;
 
-  using Slot = std::pair<std::size_t, std::size_t>;  // (load, group)
-  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
-  for (std::size_t g = 0; g < cfg_.pe_groups; ++g) heap.emplace(0, g);
+  ArenaLease lease = acquire_arena();
+  StageArena& arena = *lease.arena;
 
-  for (const TaskCost& cost : costs) {
-    result.row_ops += cost.row_ops;
-    result.activity.busy_cycles += cost.busy;
-    result.activity.macs += cost.macs;
-    result.activity.reg_accesses += cost.reg;
-    auto [load, g] = heap.top();
-    heap.pop();
-    heap.emplace(load + cost.cycles, g);
+  // Group scheduler state. heap[i] = i is a valid (load, id) min-heap
+  // when every load is zero, because parent indices are smaller ids.
+  arena.loads.assign(cfg_.pe_groups, 0);
+  arena.heap.resize(cfg_.pe_groups);
+  for (std::size_t g = 0; g < cfg_.pe_groups; ++g) {
+    arena.heap[g] = static_cast<std::uint32_t>(g);
+  }
+  GroupHeap sched(arena.loads.data(), arena.heap.data(), cfg_.pe_groups);
+
+  if (task_count == 0) return result;
+
+  util::ThreadPool* pool = worker_pool();
+  const std::size_t tile = tile_for(task_count, est_ops_per_task);
+  const std::size_t tiles = (task_count + tile - 1) / tile;
+
+  TileTotals totals;
+  if (pool == nullptr || tiles <= 1) {
+    // Serial: evaluation and merge fuse into one streaming loop — each
+    // task's cycle count goes straight into the scheduler, no per-task
+    // storage at all.
+    PeGroupReducer red(cfg_.pes_per_group, kernel.lanes);
+    for (std::size_t i = 0; i < task_count; ++i) {
+      sched.assign(kernel(i, red));
+    }
+    totals = TileTotals{red.row_ops(), red.busy(), red.macs(), red.reg()};
+  } else {
+    arena.cycles.resize(task_count);
+    arena.tile_totals.assign(tiles, TileTotals{});
+
+    auto run = std::make_shared<TileRun>(tiles);
+    auto eval_tile = [&](std::size_t t) {
+      try {
+        const std::size_t first = t * tile;
+        const std::size_t last = std::min(first + tile, task_count);
+        PeGroupReducer red(cfg_.pes_per_group, kernel.lanes);
+        for (std::size_t i = first; i < last; ++i) {
+          arena.cycles[i] = kernel(i, red);
+        }
+        arena.tile_totals[t] =
+            TileTotals{red.row_ops(), red.busy(), red.macs(), red.reg()};
+      } catch (...) {
+        run->record_error();
+      }
+      run->mark_ready(t);
+    };
+
+    // Helpers claim tiles from the shared counter; the caller claims too
+    // while the tile it must merge next is not ready, so progress never
+    // depends on the pool's queue draining (nested stages are safe).
+    const std::size_t helpers =
+        std::min(pool->worker_count(), tiles - 1);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      try {
+        pool->submit([run, &eval_tile] {
+          for (;;) {
+            const std::size_t t =
+                run->next.fetch_add(1, std::memory_order_relaxed);
+            if (t >= run->ready.size()) return;
+            eval_tile(t);
+          }
+        });
+      } catch (...) {
+        run->record_error();
+        break;
+      }
+    }
+
+    // Merge tiles strictly in tile order (= task order), overlapping the
+    // merge of tile t with the evaluation of later tiles.
+    std::size_t merged = 0;
+    while (merged < tiles) {
+      bool is_ready;
+      {
+        std::lock_guard lock(run->mu);
+        is_ready = run->ready[merged] != 0;
+      }
+      if (!is_ready) {
+        const std::size_t t =
+            run->next.fetch_add(1, std::memory_order_relaxed);
+        if (t < tiles) {
+          eval_tile(t);
+          continue;
+        }
+        std::unique_lock lock(run->mu);
+        run->cv.wait(lock, [&] { return run->ready[merged] != 0; });
+      }
+      const std::size_t first = merged * tile;
+      const std::size_t last = std::min(first + tile, task_count);
+      for (std::size_t i = first; i < last; ++i) {
+        sched.assign(arena.cycles[i]);
+      }
+      const TileTotals& tt = arena.tile_totals[merged];
+      totals.row_ops += tt.row_ops;
+      totals.busy += tt.busy;
+      totals.macs += tt.macs;
+      totals.reg += tt.reg;
+      ++merged;
+    }
+
+    std::exception_ptr error;
+    {
+      std::lock_guard lock(run->mu);
+      error = run->error;
+    }
+    if (error) std::rethrow_exception(error);
   }
 
-  std::size_t makespan = 0;
-  while (!heap.empty()) {
-    makespan = std::max(makespan, heap.top().first);
-    heap.pop();
-  }
-  result.cycles = makespan;
+  result.row_ops = totals.row_ops;
+  result.activity.busy_cycles = totals.busy;
+  result.activity.macs = totals.macs;
+  result.activity.reg_accesses = totals.reg;
+  result.cycles = sched.max_load();
   return result;
 }
+
+namespace {
+
+/// Forward stage kernel: one task per output row (n, f, oy), C·K SRC ops.
+struct ForwardKernel {
+  const CompressedRows& rows;
+  const dataflow::ConvGeometry& geo;
+  Shape in_shape;
+  Shape out_shape;
+  isa::RowBlock b;
+  const PeExact& pe;
+  std::size_t lanes;
+
+  std::size_t operator()(std::size_t index, PeGroupReducer& red) const {
+    const std::size_t oy = index % out_shape.h;
+    const std::size_t n = index / (out_shape.h * geo.out_channels);
+    red.begin_task();
+    for (std::size_t c = 0; c < geo.in_channels; ++c) {
+      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+        std::size_t iy;
+        if (!input_row_index(oy, ky, geo, in_shape.h, iy)) continue;
+        red.add(
+            pe.run_src(rows.row((n * in_shape.c + c) * in_shape.h + iy), b));
+      }
+    }
+    return red.end_task();
+  }
+};
+
+/// GTA stage kernel: one task per dI row (n, c, iy), F·K MSRC ops
+/// scattering into it.
+struct GtaKernel {
+  const CompressedRows& go_rows;
+  const dataflow::ConvGeometry& geo;
+  Shape out;
+  Shape in_shape;
+  isa::RowBlock b;
+  const PeExact& pe;
+  const BitMask& all_pass;
+  const Tensor* prev_mask;
+  std::size_t lanes;
+
+  std::size_t operator()(std::size_t index, PeGroupReducer& red) const {
+    const std::size_t iy = index % in_shape.h;
+    const std::size_t c = (index / in_shape.h) % geo.in_channels;
+    const std::size_t n = index / (in_shape.h * geo.in_channels);
+    TaskScratch& scratch = task_scratch();
+    const BitMask* mask = &all_pass;
+    if (prev_mask != nullptr) {
+      scratch.mask.assign_from_dense(prev_mask->row(n, c, iy));
+      mask = &scratch.mask;
+    }
+    // oy·S + ky − P = iy → every (oy, ky) pair writing this row. The
+    // mapping depends only on iy, so resolve it once per task instead of
+    // once per (f, ky).
+    std::vector<std::uint32_t>& oy_of = scratch.gta_oy;
+    oy_of.assign(geo.kernel, kNoRow);
+    for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+      const std::int64_t num = static_cast<std::int64_t>(iy) +
+                               static_cast<std::int64_t>(geo.padding) -
+                               static_cast<std::int64_t>(ky);
+      if (num < 0 || num % static_cast<std::int64_t>(geo.stride) != 0)
+        continue;
+      const auto oy = static_cast<std::size_t>(
+          num / static_cast<std::int64_t>(geo.stride));
+      if (oy >= out.h) continue;
+      oy_of[ky] = static_cast<std::uint32_t>(oy);
+    }
+    red.begin_task();
+    for (std::size_t f = 0; f < geo.out_channels; ++f) {
+      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+        if (oy_of[ky] == kNoRow) continue;
+        red.add(pe.run_msrc(
+            go_rows.row((n * out.c + f) * out.h + oy_of[ky]), *mask, b));
+      }
+    }
+    return red.end_task();
+  }
+};
+
+/// GTW stage kernel: one task per (n, f, c) kernel slice, OH·K OSRC ops
+/// (zero dO rows schedule nothing).
+struct GtwKernel {
+  const CompressedRows& go_rows;
+  const CompressedRows& in_rows;
+  const dataflow::ConvGeometry& geo;
+  Shape out;
+  Shape in;
+  isa::RowBlock b;
+  const PeExact& pe;
+  std::size_t lanes;
+
+  std::size_t operator()(std::size_t index, PeGroupReducer& red) const {
+    const std::size_t c = index % geo.in_channels;
+    const std::size_t f = (index / geo.in_channels) % geo.out_channels;
+    const std::size_t n = index / (geo.in_channels * geo.out_channels);
+    red.begin_task();
+    for (std::size_t oy = 0; oy < out.h; ++oy) {
+      const SparseRowView go = go_rows.row((n * out.c + f) * out.h + oy);
+      if (go.empty()) continue;  // zero dO row: nothing scheduled
+      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
+        std::size_t iy;
+        if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
+        red.add(
+            pe.run_osrc(in_rows.row((n * in.c + c) * in.h + iy), go, b));
+      }
+    }
+    return red.end_task();
+  }
+};
+
+/// FC stage kernel: one task per (sample, lane group); every task streams
+/// the sample's compressed vector once into `lanes` accumulators (no
+/// kernel preload — weight columns arrive from the buffer per ingested
+/// element).
+struct FcKernel {
+  const CompressedRows& rows;
+  std::size_t groups_per_sample;
+  std::size_t drain;
+  std::size_t lanes;
+
+  std::size_t operator()(std::size_t index, PeGroupReducer& red) const {
+    const std::size_t n = index / groups_per_sample;
+    const SparseRowView vec = rows.row(n);
+    PeCost op;
+    op.ingested = vec.nnz();
+    op.macs = vec.nnz() * lanes;
+    op.cycles = vec.nnz() + drain;
+    red.begin_task();
+    red.add(op);
+    return red.end_task();
+  }
+};
+
+}  // namespace
 
 ExactStageResult ExactEngine::run_forward(
     const Tensor& input, const dataflow::ConvGeometry& geo) const {
@@ -147,24 +473,11 @@ ExactStageResult ExactEngine::run_forward(
   const isa::RowBlock b =
       block_from(geo, in_shape.w, out_shape.w, isa::RowOpKind::SRC);
 
-  // One task per output row (n, f, oy): C·K row ops.
   const std::size_t task_count =
       in_shape.n * geo.out_channels * out_shape.h;
-  return run_tasks(task_count, [&, b](std::size_t index) {
-    const std::size_t oy = index % out_shape.h;
-    const std::size_t n = index / (out_shape.h * geo.out_channels);
-    std::vector<PeCost>& ops = task_scratch().ops;
-    ops.clear();
-    for (std::size_t c = 0; c < geo.in_channels; ++c) {
-      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
-        std::size_t iy;
-        if (!input_row_index(oy, ky, geo, in_shape.h, iy)) continue;
-        ops.push_back(
-            pe_.run_src(rows.row((n * in_shape.c + c) * in_shape.h + iy), b));
-      }
-    }
-    return reduce_task(ops, geo.kernel);
-  });
+  const ForwardKernel kernel{rows,      geo, in_shape, out_shape,
+                             b,         pe_, geo.kernel};
+  return run_tasks(task_count, geo.in_channels * geo.kernel, kernel);
 }
 
 ExactStageResult ExactEngine::run_gta(const Tensor& grad_output,
@@ -188,46 +501,11 @@ ExactStageResult ExactEngine::run_gta(const RowSet& go_rows,
   BitMask all_pass;
   all_pass.assign_all(static_cast<std::uint32_t>(input_shape.w));
 
-  // One task per dI row (n, c, iy): F·K row ops scatter into it.
   const std::size_t task_count =
       out.n * geo.in_channels * input_shape.h;
-  return run_tasks(task_count, [&, b](std::size_t index) {
-    const std::size_t iy = index % input_shape.h;
-    const std::size_t c = (index / input_shape.h) % geo.in_channels;
-    const std::size_t n = index / (input_shape.h * geo.in_channels);
-    TaskScratch& scratch = task_scratch();
-    const BitMask* mask = &all_pass;
-    if (prev_mask != nullptr) {
-      scratch.mask.assign_from_dense(prev_mask->row(n, c, iy));
-      mask = &scratch.mask;
-    }
-    // oy·S + ky − P = iy → every (oy, ky) pair writing this row. The
-    // mapping depends only on iy, so resolve it once per task instead of
-    // once per (f, ky).
-    std::vector<std::uint32_t>& oy_of = scratch.gta_oy;
-    oy_of.assign(geo.kernel, kNoRow);
-    for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
-      const std::int64_t num = static_cast<std::int64_t>(iy) +
-                               static_cast<std::int64_t>(geo.padding) -
-                               static_cast<std::int64_t>(ky);
-      if (num < 0 || num % static_cast<std::int64_t>(geo.stride) != 0)
-        continue;
-      const auto oy = static_cast<std::size_t>(
-          num / static_cast<std::int64_t>(geo.stride));
-      if (oy >= out.h) continue;
-      oy_of[ky] = static_cast<std::uint32_t>(oy);
-    }
-    std::vector<PeCost>& ops = scratch.ops;
-    ops.clear();
-    for (std::size_t f = 0; f < geo.out_channels; ++f) {
-      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
-        if (oy_of[ky] == kNoRow) continue;
-        ops.push_back(pe_.run_msrc(
-            go_rows.row((n * out.c + f) * out.h + oy_of[ky]), *mask, b));
-      }
-    }
-    return reduce_task(ops, geo.kernel);
-  });
+  const GtaKernel kernel{go_rows, geo,       out,       input_shape, b,
+                         pe_,     all_pass,  prev_mask, geo.kernel};
+  return run_tasks(task_count, geo.out_channels * geo.kernel, kernel);
 }
 
 ExactStageResult ExactEngine::run_gtw(const Tensor& grad_output,
@@ -244,27 +522,18 @@ ExactStageResult ExactEngine::run_gtw(const RowSet& go_rows,
   isa::RowBlock b = block_from(geo, out.w, geo.kernel, isa::RowOpKind::OSRC);
   b.second_len = in.w;
 
-  // One task per (n, f, c) kernel slice: OH·K row ops.
   const std::size_t task_count =
       out.n * geo.out_channels * geo.in_channels;
-  return run_tasks(task_count, [&, b](std::size_t index) {
-    const std::size_t c = index % geo.in_channels;
-    const std::size_t f = (index / geo.in_channels) % geo.out_channels;
-    const std::size_t n = index / (geo.in_channels * geo.out_channels);
-    std::vector<PeCost>& ops = task_scratch().ops;
-    ops.clear();
-    for (std::size_t oy = 0; oy < out.h; ++oy) {
-      const SparseRowView go = go_rows.row((n * out.c + f) * out.h + oy);
-      if (go.empty()) continue;  // zero dO row: nothing scheduled
-      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
-        std::size_t iy;
-        if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
-        ops.push_back(
-            pe_.run_osrc(in_rows.row((n * in.c + c) * in.h + iy), go, b));
-      }
-    }
-    return reduce_task(ops, geo.kernel);
-  });
+  // GTW tasks skip every zero dO row outright, so the realistic op count
+  // per task is the nonempty-row fraction of the nominal OH·K (sparse
+  // gradients make this a small handful — big tiles, few claims).
+  const std::size_t est_ops = std::max<std::size_t>(
+      1, go_rows.rows() == 0
+             ? 1
+             : go_rows.nonempty_rows() * out.h * geo.kernel /
+                   go_rows.rows());
+  const GtwKernel kernel{go_rows, in_rows, geo, out, in, b, pe_, geo.kernel};
+  return run_tasks(task_count, est_ops, kernel);
 }
 
 ExactStageResult ExactEngine::run_fc(const Tensor& operands,
@@ -278,20 +547,10 @@ ExactStageResult ExactEngine::run_fc(const Tensor& operands,
 
   const RowSet rows = compress(operands);
 
-  // One task per (sample, lane group); every task streams the sample's
-  // compressed vector once into `lanes` accumulators (no kernel preload —
-  // weight columns arrive from the buffer per ingested element).
   const std::size_t task_count = s.n * groups_per_sample;
-  const std::size_t drain = cfg_.timing.pipeline_drain;
-  return run_tasks(task_count, [&, drain, lanes](std::size_t index) {
-    const std::size_t n = index / groups_per_sample;
-    const SparseRowView vec = rows.row(n);
-    PeCost op;
-    op.ingested = vec.nnz();
-    op.macs = vec.nnz() * lanes;
-    op.cycles = vec.nnz() + drain;
-    return reduce_task(std::span<const PeCost>(&op, 1), lanes);
-  });
+  const FcKernel kernel{rows, groups_per_sample, cfg_.timing.pipeline_drain,
+                        lanes};
+  return run_tasks(task_count, 1, kernel);
 }
 
 }  // namespace sparsetrain::sim

@@ -9,26 +9,43 @@
 // what "cycle-accurate" means in this reproduction: per-element PE timing
 // semantics, not density approximations.
 //
-// Scaling: a stage's tasks are split into deterministic, contiguous tiles
-// that evaluate in parallel on a util::ThreadPool; per-task cycle counts
-// are then merged into the group scheduler in task order. Tile boundaries
-// and the merge order depend only on the task indices — never on the
-// worker count or which worker ran a tile — so results are byte-identical
-// to the serial path for any ExactOptions. The hot path is allocation-free
-// in steady state: operand tensors live in CompressedRows arenas, tasks
-// read them through SparseRowView spans, masks are word-packed BitMasks
-// (the all-pass mask is one shared constant per stage), and each worker
-// thread reuses a scratch buffer for its per-task PeCost list and mask
-// (tests/test_exact_alloc.cpp counts allocations). That makes full-size
-// layer
-// geometries (AlexNet/VGG/ResNet conv layers from the workload zoo)
-// practical to validate exactly; whole ImageNet *networks* in one exact
-// job are still minutes-scale and remain the statistical mode's territory.
+// Execution model (three fused layers):
+//
+//  * Tile kernels — each stage is one statically-dispatched kernel struct
+//    (ForwardKernel/GtaKernel/GtwKernel/FcKernel, see the .cpp) run by a
+//    run_tasks<Kernel> template, so the task loop, the row-op work
+//    counters and the group-round fold (PeGroupReducer) all inline into
+//    one loop. No per-task cost record is materialised: a tile aggregates
+//    busy/MAC/register counters locally and emits only a per-task cycle
+//    count into a pooled per-stage arena.
+//  * Streaming merge — per-task cycles feed the least-loaded-group
+//    scheduler through a flat indexed d-ary heap sized pe_groups,
+//    consumed strictly in task order (the identical deterministic stream
+//    the serial path produces). The merge of tile i overlaps the
+//    evaluation of tile i+1: the merging thread consumes tiles as their
+//    ready flags rise and claims unevaluated tiles itself while waiting,
+//    so a stage never barriers on its full task list.
+//  * Tiles are deterministic contiguous task ranges whose boundaries are
+//    adaptive (derived from the estimated row ops per task unless
+//    ExactOptions::tile_tasks pins them) — but neither tiling nor worker
+//    count ever changes any simulated number: results are byte-identical
+//    to the serial path for any ExactOptions.
+//
+// The hot path is allocation-free in steady state: operand tensors live
+// in CompressedRows arenas, tasks read them through SparseRowView spans,
+// masks are word-packed BitMasks (the all-pass mask is one shared
+// constant per stage), each worker thread reuses a scratch buffer, and
+// the per-stage cycle spans + scheduler arrays live in a pooled arena
+// reused across stages (tests/test_exact_alloc.cpp counts allocations).
+// Whole networks run through sim::run_exact, which schedules independent
+// (layer, stage) units concurrently on the same pool — see
+// exact_network.hpp.
 #pragma once
 
-#include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <vector>
 
 #include "dataflow/conv_decompose.hpp"
 #include "sim/accelerator.hpp"
@@ -38,17 +55,22 @@
 
 namespace sparsetrain::sim {
 
-/// Parallelism knobs of the exact engine. Neither field changes any
-/// simulated number — only wall-clock time.
+/// Parallelism knobs of the exact engine. No field changes any simulated
+/// number — only wall-clock time.
 struct ExactOptions {
   /// Worker threads stepping PE tiles. 1 = serial (no pool is created);
-  /// 0 = hardware concurrency.
+  /// 0 = hardware concurrency. Ignored when `shared_pool` is set.
   std::size_t workers = 1;
-  /// Group tasks per tile; 0 = kDefaultTileTasks. Smaller tiles balance
-  /// better, larger tiles amortise queueing.
+  /// Group tasks per tile; 0 = adaptive (sized from the estimated row
+  /// ops per task so op-heavy forward tasks get small tiles and sparse
+  /// GTW tasks get large ones).
   std::size_t tile_tasks = 0;
-
-  static constexpr std::size_t kDefaultTileTasks = 32;
+  /// Borrowed worker pool (not owned — must outlive the engine). When
+  /// set the engine spawns no threads of its own: tile evaluation and
+  /// the exact_network stage graph draw from this pool instead.
+  /// core::Session shares its job pool this way, so program-level jobs
+  /// and engine tiles form one two-level schedule on one set of threads.
+  util::ThreadPool* shared_pool = nullptr;
 };
 
 /// Outcome of one exactly-simulated layer stage.
@@ -73,6 +95,13 @@ class ExactEngine {
 
   const ArchConfig& config() const { return cfg_; }
   const ExactOptions& options() const { return opts_; }
+
+  /// The pool stage tiles (and the exact_network stage graph) run on:
+  /// the shared pool when one was borrowed, the engine's own pool when
+  /// workers != 1, else nullptr (serial).
+  util::ThreadPool* worker_pool() const {
+    return opts_.shared_pool != nullptr ? opts_.shared_pool : pool_.get();
+  }
 
   /// A tensor's rows in the accelerator's compressed on-wire format: one
   /// arena-backed CSR structure whose flat row (n·C + c)·H + y is tensor
@@ -119,40 +148,64 @@ class ExactEngine {
                           std::size_t lanes) const;
 
  private:
-  /// One group task's already-reduced outcome. Tiles fill these by task
-  /// index; the merge consumes them in index order.
-  struct TaskCost {
-    std::size_t cycles = 0;   ///< parallel-round makespan within the group
+  /// One tile's locally-aggregated activity (summed into the stage
+  /// result in tile order; integer sums, so order never changes values).
+  struct TileTotals {
     std::size_t row_ops = 0;
     std::size_t busy = 0;
     std::size_t macs = 0;
     std::size_t reg = 0;
   };
 
-  /// Evaluates `eval(i)` for every task (tiled across the pool), then
-  /// merges the per-task costs into the least-loaded-group scheduler in
-  /// task order. Byte-identical for any workers/tile_tasks.
-  ExactStageResult run_tasks(
-      std::size_t task_count,
-      const std::function<TaskCost(std::size_t)>& eval) const;
+  /// Per-stage working storage, pooled on the engine so repeated stages
+  /// re-use grown buffers instead of allocating (concurrent stages each
+  /// lease their own arena).
+  struct StageArena {
+    std::vector<std::size_t> cycles;       ///< per-task cycles (tiled path)
+    std::vector<TileTotals> tile_totals;   ///< per-tile aggregates
+    std::vector<std::size_t> loads;        ///< per-group schedule load
+    std::vector<std::uint32_t> heap;       ///< d-ary heap of group ids
+  };
 
-  /// Folds one task's row ops into rounds of pes_per_group (each round as
-  /// slow as its slowest op) and the activity counters. Takes a span so
-  /// tasks can hand it their reusable per-thread scratch.
-  TaskCost reduce_task(std::span<const PeCost> ops, std::size_t lanes) const;
+  /// RAII lease of one arena from the engine's pool.
+  struct ArenaLease {
+    const ExactEngine* engine = nullptr;
+    std::unique_ptr<StageArena> arena;
+    ArenaLease(const ExactEngine* e, std::unique_ptr<StageArena> a)
+        : engine(e), arena(std::move(a)) {}
+    ArenaLease(const ArenaLease&) = delete;
+    ArenaLease& operator=(const ArenaLease&) = delete;
+    ~ArenaLease();
+  };
 
-  std::size_t tile_tasks() const {
-    return opts_.tile_tasks != 0 ? opts_.tile_tasks
-                                 : ExactOptions::kDefaultTileTasks;
-  }
+  ArenaLease acquire_arena() const;
+  void release_arena(std::unique_ptr<StageArena> arena) const;
+
+  /// Tile size for a stage: the explicit override, or the adaptive size
+  /// derived from `est_ops_per_task` (affects wall-clock only).
+  std::size_t tile_for(std::size_t task_count,
+                       std::size_t est_ops_per_task) const;
+
+  /// Evaluates kernel(i, reducer) for every task i and merges the
+  /// per-task cycle stream into the least-loaded-group scheduler in task
+  /// order. Kernel is a statically-dispatched stage struct exposing
+  /// `lanes` and `operator()(std::size_t, PeGroupReducer&) -> cycles`.
+  /// Byte-identical for any workers/tile_tasks. Defined in the .cpp
+  /// (every instantiation lives there).
+  template <typename Kernel>
+  ExactStageResult run_tasks(std::size_t task_count,
+                             std::size_t est_ops_per_task,
+                             const Kernel& kernel) const;
 
   ArchConfig cfg_;
   ExactOptions opts_;
   PeExact pe_;
-  /// Created only when opts_.workers != 1; shared by all run_* calls
-  /// (which wait on their own tile futures, so concurrent stages on one
-  /// engine are safe).
+  /// Created only when opts_.workers != 1 and no pool was borrowed;
+  /// shared by all run_* calls (which claim their own tiles, so
+  /// concurrent stages on one engine are safe).
   std::unique_ptr<util::ThreadPool> pool_;
+  mutable std::mutex arenas_mu_;
+  mutable std::vector<std::unique_ptr<StageArena>> free_arenas_;
 };
 
 }  // namespace sparsetrain::sim

@@ -1,10 +1,13 @@
 #include "sim/exact_network.hpp"
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 
 #include "util/hash.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace sparsetrain::sim {
 
@@ -23,17 +26,23 @@ Rng stream(std::uint64_t seed, std::size_t layer, std::uint64_t tag) {
 /// Lazily synthesised operands of one layer, held in compressed-row form
 /// so every stage sharing a tensor (Forward + GTW share I, GTA + GTW
 /// share dO) compresses it exactly once per whole-program run — whatever
-/// order the program emits its Run instructions in. `pending_runs` is the
-/// number of this layer's Run instructions not yet executed; when it hits
-/// zero the operands are released, so a layer-contiguous program still
-/// keeps only ~one layer's tensors alive at a time.
+/// order the stage graph executes its units in (call_once gates each
+/// operand, so a unit that needs a tensor another unit is already
+/// synthesising simply waits for it: the "operand-cache readiness" edges
+/// of the graph). `pending` counts this layer's units not yet finished;
+/// when it hits zero the operands are released, so the roughly
+/// program-ordered claim loop still keeps only a few layers' tensors
+/// alive at a time.
 struct LayerOperands {
+  std::once_flag input_once;
+  std::once_flag grad_once;
+  std::once_flag mask_once;
   std::optional<ExactEngine::RowSet> input;
   Shape input_shape;
   std::optional<ExactEngine::RowSet> grad;
   Shape grad_shape;
   std::optional<Tensor> mask;  ///< engaged only when the mask gates (ρ < 1)
-  std::size_t pending_runs = 0;
+  std::atomic<std::size_t> pending{0};
 
   void release() {
     input.reset();
@@ -69,48 +78,48 @@ SimReport run_exact(const ExactEngine& engine, const isa::Program& program,
   report.total_pes = cfg.pe_groups * cfg.pes_per_group;
   report.engine = isa::EngineKind::Exact;
 
-  // One operand slot per layer, filled lazily and released after the
-  // layer's last Run instruction: each activation/gradient tensor of a
-  // whole-program run is synthesised and compressed exactly once, even if
-  // the program interleaves layers (e.g. a forward sweep followed by a
-  // reverse backward sweep).
+  // The stage graph's units: every Run instruction is one independent
+  // (layer, stage) node, gated only by its layer's operand readiness.
+  std::vector<const isa::Instruction*> units;
   std::vector<LayerOperands> operands(net.layers.size());
   for (const auto& inst : program.instructions) {
     if (inst.op != isa::Opcode::Run) continue;
     ST_REQUIRE(inst.layer_index < net.layers.size(),
                "instruction references unknown layer");
-    ++operands[inst.layer_index].pending_runs;
+    operands[inst.layer_index].pending.fetch_add(
+        1, std::memory_order_relaxed);
+    units.push_back(&inst);
   }
 
   auto input_of = [&](std::size_t li) -> const ExactEngine::RowSet& {
     LayerOperands& t = operands[li];
-    if (!t.input) {
+    std::call_once(t.input_once, [&] {
       const auto& l = net.layers[li];
       Rng rng = stream(seed, li, kInput);
       Tensor x(Shape{batch, l.in_channels, l.in_h, l.in_w});
       x.fill_sparse_normal(rng, profile.layer(li).input_acts);
       t.input_shape = x.shape();
       t.input = engine.compress(x);
-    }
+    });
     return *t.input;
   };
   auto grad_of = [&](std::size_t li) -> const ExactEngine::RowSet& {
     LayerOperands& t = operands[li];
-    if (!t.grad) {
+    std::call_once(t.grad_once, [&] {
       const auto& l = net.layers[li];
       Rng rng = stream(seed, li, kGrad);
       Tensor g(Shape{batch, l.out_channels, l.out_h(), l.out_w()});
       g.fill_sparse_normal(rng, profile.layer(li).output_grads);
       t.grad_shape = g.shape();
       t.grad = engine.compress(g);
-    }
+    });
     return *t.grad;
   };
   auto mask_of = [&](std::size_t li) -> const Tensor* {
     const double rho = profile.layer(li).mask;
     if (rho >= 1.0) return nullptr;  // all-pass
     LayerOperands& t = operands[li];
-    if (!t.mask) {
+    std::call_once(t.mask_once, [&] {
       const auto& l = net.layers[li];
       Rng rng = stream(seed, li, kMask);
       Tensor m(Shape{batch, l.in_channels, l.in_h, l.in_w});
@@ -118,12 +127,16 @@ SimReport run_exact(const ExactEngine& engine, const isa::Program& program,
       for (float& v : m.flat())
         if (v != 0.0f) v = 1.0f;
       t.mask = std::move(m);
-    }
+    });
     return &*t.mask;
   };
 
-  for (const auto& inst : program.instructions) {
-    if (inst.op != isa::Opcode::Run) continue;
+  // Runs one unit and writes its pre-sized result slot; every unit's
+  // numbers are a pure function of (program, net, profile, seed), so the
+  // execution order across units never shows in the report.
+  std::vector<StageReport> stages(units.size());
+  auto run_unit = [&](std::size_t u) {
+    const isa::Instruction& inst = *units[u];
     const std::size_t li = inst.layer_index;
     LayerOperands& t = operands[li];
     const auto& l = net.layers[li];
@@ -165,20 +178,42 @@ SimReport run_exact(const ExactEngine& engine, const isa::Program& program,
       }
     }
 
-    StageReport stage;
+    StageReport& stage = stages[u];
     stage.layer_index = li;
     stage.layer_name = l.name;
     stage.stage = inst.stage;
     stage.cycles = r.cycles;
     stage.activity = r.activity;
     stage.energy = price(r.activity, cfg.energy);
+
+    const std::size_t prev =
+        t.pending.fetch_sub(1, std::memory_order_acq_rel);
+    ST_REQUIRE(prev > 0, "run refcount underflow");
+    if (prev == 1) t.release();
+  };
+
+  // Two-level parallelism: units are claimed concurrently (in program
+  // order, preserving the operand-cache locality of the old serial
+  // sweep), and each unit's stage tiles fan out over the same pool — so
+  // a program of many small stages fills the pool even when no single
+  // stage could. parallel_for's claim loop makes this safe even when
+  // run_exact is itself running on a pool worker (Session exact jobs):
+  // the caller participates and never blocks on the pool's queue.
+  util::parallel_for(engine.worker_pool(), units.size(), /*grain=*/1,
+                     [&](std::size_t first, std::size_t last) {
+                       for (std::size_t u = first; u < last; ++u) {
+                         run_unit(u);
+                       }
+                     });
+
+  // Deterministic assembly in program order — the identical accumulation
+  // sequence (integer counters and float energy alike) the serial sweep
+  // performed, whatever order the units actually ran in.
+  for (StageReport& stage : stages) {
     report.total_cycles += stage.cycles;
     report.activity += stage.activity;
     report.energy += stage.energy;
     report.stages.push_back(std::move(stage));
-
-    ST_REQUIRE(t.pending_runs > 0, "run refcount underflow");
-    if (--t.pending_runs == 0) t.release();
   }
   return report;
 }

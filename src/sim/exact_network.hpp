@@ -10,6 +10,16 @@
 // of the same program cover the identical work list and their cycle
 // counts are directly comparable (tests/test_exact_agreement_matrix.cpp).
 //
+// Execution is a whole-program stage graph, not a stage-by-stage sweep:
+// every Run instruction is an independent (layer, stage) unit, claimed
+// concurrently onto the engine's worker pool and gated only by its
+// layer's operand readiness (call_once-guarded lazy synthesis +
+// refcounted release). Each unit's tiles then fan out over the same pool
+// — two-level parallelism, so a program of many small stages (ResNet on
+// CIFAR: 512-task stages) fills the pool even though no single stage
+// could. Unit results are assembled in program order, so reports are
+// byte-identical to the serial sweep for any worker count.
+//
 // Scope: exact mode is the *compute-timing* ground truth. It reports
 // cycles, busy/MAC/register activity and the energy those events price
 // to; it does not model SRAM/DRAM streaming (those counters stay zero),

@@ -12,6 +12,7 @@
 //    the closed form matches PeExact in expectation.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 
 #include "dataflow/row_ops.hpp"
@@ -112,6 +113,66 @@ class PeExact {
   }
 
   PeTiming timing_;
+};
+
+/// Streaming fold of one group task's row-op costs into the group's
+/// parallel-round timing (paper Fig. 7a): a group's PEs take the task's
+/// ops `width` at a time and each round lasts as long as its slowest op.
+/// The exact engine's tile kernels feed ops one at a time — no PeCost
+/// list is ever materialised — and read the task's cycle count back from
+/// end_task(); the busy/MAC/register counters accumulate across every
+/// task fed since construction (one reducer per tile). All arithmetic is
+/// the plain round fold, so the result is byte-identical to reducing a
+/// materialised op list.
+class PeGroupReducer {
+ public:
+  PeGroupReducer(std::size_t width, std::size_t lanes)
+      : width_(width), lanes_(lanes) {}
+
+  void begin_task() {
+    task_cycles_ = 0;
+    round_max_ = 0;
+    in_round_ = 0;
+  }
+
+  void add(const PeCost& op) {
+    ++row_ops_;
+    busy_ += op.cycles;
+    macs_ += op.macs;
+    reg_ += op.ingested * 2 * lanes_ + lanes_;
+    round_max_ = std::max(round_max_, op.cycles);
+    if (++in_round_ == width_) {
+      task_cycles_ += round_max_;
+      round_max_ = 0;
+      in_round_ = 0;
+    }
+  }
+
+  /// Closes the task's partial round and returns its cycle count.
+  std::size_t end_task() {
+    if (in_round_ != 0) {
+      task_cycles_ += round_max_;
+      round_max_ = 0;
+      in_round_ = 0;
+    }
+    return task_cycles_;
+  }
+
+  std::size_t row_ops() const { return row_ops_; }
+  std::size_t busy() const { return busy_; }
+  std::size_t macs() const { return macs_; }
+  std::size_t reg() const { return reg_; }
+
+ private:
+  std::size_t width_;
+  std::size_t lanes_;
+  std::size_t task_cycles_ = 0;
+  std::size_t round_max_ = 0;
+  std::size_t in_round_ = 0;
+  std::size_t row_ops_ = 0;
+  std::size_t busy_ = 0;
+  std::size_t macs_ = 0;
+  std::size_t reg_ = 0;
 };
 
 /// Closed-form statistics of one row op's PE cost. Means are per

@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 #include "util/require.hpp"
@@ -44,6 +46,53 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+namespace {
+
+/// Shared state of one parallel_for call. Heap-held behind a shared_ptr:
+/// helper tasks that land on the pool after the work is already gone must
+/// still be able to *fail* their claim safely, even though the caller's
+/// frame (and the chunk body's captures) died with the call. A helper
+/// touches the body only after a successful claim, and the caller cannot
+/// return before every claimed chunk finished, so the body's captured
+/// references are always alive when dereferenced.
+struct ForRun {
+  std::function<void(std::size_t, std::size_t)> body;
+  std::size_t total = 0;
+  std::size_t grain = 0;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};  ///< claim counter
+  std::atomic<std::size_t> done{0};  ///< finished chunks (even on error)
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::exception_ptr error;  ///< first chunk/submit error (guarded by mu)
+
+  /// Claims and runs chunks until none are left. Every claimed chunk
+  /// counts as done even when its body throws, so the caller's drain is
+  /// total and no error can strand a waiter.
+  void run_chunks() {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t first = c * grain;
+      const std::size_t last = std::min(first + grain, total);
+      try {
+        body(first, last);
+      } catch (...) {
+        std::lock_guard lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
+        // Empty critical section pairs with the waiter's predicate check,
+        // closing the check-then-wait race.
+        { std::lock_guard lock(mu); }
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
 void parallel_for(ThreadPool* pool, std::size_t total, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn) {
   ST_REQUIRE(fn != nullptr, "parallel_for needs a body");
@@ -52,28 +101,36 @@ void parallel_for(ThreadPool* pool, std::size_t total, std::size_t grain,
     fn(0, total);
     return;
   }
-  // Drain everything before surfacing an error — whether a chunk threw
-  // or a later submit() failed: the body captures caller state by
-  // reference, so no chunk may outlive this frame.
-  std::vector<std::future<void>> chunks;
-  chunks.reserve((total + grain - 1) / grain);
-  std::exception_ptr error;
-  try {
-    for (std::size_t first = 0; first < total; first += grain) {
-      const std::size_t last = std::min(first + grain, total);
-      chunks.push_back(pool->submit([&fn, first, last] { fn(first, last); }));
-    }
-  } catch (...) {
-    error = std::current_exception();
-  }
-  for (auto& c : chunks) {
+
+  auto run = std::make_shared<ForRun>();
+  run->body = fn;
+  run->total = total;
+  run->grain = grain;
+  run->chunks = (total + grain - 1) / grain;
+
+  // Recruit at most one helper per pool thread (the caller claims chunks
+  // too, so helpers are an acceleration, never a requirement — if the
+  // pool is saturated or shutting down the caller just does all the work
+  // itself, which is what makes nested calls from pool workers safe).
+  const std::size_t helpers =
+      std::min(pool->worker_count(), run->chunks - 1);
+  for (std::size_t i = 0; i < helpers; ++i) {
     try {
-      c.get();
+      pool->submit([run] { run->run_chunks(); });
     } catch (...) {
-      if (!error) error = std::current_exception();
+      std::lock_guard lock(run->mu);
+      if (!run->error) run->error = std::current_exception();
+      break;
     }
   }
-  if (error) std::rethrow_exception(error);
+
+  run->run_chunks();
+
+  std::unique_lock lock(run->mu);
+  run->all_done.wait(lock, [&] {
+    return run->done.load(std::memory_order_acquire) == run->chunks;
+  });
+  if (run->error) std::rethrow_exception(run->error);
 }
 
 void ThreadPool::worker_loop() {

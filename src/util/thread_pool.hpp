@@ -59,6 +59,13 @@ class ThreadPool {
 /// output for any worker count. Blocks until every chunk finished;
 /// rethrows the first chunk error (after all chunks were drained). With a
 /// null pool, a zero grain, or a single chunk the call runs inline.
+///
+/// Safe to call from inside a pool task (nested data parallelism): chunks
+/// are *claimed* from a shared counter rather than dispatched one-per-pool
+///-task, and the calling thread claims chunks too. The caller therefore
+/// never blocks on queued work — only on chunks another thread is actively
+/// executing — so a worker calling parallel_for on its own pool cannot
+/// deadlock, whatever the pool size or queue depth.
 void parallel_for(ThreadPool* pool, std::size_t total, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -168,9 +168,11 @@ TEST(ExactEngineParallel, IdenticalForAnyWorkersAndTileSize) {
   EXPECT_GT(gta.cycles, 0u);
   EXPECT_GT(gtw.cycles, 0u);
 
-  for (const std::size_t workers : {std::size_t{2}, std::size_t{8}}) {
+  for (const std::size_t workers :
+       {std::size_t{2}, std::size_t{7}, std::size_t{8}}) {
+    // tile 0 = adaptive sizing; 1000000 = one tile for the whole stage.
     for (const std::size_t tile :
-         {std::size_t{1}, std::size_t{7}, std::size_t{64},
+         {std::size_t{0}, std::size_t{1}, std::size_t{7}, std::size_t{64},
           std::size_t{1000000}}) {
       SCOPED_TRACE("workers=" + std::to_string(workers) +
                    " tile=" + std::to_string(tile));
