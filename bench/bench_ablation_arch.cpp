@@ -5,111 +5,125 @@
 // and speedup over the equally-provisioned dense baseline, on
 // ResNet-18/CIFAR with the Table II p=90% profile.
 //
-// Every swept architecture is registered as a named backend and the whole
-// sweep is two submit() calls; the ProgramCache compiles each (net,
-// profile) once however many architectures run it.
+// Both sweeps are dse::Explorer grids over a SpaceSpec whose sparse axis
+// is {true, false} — every swept architecture is paired with its dense
+// twin in one enumeration, the Explorer registers the backends and
+// batches the evaluations as Session jobs, and the ProgramCache compiles
+// each (net, profile) once however many architectures run it.
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "baseline/eyeriss_like.hpp"
 #include "core/session.hpp"
+#include "dse/explorer.hpp"
 #include "util/table.hpp"
 #include "workload/layer_config.hpp"
 #include "workload/sparsity_profile.hpp"
 
 using namespace sparsetrain;
 
+namespace {
+
+/// The two sweep cells of one swept value: the SparseTrain point and its
+/// equally-provisioned dense twin.
+struct Pair {
+  const dse::PointResult* sparse = nullptr;
+  const dse::PointResult* dense = nullptr;
+};
+
+Pair find_pair(const dse::ExploreResult& result,
+               const std::function<bool(const sim::ArchConfig&)>& match) {
+  Pair pair;
+  pair.sparse = result.find([&](const dse::DesignPoint& p) {
+    return p.arch.sparse && match(p.arch);
+  });
+  pair.dense = result.find([&](const dse::DesignPoint& p) {
+    return !p.arch.sparse && match(p.arch);
+  });
+  return pair;
+}
+
+double cycle_ratio(const Pair& pair) {
+  return static_cast<double>(pair.dense->evals[0].report.total_cycles) /
+         static_cast<double>(pair.sparse->evals[0].report.total_cycles);
+}
+
+}  // namespace
+
 int main() {
   const auto net = workload::resnet18_cifar();
-  const auto profile = workload::SparsityProfile::calibrated(
-      net, workload::paper_act_density(workload::ModelFamily::ResNet),
+  const dse::Scenario cifar_scenario = dse::Scenario::calibrated(
+      "table2-p90",
+      workload::paper_act_density(workload::ModelFamily::ResNet),
       workload::paper_table2_do_density(workload::ModelFamily::ResNet, false,
-                                        0.9),
-      "table2-p90");
+                                        0.9));
 
   core::Session session;
-  const std::vector<std::size_t> group_counts = {14, 28, 56, 112, 224};
-  std::vector<std::string> pe_backends;
-  for (const std::size_t groups : group_counts) {
-    sim::ArchConfig sc = session.config().sparse_arch;
-    sc.pe_groups = groups;
-    sim::ArchConfig dc = baseline::eyeriss_like_config();
-    dc.pe_groups = groups;
-    const std::string tag = "g" + std::to_string(groups);
-    session.backends().register_arch("sparse-" + tag, sc);
-    session.backends().register_arch("dense-" + tag, dc);
-    pe_backends.push_back("sparse-" + tag);
-    pe_backends.push_back("dense-" + tag);
-  }
+  dse::Explorer explorer(session);
 
-  // The CIFAR workload fits in every buffer size, so sweep the buffer on
-  // the ImageNet-scale workload where working sets actually spill.
-  const auto big_net = workload::resnet18_imagenet();
-  const auto big_profile = workload::SparsityProfile::calibrated(
-      big_net, workload::paper_act_density(workload::ModelFamily::ResNet),
-      workload::paper_table2_do_density(workload::ModelFamily::ResNet, true,
-                                        0.9),
-      "table2-p90");
-  const std::vector<std::size_t> buffer_kbs = {48, 96, 192, 386, 772, 1544};
-  std::vector<std::string> buf_backends;
-  for (const std::size_t kb : buffer_kbs) {
-    sim::ArchConfig sc = session.config().sparse_arch;
-    sc.buffer_bytes = kb * 1024;
-    sim::ArchConfig dc = baseline::eyeriss_like_config();
-    dc.buffer_bytes = kb * 1024;
-    const std::string tag = "b" + std::to_string(kb);
-    session.backends().register_arch("sparse-" + tag, sc);
-    session.backends().register_arch("dense-" + tag, dc);
-    buf_backends.push_back("sparse-" + tag);
-    buf_backends.push_back("dense-" + tag);
-  }
-
-  // Registration done — submit both sweeps (the registry contract is
-  // register-everything, then submit).
-  const auto pe_job = session.submit(net, profile, pe_backends);
-  const auto buf_job = session.submit(big_net, big_profile, buf_backends);
+  // PE-group sweep (3 PEs per group, 386 KB buffer), each point paired
+  // with its dense twin by the sparse axis.
+  dse::SpaceSpec pe_space;
+  pe_space.pe_groups = {14, 28, 56, 112, 224};
+  pe_space.sparse = {true, false};
+  pe_space.scenarios = {cifar_scenario};
+  const auto pe_result = explorer.explore(pe_space, {net});
 
   std::printf(
       "Architecture scaling ablation on ResNet-18/CIFAR (p=90%% profile).\n\n"
       "PE-group sweep (3 PEs per group, 386 KB buffer):\n");
   TextTable pe_table({"PE groups", "PEs", "SparseTrain cycles", "speedup",
                       "PE utilisation"});
-  const core::EvalResult& pe_result = session.wait(pe_job);
-  for (const std::size_t groups : group_counts) {
-    const std::string tag = "g" + std::to_string(groups);
-    const auto& rs = pe_result.report("sparse-" + tag);
-    pe_table.add_row(
-        {std::to_string(groups), std::to_string(groups * 3),
-         std::to_string(rs.total_cycles),
-         TextTable::times(
-             pe_result.cycle_ratio("dense-" + tag, "sparse-" + tag)),
-         TextTable::pct(rs.utilization(), 0)});
+  for (const std::size_t groups : pe_space.pe_groups) {
+    const Pair pair = find_pair(pe_result, [&](const sim::ArchConfig& a) {
+      return a.pe_groups == groups;
+    });
+    const auto& rs = pair.sparse->evals[0].report;
+    pe_table.add_row({std::to_string(groups), std::to_string(groups * 3),
+                      std::to_string(rs.total_cycles),
+                      TextTable::times(cycle_ratio(pair)),
+                      TextTable::pct(rs.utilization(), 0)});
   }
   std::printf("%s\n", pe_table.to_string().c_str());
+
+  // The CIFAR workload fits in every buffer size, so sweep the buffer on
+  // the ImageNet-scale workload where working sets actually spill.
+  const auto big_net = workload::resnet18_imagenet();
+  dse::SpaceSpec buf_space;
+  buf_space.buffer_bytes = {48 * 1024,  96 * 1024,  192 * 1024,
+                            386 * 1024, 772 * 1024, 1544 * 1024};
+  buf_space.sparse = {true, false};
+  buf_space.scenarios = {dse::Scenario::calibrated(
+      "table2-p90",
+      workload::paper_act_density(workload::ModelFamily::ResNet),
+      workload::paper_table2_do_density(workload::ModelFamily::ResNet, true,
+                                        0.9))};
+  const auto buf_result = explorer.explore(buf_space, {big_net});
 
   std::printf("Buffer sweep on ResNet-18/ImageNet (56 groups; working sets\n"
               "that spill refetch weights from DRAM):\n");
   TextTable buf_table({"buffer KB", "SparseTrain DRAM uJ", "baseline DRAM uJ",
                        "baseline/SparseTrain DRAM"});
-  const core::EvalResult& buf_result = session.wait(buf_job);
-  for (const std::size_t kb : buffer_kbs) {
-    const std::string tag = "b" + std::to_string(kb);
-    const auto& rs = buf_result.report("sparse-" + tag);
-    const auto& rd = buf_result.report("dense-" + tag);
-    buf_table.add_row(
-        {std::to_string(kb), TextTable::num(rs.energy.dram_pj * 1e-6, 1),
-         TextTable::num(rd.energy.dram_pj * 1e-6, 1),
-         TextTable::times(rd.energy.dram_pj / rs.energy.dram_pj)});
+  for (const std::size_t bytes : buf_space.buffer_bytes) {
+    const Pair pair = find_pair(buf_result, [&](const sim::ArchConfig& a) {
+      return a.buffer_bytes == bytes;
+    });
+    const auto& rs = pair.sparse->evals[0].report;
+    const auto& rd = pair.dense->evals[0].report;
+    buf_table.add_row({std::to_string(bytes / 1024),
+                       TextTable::num(rs.energy.dram_pj * 1e-6, 1),
+                       TextTable::num(rd.energy.dram_pj * 1e-6, 1),
+                       TextTable::times(rd.energy.dram_pj /
+                                        rs.energy.dram_pj)});
   }
   std::printf("%s\n", buf_table.to_string().c_str());
 
-  const auto stats = session.program_cache().stats();
   std::printf(
-      "program cache: %zu compiles for %zu program requests across %zu "
-      "backend runs.\n\n",
-      stats.misses, stats.lookups(),
-      pe_result.runs.size() + buf_result.runs.size());
+      "program cache: %zu compiles for %zu lookups across %zu backend "
+      "runs.\n\n",
+      pe_result.cache.misses + buf_result.cache.misses,
+      pe_result.cache.lookups() + buf_result.cache.lookups(),
+      pe_result.evaluations + buf_result.evaluations);
   std::printf(
       "Reading: speedup is roughly flat across PE counts (both sides\n"
       "scale), utilisation drops as groups outnumber ready tasks for the\n"

@@ -5,12 +5,14 @@
 // iteration = more tasks per layer stage, which if anything improves load
 // balance), i.e. the Fig. 8/9 numbers are not an artefact of batch = 1.
 //
-// Each batch size is one job with a per-job batch override; all five jobs
-// evaluate in parallel on the Session pool.
+// The sweep is a dse::Explorer grid over the batch axis with the sparse
+// axis supplying the dense twin — one enumeration, one shared Session
+// pool, one compiled program per (batch, profile).
 #include <cstdio>
 #include <vector>
 
 #include "core/session.hpp"
+#include "dse/explorer.hpp"
 #include "util/table.hpp"
 #include "workload/layer_config.hpp"
 #include "workload/sparsity_profile.hpp"
@@ -19,39 +21,40 @@ using namespace sparsetrain;
 
 int main() {
   const auto net = workload::resnet18_cifar();
-  const auto profile = workload::SparsityProfile::calibrated(
-      net, workload::paper_act_density(workload::ModelFamily::ResNet),
-      workload::paper_table2_do_density(workload::ModelFamily::ResNet, false,
-                                        0.9),
-      "table2-p90");
 
   core::Session session;
-  const std::vector<std::size_t> batches = {1, 2, 4, 8, 16};
-  std::vector<core::Session::JobHandle> jobs;
-  for (const std::size_t batch : batches) {
-    core::Session::JobOptions opts;
-    opts.batch = batch;
-    jobs.push_back(session.submit(
-        net, profile,
-        {core::Session::kSparseBackend, core::Session::kDenseBackend}, opts));
-  }
+  dse::Explorer explorer(session);
+
+  dse::SpaceSpec space;
+  space.batch = {1, 2, 4, 8, 16};
+  space.sparse = {true, false};
+  space.scenarios = {dse::Scenario::calibrated(
+      "table2-p90",
+      workload::paper_act_density(workload::ModelFamily::ResNet),
+      workload::paper_table2_do_density(workload::ModelFamily::ResNet, false,
+                                        0.9))};
+  const auto result = explorer.explore(space, {net});
 
   std::printf(
       "Batch-size ablation on ResNet-18/CIFAR: per-sample latency and\n"
       "speedup vs minibatch size (168 PEs, 386 KB).\n\n");
   TextTable table({"batch", "SparseTrain ms/sample", "baseline ms/sample",
                    "speedup", "PE utilisation"});
-  for (std::size_t i = 0; i < batches.size(); ++i) {
-    const core::EvalResult& r = session.wait(jobs[i]);
-    const auto& rs = r.report(core::Session::kSparseBackend);
-    const auto& rd = r.report(core::Session::kDenseBackend);
-    const double per_sample = static_cast<double>(batches[i]);
+  for (const std::size_t batch : space.batch) {
+    const auto* sparse = result.find([&](const dse::DesignPoint& p) {
+      return p.arch.sparse && p.batch == batch;
+    });
+    const auto* dense = result.find([&](const dse::DesignPoint& p) {
+      return !p.arch.sparse && p.batch == batch;
+    });
+    const auto& rs = sparse->evals[0].report;
+    const auto& rd = dense->evals[0].report;
+    const double per_sample = static_cast<double>(batch);
     table.add_row(
-        {std::to_string(batches[i]),
-         TextTable::num(rs.latency_ms() / per_sample, 3),
+        {std::to_string(batch), TextTable::num(rs.latency_ms() / per_sample, 3),
          TextTable::num(rd.latency_ms() / per_sample, 3),
-         TextTable::times(r.cycle_ratio(core::Session::kDenseBackend,
-                                        core::Session::kSparseBackend)),
+         TextTable::times(static_cast<double>(rd.total_cycles) /
+                          static_cast<double>(rs.total_cycles)),
          TextTable::pct(rs.utilization(), 0)});
   }
   std::printf("%s\n", table.to_string().c_str());

@@ -118,7 +118,18 @@ void json_escape(std::string& out, const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args(argc, argv);
+  const Args args(
+      argc, argv,
+      {{"out", "output JSON path (default BENCH_exact_engine.json)"},
+       {"min-time", "minimum seconds per timed point (default 0.3)"},
+       {"quick", "CIFAR AlexNet entry only (the CI subset)", false},
+       {"full", "every conv layer of every zoo workload", false},
+       {"scaling", "sweep workers {1,2,4,8} per entry", false},
+       {"workers", "parallel-pass worker count (0 = hardware)"}});
+  if (args.help_requested()) {
+    std::printf("%s", args.usage(argv[0]).c_str());
+    return 0;
+  }
   const std::string out_path = args.get("out", "BENCH_exact_engine.json");
   const double min_time = args.get("min-time", 0.3);
   const bool quick = args.has("quick");

@@ -4,22 +4,24 @@
 // the algorithm side (Table II) to the architecture side (Fig. 8) of the
 // paper in one program.
 //
-// The simulation side goes through the Session evaluation service: every
-// p submits one job against three registered backends, the jobs run in
-// parallel on the session pool, and the ProgramCache compiles each
-// distinct (net, profile) once — the dense baseline program is shared by
-// all five jobs, so compiles stay far below program requests.
+// The simulation side is one dse::Explorer grid: every measured density
+// pair becomes a Scenario on the scenario axis, the architecture axes
+// pair the full-size SparseTrain array, a half-array variant and the
+// dense baseline, and the Explorer batches the whole cross product as
+// Session jobs — the dense baseline program is compiled once and shared
+// across every scenario, so compiles stay far below program requests.
 #include <cstdio>
 #include <vector>
 
-#include "core/export.hpp"
 #include "core/session.hpp"
-#include "data/synthetic.hpp"
+#include "dse/explorer.hpp"
+#include "dse/export.hpp"
 #include "nn/init.hpp"
 #include "nn/models/model_builder.hpp"
 #include "nn/trainer.hpp"
 #include "pruning/attach.hpp"
 #include "pruning/sparsity_meter.hpp"
+#include "data/synthetic.hpp"
 #include "util/table.hpp"
 #include "workload/layer_config.hpp"
 #include "workload/sparsity_profile.hpp"
@@ -37,31 +39,21 @@ int main() {
   const data::SyntheticDataset test = train.held_out(180, 18);
 
   const auto sim_net = workload::resnet18_cifar();
-  core::Session session;
-
-  // Third backend: a half-array SparseTrain variant, to show how the
-  // measured densities translate at a different compute budget.
-  sim::ArchConfig half = session.config().sparse_arch;
-  half.name = "SparseTrain-28g";
-  half.pe_groups = 28;
-  session.backends().register_arch("sparsetrain-28g", half);
-  const std::vector<std::string> backends = {"sparsetrain", "eyeriss-dense",
-                                             "sparsetrain-28g"};
 
   std::printf(
       "Pruning-rate sweep: train ResNet-S (scaled), measure accuracy and\n"
-      "operand densities, then simulate ResNet-18/CIFAR with the measured\n"
-      "densities on %zu backends.\n\n",
-      backends.size());
+      "operand densities, then explore ResNet-18/CIFAR with the measured\n"
+      "densities across the architecture axes.\n\n");
 
   struct TrainedPoint {
     double p = 0.0;
     double accuracy = 0.0;
     double i_rho = 0.0;
     double do_rho = 0.0;
-    core::Session::JobHandle job;
+    std::string scenario;
   };
   std::vector<TrainedPoint> points;
+  std::vector<dse::Scenario> scenarios;
 
   for (double p : {0.0, 0.5, 0.7, 0.9, 0.99}) {
     nn::models::ModelInput mi{dcfg.channels, dcfg.height, dcfg.width,
@@ -87,38 +79,70 @@ int main() {
     nn::Trainer trainer(*net, tcfg);
     const auto result = trainer.fit(train, test);
 
+    // Each trained point becomes one measured-density scenario on the
+    // exploration's scenario axis.
     const auto overall = meter->overall();
-    // Feed measured densities into the full-size simulator workload; the
-    // job evaluates asynchronously while the next p trains.
-    const auto profile = workload::SparsityProfile::calibrated(
-        sim_net, overall.input_acts, overall.output_grads, "measured");
-    points.push_back({p, result.test_accuracy, overall.input_acts,
-                      overall.output_grads,
-                      session.submit(sim_net, profile, backends)});
+    char name[32];
+    std::snprintf(name, sizeof name, "measured-p%.0f", p * 100.0);
+    scenarios.push_back(dse::Scenario::calibrated(name, overall.input_acts,
+                                                  overall.output_grads));
+    points.push_back(
+        {p, result.test_accuracy, overall.input_acts, overall.output_grads,
+         name});
   }
+
+  // Architecture axes: the full 56-group array and a half array, each
+  // with its dense twin (the 28-group dense point simply rides along in
+  // the cross product).
+  core::Session session;
+  dse::Explorer explorer(session);
+  dse::SpaceSpec space;
+  space.pe_groups = {56, 28};
+  space.sparse = {true, false};
+  space.scenarios = scenarios;
+  const auto explored = explorer.explore(space, {sim_net});
+
+  const auto cycles = [&](std::size_t groups, bool sparse,
+                          const std::string& scenario) {
+    const auto* pt = explored.find([&](const dse::DesignPoint& p) {
+      return p.arch.pe_groups == groups && p.arch.sparse == sparse &&
+             p.scenario.name == scenario;
+    });
+    return static_cast<double>(pt->evals[0].report.total_cycles);
+  };
+  const auto on_chip = [&](std::size_t groups, bool sparse,
+                           const std::string& scenario) {
+    const auto* pt = explored.find([&](const dse::DesignPoint& p) {
+      return p.arch.pe_groups == groups && p.arch.sparse == sparse &&
+             p.scenario.name == scenario;
+    });
+    return pt->evals[0].report.energy.on_chip_pj();
+  };
 
   TextTable table({"p", "accuracy", "measured I rho", "measured dO rho",
                    "sim speedup", "sim energy eff", "28g speedup"});
   for (const auto& pt : points) {
-    const core::EvalResult& r = session.wait(pt.job);
     table.add_row(
         {TextTable::num(pt.p), TextTable::pct(pt.accuracy, 1),
          TextTable::num(pt.i_rho), TextTable::num(pt.do_rho),
-         TextTable::times(r.cycle_ratio("eyeriss-dense", "sparsetrain")),
-         TextTable::times(r.energy_ratio("eyeriss-dense", "sparsetrain")),
-         TextTable::times(r.cycle_ratio("eyeriss-dense", "sparsetrain-28g"))});
+         TextTable::times(cycles(56, false, pt.scenario) /
+                          cycles(56, true, pt.scenario)),
+         TextTable::times(on_chip(56, false, pt.scenario) /
+                          on_chip(56, true, pt.scenario)),
+         TextTable::times(cycles(56, false, pt.scenario) /
+                          cycles(28, true, pt.scenario))});
   }
   std::printf("%s\n", table.to_string().c_str());
 
-  const auto stats = session.program_cache().stats();
   std::printf(
       "program cache: %zu compiles for %zu program requests across %zu "
-      "jobs\n(the dense baseline program is compiled once and shared by "
-      "every job;\neach sparse program serves both SparseTrain variants)\n",
-      stats.misses, stats.lookups(), points.size());
+      "backend runs\n(the dense baseline program is compiled once and "
+      "shared by every scenario;\neach sparse program serves both "
+      "SparseTrain variants)\n",
+      explored.cache.misses, explored.cache.lookups(), explored.evaluations);
 
-  core::export_csv(session.results(), "sweep_pruning_rates.csv");
-  std::printf("per-backend results written to sweep_pruning_rates.csv\n");
+  dse::export_points_csv(explored, "sweep_pruning_rates.csv");
+  std::printf("per-point results written to sweep_pruning_rates.csv\n");
   std::printf(
       "\nThe paper's trade-off: accuracy stays flat while dO density — and\n"
       "with it simulated training latency/energy — drops as p grows.\n");

@@ -1,0 +1,36 @@
+// Machine-readable export of exploration results.
+//
+// Same conventions as core/export: one CSV row per candidate with the
+// decoded axes and the objective vector (an `on_front` column marks the
+// Pareto frontier), and a JSON document carrying the full exploration —
+// points, frontier indices, evaluation count and the ProgramCache
+// hit-rate — so sweeps feed plotting scripts and CI gates directly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dse/explorer.hpp"
+
+namespace sparsetrain::dse {
+
+/// Header used by export_points_csv, in column order.
+std::vector<std::string> points_csv_header();
+
+/// One row per evaluated candidate (incomplete/pruned candidates are
+/// included with their status so halving output is auditable).
+void export_points_csv(const ExploreResult& result, std::ostream& out);
+void export_points_csv(const ExploreResult& result, const std::string& path);
+
+/// Frontier rows only, in frontier order.
+void export_frontier_csv(const ExploreResult& result, std::ostream& out);
+void export_frontier_csv(const ExploreResult& result,
+                         const std::string& path);
+
+/// Whole exploration as one JSON object (schema
+/// "sparsetrain.dse_exploration/v1").
+void export_json(const ExploreResult& result, std::ostream& out);
+void export_json(const ExploreResult& result, const std::string& path);
+
+}  // namespace sparsetrain::dse

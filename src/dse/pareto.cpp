@@ -1,0 +1,94 @@
+#include "dse/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace sparsetrain::dse {
+
+double area_proxy(const sim::ArchConfig& cfg) {
+  return static_cast<double>(cfg.pe_groups * cfg.pes_per_group) +
+         static_cast<double>(cfg.buffer_bytes) / 2048.0;
+}
+
+bool dominates(const Objectives& a, const Objectives& b) {
+  if (a.latency_ms > b.latency_ms || a.energy_uj > b.energy_uj ||
+      a.area > b.area) {
+    return false;
+  }
+  return a.latency_ms < b.latency_ms || a.energy_uj < b.energy_uj ||
+         a.area < b.area;
+}
+
+namespace {
+
+/// Stable objective ordering used for frontier output and rank
+/// tie-breaking: (latency, energy, area, original index).
+bool objective_order(const std::vector<Objectives>& pts, std::size_t a,
+                     std::size_t b) {
+  const Objectives& x = pts[a];
+  const Objectives& y = pts[b];
+  if (x.latency_ms != y.latency_ms) return x.latency_ms < y.latency_ms;
+  if (x.energy_uj != y.energy_uj) return x.energy_uj < y.energy_uj;
+  if (x.area != y.area) return x.area < y.area;
+  return a < b;
+}
+
+}  // namespace
+
+std::vector<std::size_t> pareto_front(const std::vector<Objectives>& points) {
+  // Sweep in objective order: a point can only be dominated by one that
+  // sorts before it (dominance implies <= in every component, and the
+  // lexicographic order refines that), so one pass over the accumulated
+  // front suffices — O(n log n + n·f) instead of the naive O(n²).
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&points](std::size_t a,
+                                                  std::size_t b) {
+    return objective_order(points, a, b);
+  });
+
+  std::vector<std::size_t> front;
+  for (const std::size_t i : order) {
+    bool dominated = false;
+    for (const std::size_t j : front) {
+      if (dominates(points[j], points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;  // already in (latency, energy, area, index) order
+}
+
+std::vector<std::size_t> pareto_ranks(const std::vector<Objectives>& points) {
+  constexpr std::size_t kUnranked = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> rank(points.size(), kUnranked);
+  std::vector<std::size_t> active(points.size());
+  for (std::size_t i = 0; i < active.size(); ++i) active[i] = i;
+
+  std::size_t depth = 0;
+  while (!active.empty()) {
+    // Peel the front of the still-unranked set.
+    std::vector<std::size_t> next;
+    for (const std::size_t i : active) {
+      bool dominated = false;
+      for (const std::size_t j : active) {
+        if (dominates(points[j], points[i])) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) {
+        next.push_back(i);
+      } else {
+        rank[i] = depth;
+      }
+    }
+    active.swap(next);
+    ++depth;
+  }
+  return rank;
+}
+
+}  // namespace sparsetrain::dse

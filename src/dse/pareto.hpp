@@ -1,0 +1,48 @@
+// Pareto-dominance layer of the DSE subsystem.
+//
+// Every explored candidate collapses to a three-objective vector —
+// latency, on-chip energy, and a silicon-area proxy — all minimised. The
+// frontier extraction is deliberately separate from the Explorer so tests
+// can hammer the dominance logic with synthetic objective sets (and a
+// brute-force cross-check) without running any simulation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/accelerator.hpp"
+
+namespace sparsetrain::dse {
+
+/// One candidate's objective vector; every component is minimised.
+struct Objectives {
+  double latency_ms = 0.0;  ///< simulated latency summed over workloads
+  double energy_uj = 0.0;   ///< on-chip energy summed over workloads
+  double area = 0.0;        ///< area_proxy() of the architecture
+
+  bool operator==(const Objectives&) const = default;
+};
+
+/// Area proxy in arbitrary units: one PE datapath = 1.0, global-buffer
+/// SRAM = 1.0 per 2 KiB (a 16-bit MAC slice and ~2 KiB of SRAM occupy
+/// the same order of silicon in the 14 nm-class the energy constants are
+/// calibrated to). Not a floorplan — a monotone cost that makes "more
+/// PEs / more buffer" a real objective instead of a free lunch.
+double area_proxy(const sim::ArchConfig& cfg);
+
+/// True when `a` is at least as good as `b` in every objective and
+/// strictly better in at least one. Equal vectors dominate neither way.
+bool dominates(const Objectives& a, const Objectives& b);
+
+/// Indices of the non-dominated points, sorted by (latency, energy,
+/// area, index) — the stable tie-break makes frontier output
+/// byte-reproducible. Duplicates of a frontier vector all stay on the
+/// front (they are the same trade-off; equal vectors do not dominate).
+std::vector<std::size_t> pareto_front(const std::vector<Objectives>& points);
+
+/// Dominance depth of every point: 0 = on the front, 1 = dominated only
+/// after the front is peeled away, and so on. The Explorer's
+/// successive-halving strategy ranks rung survivors with this.
+std::vector<std::size_t> pareto_ranks(const std::vector<Objectives>& points);
+
+}  // namespace sparsetrain::dse

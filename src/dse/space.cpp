@@ -1,0 +1,262 @@
+#include "dse/space.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/hash.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain::dse {
+
+namespace {
+
+void put_double(std::ostringstream& os, double v) {
+  // Bit pattern, so 0.8999999 and 0.9 never collide on one key.
+  os << std::bit_cast<std::uint64_t>(v) << ';';
+}
+
+void put_name(std::ostringstream& os, const std::string& name) {
+  os << name.size() << ':' << name << ';';
+}
+
+/// Canonical serialisation of every ArchConfig field except `name` (the
+/// name IS derived from this key, see DesignPoint::backend_name).
+std::string arch_key(const sim::ArchConfig& a) {
+  std::ostringstream os;
+  os << "arch=" << a.pe_groups << ',' << a.pes_per_group << ','
+     << a.buffer_bytes << ',' << a.sparse << ',' << a.seed << ','
+     << a.max_sched_samples << ',' << a.timing.weight_port_width << ','
+     << a.timing.pipeline_drain << ';';
+  put_double(os, a.clock_ghz);
+  put_double(os, a.energy.mac_pj);
+  put_double(os, a.energy.reg_pj);
+  put_double(os, a.energy.sram_pj);
+  put_double(os, a.energy.dram_pj);
+  put_double(os, a.energy.ctrl_pj_cycle);
+  return os.str();
+}
+
+std::string hex8(std::uint64_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x",
+                static_cast<unsigned>(v ^ (v >> 32)));
+  return buf;
+}
+
+}  // namespace
+
+Scenario Scenario::dense() {
+  Scenario s;
+  s.name = "dense";
+  s.kind = Kind::Dense;
+  return s;
+}
+
+Scenario Scenario::natural(double act_density) {
+  Scenario s;
+  s.name = "natural";
+  s.kind = Kind::Natural;
+  s.act_density = act_density;
+  return s;
+}
+
+Scenario Scenario::pruned(double p, double act_density) {
+  Scenario s;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "p%.0f", p * 100.0);
+  s.name = buf;
+  s.kind = Kind::Pruned;
+  s.p = p;
+  s.act_density = act_density;
+  return s;
+}
+
+Scenario Scenario::calibrated(std::string name, double act_density,
+                              double do_density) {
+  Scenario s;
+  s.name = std::move(name);
+  s.kind = Kind::Calibrated;
+  s.act_density = act_density;
+  s.do_density = do_density;
+  return s;
+}
+
+workload::SparsityProfile Scenario::profile(
+    const workload::NetworkConfig& net) const {
+  switch (kind) {
+    case Kind::Dense:
+      return workload::SparsityProfile::dense(net);
+    case Kind::Natural:
+      return workload::SparsityProfile::natural(net, act_density);
+    case Kind::Pruned:
+      return workload::SparsityProfile::pruned(net, p, act_density);
+    case Kind::Calibrated:
+      return workload::SparsityProfile::calibrated(net, act_density,
+                                                   do_density, name);
+  }
+  ST_REQUIRE(false, "unknown scenario kind");
+  __builtin_unreachable();
+}
+
+std::string Scenario::key() const {
+  std::ostringstream os;
+  os << "scenario=";
+  put_name(os, name);
+  os << static_cast<int>(kind) << ';';
+  put_double(os, act_density);
+  put_double(os, do_density);
+  put_double(os, p);
+  return os.str();
+}
+
+std::string DesignPoint::backend_name() const {
+  std::ostringstream os;
+  os << "dse-g" << arch.pe_groups << 'x' << arch.pes_per_group << "-b"
+     << arch.buffer_bytes / 1024 << "k-c"
+     << static_cast<long>(std::lround(arch.clock_ghz * 1000.0)) << '-'
+     << (arch.sparse ? "sp" : "dn") << '-' << hex8(fnv1a(arch_key(arch)));
+  return os.str();
+}
+
+std::string DesignPoint::label() const {
+  std::ostringstream os;
+  os << backend_name() << '/' << scenario.name << '/'
+     << isa::engine_name(engine) << "/b" << batch;
+  return os.str();
+}
+
+std::size_t SpaceSpec::arch_points() const {
+  return pe_groups.size() * pes_per_group.size() * buffer_bytes.size() *
+         clock_ghz.size() * sparse.size();
+}
+
+std::size_t SpaceSpec::size() const {
+  return arch_points() * engine.size() * batch.size() * scenarios.size();
+}
+
+DesignPoint SpaceSpec::point(std::size_t index) const {
+  ST_REQUIRE(index < size(), "design-point index " + std::to_string(index) +
+                                 " out of range (space has " +
+                                 std::to_string(size()) + " points)");
+  DesignPoint pt;
+  pt.index = index;
+  // Mixed-radix decode, first axis fastest-varying.
+  std::size_t rest = index;
+  const auto digit = [&rest](std::size_t radix) {
+    const std::size_t d = rest % radix;
+    rest /= radix;
+    return d;
+  };
+  pt.arch = base;
+  pt.arch.pe_groups = pe_groups[digit(pe_groups.size())];
+  pt.arch.pes_per_group = pes_per_group[digit(pes_per_group.size())];
+  pt.arch.buffer_bytes = buffer_bytes[digit(buffer_bytes.size())];
+  pt.arch.clock_ghz = clock_ghz[digit(clock_ghz.size())];
+  pt.arch.sparse = sparse[digit(sparse.size())];
+  pt.engine = engine[digit(engine.size())];
+  pt.batch = batch[digit(batch.size())];
+  pt.scenario = scenarios[digit(scenarios.size())];
+  pt.arch.name = pt.backend_name();
+  pt.arch.validate();
+  return pt;
+}
+
+std::string SpaceSpec::key() const {
+  std::ostringstream os;
+  os << "space=";
+  const auto axis = [&os](const char* name, const auto& values) {
+    os << name << '[';
+    for (const auto v : values) os << v << ',';
+    os << "];";
+  };
+  axis("g", pe_groups);
+  axis("p", pes_per_group);
+  axis("b", buffer_bytes);
+  os << "c[";
+  for (const double v : clock_ghz) put_double(os, v);
+  os << "];";
+  axis("s", sparse);
+  os << "e[";
+  for (const isa::EngineKind e : engine) os << static_cast<int>(e) << ',';
+  os << "];";
+  axis("n", batch);
+  os << "scen[";
+  for (const Scenario& s : scenarios) os << s.key();
+  os << "];";
+  os << arch_key(base);
+  return os.str();
+}
+
+std::uint64_t SpaceSpec::fingerprint() const { return fnv1a(key()); }
+
+void SpaceSpec::validate() const {
+  const auto non_empty = [](const char* name, std::size_t n) {
+    ST_REQUIRE(n > 0,
+               std::string("space axis '") + name + "' must be non-empty");
+  };
+  non_empty("pe_groups", pe_groups.size());
+  non_empty("pes_per_group", pes_per_group.size());
+  non_empty("buffer_bytes", buffer_bytes.size());
+  non_empty("clock_ghz", clock_ghz.size());
+  non_empty("sparse", sparse.size());
+  non_empty("engine", engine.size());
+  non_empty("batch", batch.size());
+  non_empty("scenarios", scenarios.size());
+
+  // Duplicate axis values would enumerate two points with one identity
+  // (and one backend name) — reject instead of silently double-counting.
+  const auto distinct = [](const char* name, const auto& values) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      for (std::size_t j = i + 1; j < values.size(); ++j) {
+        ST_REQUIRE(!(values[i] == values[j]),
+                   std::string("space axis '") + name +
+                       "' lists the same value twice");
+      }
+    }
+  };
+  distinct("pe_groups", pe_groups);
+  distinct("pes_per_group", pes_per_group);
+  distinct("buffer_bytes", buffer_bytes);
+  distinct("clock_ghz", clock_ghz);
+  distinct("sparse", sparse);
+  distinct("engine", engine);
+  distinct("batch", batch);
+
+  for (const std::size_t b : batch) {
+    ST_REQUIRE(b > 0 && b <= 4096,
+               "batch axis value " + std::to_string(b) +
+                   " out of range [1, 4096]");
+  }
+  std::unordered_set<std::string> names;
+  for (const Scenario& s : scenarios) {
+    ST_REQUIRE(!s.name.empty(), "scenario names must be non-empty");
+    ST_REQUIRE(names.insert(s.name).second,
+               "duplicate scenario name '" + s.name + "'");
+    ST_REQUIRE(s.act_density > 0.0 && s.act_density <= 1.0,
+               "scenario '" + s.name + "': act_density " +
+                   std::to_string(s.act_density) + " outside (0, 1]");
+    ST_REQUIRE(s.do_density > 0.0 && s.do_density <= 1.0,
+               "scenario '" + s.name + "': do_density " +
+                   std::to_string(s.do_density) + " outside (0, 1]");
+    ST_REQUIRE(s.p >= 0.0 && s.p < 1.0,
+               "scenario '" + s.name + "': pruning rate " +
+                   std::to_string(s.p) + " outside [0, 1)");
+  }
+
+  // Every enumerable architecture must be buildable. The arch axes are
+  // the slowest-growing part of the space (scenario/engine/batch do not
+  // change the ArchConfig), so validating each distinct architecture once
+  // covers every point.
+  SpaceSpec arch_only = *this;
+  arch_only.engine = {isa::EngineKind::Statistical};
+  arch_only.batch = {1};
+  arch_only.scenarios = {Scenario::dense()};
+  for (std::size_t i = 0; i < arch_only.size(); ++i) {
+    arch_only.point(i);  // point() calls ArchConfig::validate()
+  }
+}
+
+}  // namespace sparsetrain::dse

@@ -1,0 +1,120 @@
+// Design-space definition for architecture exploration.
+//
+// A SpaceSpec is the cross product of parameter axes over the simulated
+// architecture (PE groups, PEs per group, buffer capacity, clock,
+// sparse/dense semantics), the execution choice (statistical vs exact
+// engine, minibatch size) and the sparsity scenario the workload runs
+// under. Points are enumerated deterministically (mixed-radix decode of
+// the ordinal, first axis fastest-varying), and the whole space has a
+// canonical serialisation + 64-bit fingerprint — the same content-derived
+// seeding discipline core::Session uses — so a search strategy seeded
+// from (user seed, space fingerprint) reproduces bit-exactly anywhere.
+//
+// dse::Explorer consumes a SpaceSpec; see explorer.hpp for the search
+// side and pareto.hpp for the frontier extraction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "sim/accelerator.hpp"
+#include "workload/sparsity_profile.hpp"
+
+namespace sparsetrain::dse {
+
+/// One sparsity operating point every architecture in the space is
+/// evaluated under. Scenarios map onto the SparsityProfile factories:
+/// fully dense, natural (post-ReLU) sparsity, analytic gradient pruning
+/// at rate p, or externally calibrated densities (paper Table II numbers
+/// or SparsityMeter measurements).
+struct Scenario {
+  enum class Kind { Dense, Natural, Pruned, Calibrated };
+
+  std::string name;  ///< label; must be unique within one SpaceSpec
+  Kind kind = Kind::Dense;
+  double act_density = 0.45;  ///< I density (Natural/Pruned/Calibrated)
+  double do_density = 1.0;    ///< dO density (Calibrated only)
+  double p = 0.0;             ///< pruning rate (Pruned only)
+
+  static Scenario dense();
+  static Scenario natural(double act_density = 0.45);
+  static Scenario pruned(double p, double act_density = 0.45);
+  static Scenario calibrated(std::string name, double act_density,
+                             double do_density);
+
+  /// Materialises the per-layer density profile for one workload.
+  workload::SparsityProfile profile(const workload::NetworkConfig& net) const;
+
+  /// Canonical serialisation (densities as IEEE-754 bit patterns).
+  std::string key() const;
+};
+
+/// One enumerated candidate: a fully assembled architecture plus the
+/// execution and scenario choices. Produced by SpaceSpec::point().
+struct DesignPoint {
+  std::size_t index = 0;  ///< ordinal within the enumeration
+  sim::ArchConfig arch;   ///< assembled from base + axes, named backend_name
+  isa::EngineKind engine = isa::EngineKind::Statistical;
+  std::size_t batch = 1;
+  Scenario scenario;
+
+  /// Stable registry name for the architecture alone (scenario/engine/
+  /// batch vary per job, not per backend): a readable geometry tag plus a
+  /// fingerprint of the full ArchConfig, so two spaces with different
+  /// base configs can never alias one name to two architectures.
+  std::string backend_name() const;
+
+  /// Human-readable label including the execution/scenario choices.
+  std::string label() const;
+};
+
+/// The search space: one value list per axis; the space is their cross
+/// product. Axis vectors must be non-empty (single-element = pinned).
+struct SpaceSpec {
+  // Architecture axes.
+  std::vector<std::size_t> pe_groups = {56};
+  std::vector<std::size_t> pes_per_group = {3};
+  std::vector<std::size_t> buffer_bytes = {386 * 1024};
+  std::vector<double> clock_ghz = {0.8};
+  /// true = SparseTrain semantics, false = the sparsity-blind dense
+  /// baseline (every element costs a cycle, operands move uncompressed).
+  std::vector<bool> sparse = {true};
+  // Execution axes. The exact engine only has sparse semantics; dense
+  // points under an Exact axis value fall back to the statistical model
+  // (same rule core::Session applies).
+  std::vector<isa::EngineKind> engine = {isa::EngineKind::Statistical};
+  std::vector<std::size_t> batch = {1};
+  // Workload-side axis.
+  std::vector<Scenario> scenarios = {Scenario::pruned(0.9)};
+
+  /// Fields not covered by an axis (timing, energy prices, scheduling
+  /// seed, max_sched_samples) come from this template.
+  sim::ArchConfig base;
+
+  /// Number of points: the product of every axis size.
+  std::size_t size() const;
+
+  /// Number of distinct architectures (product of the five arch axes).
+  std::size_t arch_points() const;
+
+  /// Decodes ordinal `index` (mixed radix; axis order = declaration
+  /// order, pe_groups fastest-varying). The returned point's arch has
+  /// been validated.
+  DesignPoint point(std::size_t index) const;
+
+  /// Canonical serialisation of every axis and the base config — the
+  /// content the exploration seed derives from.
+  std::string key() const;
+
+  /// 64-bit FNV-1a of key().
+  std::uint64_t fingerprint() const;
+
+  /// Throws ContractError when an axis is empty, a scenario is
+  /// malformed (density outside (0, 1], duplicate names, bad p) or any
+  /// enumerable architecture fails ArchConfig::validate().
+  void validate() const;
+};
+
+}  // namespace sparsetrain::dse

@@ -10,6 +10,38 @@
 
 namespace sparsetrain::sim {
 
+void ArchConfig::validate() const {
+  const auto field = [this](const std::string& what) {
+    return "architecture '" + name + "': " + what;
+  };
+  ST_REQUIRE(pe_groups > 0, field("pe_groups must be positive"));
+  ST_REQUIRE(pe_groups <= (1u << 16),
+             field("pe_groups = " + std::to_string(pe_groups) +
+                   " exceeds 65536 (not a buildable array)"));
+  ST_REQUIRE(pes_per_group > 0, field("pes_per_group must be positive"));
+  ST_REQUIRE(pes_per_group <= 1024,
+             field("pes_per_group = " + std::to_string(pes_per_group) +
+                   " exceeds 1024 (group fan-out is a crossbar)"));
+  ST_REQUIRE(buffer_bytes >= 1024,
+             field("buffer_bytes = " + std::to_string(buffer_bytes) +
+                   " is below 1 KiB (cannot hold one compressed row)"));
+  ST_REQUIRE(buffer_bytes <= (std::size_t{1} << 30),
+             field("buffer_bytes = " + std::to_string(buffer_bytes) +
+                   " exceeds 1 GiB (not an on-chip buffer)"));
+  ST_REQUIRE(clock_ghz > 0.0, field("clock_ghz must be positive"));
+  ST_REQUIRE(clock_ghz <= 100.0,
+             field("clock_ghz = " + std::to_string(clock_ghz) +
+                   " exceeds 100 GHz"));
+  ST_REQUIRE(max_sched_samples > 0,
+             field("max_sched_samples must be positive"));
+  ST_REQUIRE(timing.weight_port_width > 0,
+             field("timing.weight_port_width must be positive"));
+  ST_REQUIRE(energy.mac_pj >= 0.0 && energy.reg_pj >= 0.0 &&
+                 energy.sram_pj >= 0.0 && energy.dram_pj >= 0.0 &&
+                 energy.ctrl_pj_cycle >= 0.0,
+             field("per-event energies must be non-negative"));
+}
+
 namespace {
 
 std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }

@@ -46,6 +46,15 @@ struct ArchConfig {
   /// per Run instruction (keeps ImageNet-scale sims fast without changing
   /// the makespan statistics materially).
   std::size_t max_sched_samples = 20000;
+
+  /// Throws ContractError naming the offending field when the
+  /// configuration cannot describe a buildable accelerator (zero PE
+  /// groups/PEs, zero or absurd clock, buffer smaller than one compressed
+  /// row or beyond on-chip SRAM scale, ...). A bad config would otherwise
+  /// silently produce nonsense cycle counts; BackendRegistry::add and
+  /// dse::SpaceSpec::validate call this so every architecture that can
+  /// run has been checked.
+  void validate() const;
 };
 
 class Accelerator {

@@ -48,6 +48,9 @@ void BackendRegistry::add(std::shared_ptr<Backend> backend) {
   ST_REQUIRE(!name.empty(), "backend name must be non-empty");
   ST_REQUIRE(by_name_.find(name) == by_name_.end(),
              "backend '" + name + "' is already registered");
+  // Reject nonsense architectures at the registration boundary: a zero
+  // PE count or an absurd buffer would otherwise just simulate garbage.
+  backend->arch().validate();
   by_name_.emplace(name, backend);
   order_.push_back(std::move(backend));
 }

@@ -1,5 +1,11 @@
 // Minimal command-line flag parsing for the bench/example binaries
 // (--key=value and --key value forms, plus --help listing).
+//
+// Drivers declare their flags up front; anything unrecognised is a hard
+// error whose message includes the usage dump, so a typoed sweep flag
+// (`--worker 4`) dies loudly instead of silently benchmarking the
+// defaults. The spec also records which flags take a value, so boolean
+// flags never swallow the token after them.
 #pragma once
 
 #include <map>
@@ -10,8 +16,24 @@ namespace sparsetrain {
 
 class Args {
  public:
-  /// Parses argv; unknown positional arguments are kept in positionals().
+  /// One declared flag. Boolean flags (takes_value = false) never
+  /// consume the following token.
+  struct Flag {
+    std::string name;
+    std::string help;
+    bool takes_value = true;
+  };
+
+  /// Parse-only constructor (no spec — tests and embedders). Unknown
+  /// flags are kept; a bare flag consumes the next non-flag token as its
+  /// value. Drivers should use the spec constructor below instead.
   Args(int argc, const char* const argv[]);
+
+  /// Strict constructor: every --flag must appear in `spec` (--help is
+  /// always accepted, see help_requested()). Unrecognised flags,
+  /// positional arguments, and value-less occurrences of value flags
+  /// throw ContractError with the usage dump in the message.
+  Args(int argc, const char* const argv[], std::vector<Flag> spec);
 
   bool has(const std::string& key) const;
 
@@ -24,9 +46,19 @@ class Args {
 
   const std::vector<std::string>& positionals() const { return positionals_; }
 
+  /// True when --help was passed to the strict constructor; the driver
+  /// should print usage() and exit 0.
+  bool help_requested() const { return help_requested_; }
+
+  /// Usage dump built from the spec (strict constructor only).
+  std::string usage(const std::string& prog) const;
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positionals_;
+  std::vector<Flag> spec_;
+  std::string prog_ = "prog";
+  bool help_requested_ = false;
 };
 
 }  // namespace sparsetrain

@@ -1,0 +1,174 @@
+// Pareto-layer tests: dominance semantics (duplicates, single-objective
+// ties, equal vectors), frontier extraction on known 3-objective sets, a
+// brute-force cross-check on random objective clouds, peeling ranks, and
+// the area proxy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dse/pareto.hpp"
+#include "util/rng.hpp"
+
+namespace sparsetrain {
+namespace {
+
+using dse::Objectives;
+using dse::dominates;
+using dse::pareto_front;
+using dse::pareto_ranks;
+
+Objectives obj(double l, double e, double a) { return {l, e, a}; }
+
+// ------------------------------------------------------------- dominates
+
+TEST(Dominates, StrictlyBetterEverywhere) {
+  EXPECT_TRUE(dominates(obj(1, 1, 1), obj(2, 2, 2)));
+  EXPECT_FALSE(dominates(obj(2, 2, 2), obj(1, 1, 1)));
+}
+
+TEST(Dominates, EqualVectorsDominateNeitherWay) {
+  EXPECT_FALSE(dominates(obj(1, 2, 3), obj(1, 2, 3)));
+}
+
+TEST(Dominates, SingleObjectiveImprovementSuffices) {
+  EXPECT_TRUE(dominates(obj(1, 2, 3), obj(1, 2, 4)));
+  EXPECT_TRUE(dominates(obj(1, 1, 3), obj(1, 2, 3)));
+  EXPECT_TRUE(dominates(obj(0, 2, 3), obj(1, 2, 3)));
+}
+
+TEST(Dominates, TradeOffsDoNotDominate) {
+  // Better latency, worse energy: incomparable.
+  EXPECT_FALSE(dominates(obj(1, 3, 2), obj(2, 2, 2)));
+  EXPECT_FALSE(dominates(obj(2, 2, 2), obj(1, 3, 2)));
+}
+
+// ----------------------------------------------------------- pareto_front
+
+TEST(ParetoFront, EmptyAndSingleton) {
+  EXPECT_TRUE(pareto_front({}).empty());
+  EXPECT_EQ(pareto_front({obj(1, 2, 3)}), std::vector<std::size_t>{0});
+}
+
+TEST(ParetoFront, ThreeObjectiveKnownFront) {
+  // 0 and 2 trade latency against energy; 1 is dominated by 0; 3 trades
+  // area against both.
+  const std::vector<Objectives> pts = {
+      obj(1, 5, 3), obj(2, 6, 3), obj(3, 1, 3), obj(5, 5, 1)};
+  const auto front = pareto_front(pts);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 2, 3}));
+}
+
+TEST(ParetoFront, DuplicatesAllStayOnFront) {
+  // Equal vectors do not dominate each other, so both copies of the
+  // optimum survive — stable index order breaks the tie.
+  const std::vector<Objectives> pts = {obj(1, 1, 1), obj(2, 2, 2),
+                                       obj(1, 1, 1)};
+  const auto front = pareto_front(pts);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(ParetoFront, SingleObjectiveTies) {
+  // Same latency, energy resolves: 1 dominates 0; area breaks the rest.
+  const std::vector<Objectives> pts = {obj(1, 5, 2), obj(1, 4, 2),
+                                       obj(1, 4, 1)};
+  const auto front = pareto_front(pts);
+  EXPECT_EQ(front, (std::vector<std::size_t>{2}));
+}
+
+TEST(ParetoFront, OutputSortedByObjectivesThenIndex) {
+  const std::vector<Objectives> pts = {obj(3, 1, 1), obj(1, 3, 1),
+                                       obj(2, 2, 1)};
+  const auto front = pareto_front(pts);
+  EXPECT_EQ(front, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(ParetoFront, BruteForceCrossCheck) {
+  // Random clouds (including deliberate duplicates and axis ties from
+  // value quantisation): every frontier point must be non-dominated,
+  // every non-frontier point must be dominated by a frontier point.
+  Rng rng(20260726);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Objectives> pts;
+    for (int i = 0; i < 300; ++i) {
+      // Quantised coordinates force ties; a coarse grid forces duplicates.
+      pts.push_back(obj(static_cast<double>(rng.uniform_index(20)),
+                        static_cast<double>(rng.uniform_index(20)),
+                        static_cast<double>(rng.uniform_index(5))));
+    }
+    const auto front = pareto_front(pts);
+    ASSERT_FALSE(front.empty());
+    std::vector<bool> on_front(pts.size(), false);
+    for (const std::size_t i : front) on_front[i] = true;
+
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      bool dominated = false;
+      for (std::size_t j = 0; j < pts.size(); ++j) {
+        if (dominates(pts[j], pts[i])) {
+          dominated = true;
+          break;
+        }
+      }
+      if (on_front[i]) {
+        EXPECT_FALSE(dominated) << "frontier point " << i << " is dominated";
+      } else {
+        EXPECT_TRUE(dominated) << "point " << i << " missing from frontier";
+        bool by_front = false;
+        for (const std::size_t j : front) {
+          if (dominates(pts[j], pts[i])) {
+            by_front = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(by_front)
+            << "dominated point " << i << " not covered by any frontier point";
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- pareto_ranks
+
+TEST(ParetoRanks, PeelsLayerByLayer) {
+  // Two nested fronts plus a deep point.
+  const std::vector<Objectives> pts = {
+      obj(1, 4, 1), obj(4, 1, 1),   // rank 0
+      obj(2, 5, 2), obj(5, 2, 2),   // rank 1
+      obj(6, 6, 6)};                // rank 2
+  const auto ranks = pareto_ranks(pts);
+  EXPECT_EQ(ranks, (std::vector<std::size_t>{0, 0, 1, 1, 2}));
+}
+
+TEST(ParetoRanks, FrontIsExactlyRankZero) {
+  Rng rng(7);
+  std::vector<Objectives> pts;
+  for (int i = 0; i < 120; ++i) {
+    pts.push_back(obj(rng.uniform(0, 10), rng.uniform(0, 10),
+                      static_cast<double>(rng.uniform_index(4))));
+  }
+  const auto front = pareto_front(pts);
+  const auto ranks = pareto_ranks(pts);
+  std::vector<std::size_t> rank0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (ranks[i] == 0) rank0.push_back(i);
+  }
+  auto sorted_front = front;
+  std::sort(sorted_front.begin(), sorted_front.end());
+  EXPECT_EQ(sorted_front, rank0);
+}
+
+// ------------------------------------------------------------- area proxy
+
+TEST(AreaProxy, MonotoneInPesAndBuffer) {
+  sim::ArchConfig a;
+  const double base = dse::area_proxy(a);
+  sim::ArchConfig more_pes = a;
+  more_pes.pe_groups *= 2;
+  EXPECT_GT(dse::area_proxy(more_pes), base);
+  sim::ArchConfig more_buffer = a;
+  more_buffer.buffer_bytes *= 2;
+  EXPECT_GT(dse::area_proxy(more_buffer), base);
+}
+
+}  // namespace
+}  // namespace sparsetrain

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "nn/conv2d.hpp"
 #include "nn/im2col.hpp"
@@ -145,6 +146,68 @@ TEST(ArgsParse, DefaultsWhenAbsent) {
   EXPECT_DOUBLE_EQ(args.get("p", 0.5), 0.5);
   EXPECT_EQ(args.get("n", 7L), 7L);
   EXPECT_FALSE(args.has("p"));
+}
+
+TEST(ArgsStrict, AcceptsDeclaredFlagsOnly) {
+  const std::vector<Args::Flag> spec = {{"p", "pruning rate"},
+                                        {"quick", "fast subset", false}};
+  const char* ok[] = {"prog", "--p", "0.9", "--quick"};
+  Args args(4, ok, spec);
+  EXPECT_DOUBLE_EQ(args.get("p", 0.0), 0.9);
+  EXPECT_TRUE(args.has("quick"));
+  EXPECT_FALSE(args.help_requested());
+
+  // A typoed flag is a hard error whose message carries the usage dump.
+  const char* typo[] = {"prog", "--worker", "4"};
+  try {
+    Args bad(3, typo, spec);
+    FAIL() << "unknown flag accepted";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--worker"), std::string::npos);
+    EXPECT_NE(what.find("usage:"), std::string::npos);
+    EXPECT_NE(what.find("pruning rate"), std::string::npos);
+  }
+}
+
+TEST(ArgsStrict, RejectsPositionalsAndMissingValues) {
+  const std::vector<Args::Flag> spec = {{"out", "output path"}};
+  const char* positional[] = {"prog", "stray"};
+  EXPECT_THROW(Args(2, positional, spec), ContractError);
+  const char* missing[] = {"prog", "--out"};
+  EXPECT_THROW(Args(2, missing, spec), ContractError);
+  // A following --flag is never swallowed as the value (use --out=--x
+  // for values that genuinely start with dashes).
+  const std::vector<Args::Flag> two = {{"out", "output path"},
+                                       {"quick", "fast subset", false}};
+  const char* swallow[] = {"prog", "--out", "--quick"};
+  EXPECT_THROW(Args(3, swallow, two), ContractError);
+  const char* eq_form[] = {"prog", "--out=--quick"};
+  EXPECT_EQ(Args(2, eq_form, two).get("out", std::string()), "--quick");
+}
+
+TEST(ArgsStrict, BooleanFlagsNeverConsumeTheNextToken) {
+  // The permissive parser's footgun: `--quick value` swallowed `value`.
+  // With a spec, boolean flags stand alone and values after them are
+  // (correctly) rejected as positionals.
+  const std::vector<Args::Flag> spec = {{"quick", "fast subset", false},
+                                        {"out", "output path"}};
+  const char* argv[] = {"prog", "--quick", "--out", "x.json"};
+  Args args(4, argv, spec);
+  EXPECT_TRUE(args.has("quick"));
+  EXPECT_EQ(args.get("out", std::string()), "x.json");
+  const char* bad[] = {"prog", "--quick=1"};
+  EXPECT_THROW(Args(2, bad, spec), ContractError);
+}
+
+TEST(ArgsStrict, HelpIsAlwaysAccepted) {
+  const std::vector<Args::Flag> spec = {{"out", "output path"}};
+  const char* argv[] = {"prog", "--help"};
+  Args args(2, argv, spec);
+  EXPECT_TRUE(args.help_requested());
+  const std::string usage = args.usage("prog");
+  EXPECT_NE(usage.find("--out"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
 }
 
 }  // namespace
