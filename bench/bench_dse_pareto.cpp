@@ -22,6 +22,7 @@
 #include "core/session.hpp"
 #include "dse/explorer.hpp"
 #include "dse/export.hpp"
+#include "serve/store.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -59,6 +60,8 @@ int main(int argc, char** argv) {
        {"samples", "random strategy: points to draw (default 64)"},
        {"seed", "random strategy seed (default 1)"},
        {"workers", "session pool workers (0 = hardware)"},
+       {"store", "persistent result-store directory (reused across runs)"},
+       {"max-store-bytes", "store size cap in bytes (0 = unbounded)"},
        {"exact-validate",
         "promote this many frontier points to exact runs (default 0)"}});
   if (args.help_requested()) {
@@ -120,6 +123,13 @@ int main(int argc, char** argv) {
 
   core::SessionConfig scfg;
   scfg.workers = static_cast<std::size_t>(args.get("workers", 0L));
+  const std::string store_dir = args.get("store", std::string());
+  if (!store_dir.empty()) {
+    serve::StoreOptions sopts;
+    sopts.max_bytes =
+        static_cast<std::uint64_t>(args.get("max-store-bytes", 0L));
+    scfg.store = std::make_shared<serve::ResultStore>(store_dir, sopts);
+  }
   core::Session session(scfg);
   dse::Explorer explorer(session);
 
@@ -164,6 +174,16 @@ int main(int argc, char** argv) {
       result.points.size(), result.evaluations, seconds, points_per_sec,
       evals_per_sec, result.cache.misses, result.cache.lookups(),
       hit_rate * 100.0);
+  if (result.store_attached) {
+    std::printf(
+        "result store (%s): %zu hits / %zu lookups (hit rate %.1f%%), %zu "
+        "simulations, %zu entries (%zu bytes)\n",
+        store_dir.c_str(), static_cast<std::size_t>(result.store.hits),
+        static_cast<std::size_t>(result.store.lookups()),
+        result.store_hit_rate() * 100.0, result.simulations,
+        static_cast<std::size_t>(result.store.entries),
+        static_cast<std::size_t>(result.store.bytes));
+  }
 
   dse::export_frontier_csv(result, csv_path);
   std::printf("frontier CSV written to %s\n", csv_path.c_str());
@@ -204,6 +224,13 @@ int main(int argc, char** argv) {
   json += "  \"cache\": {\"hits\": " + std::to_string(result.cache.hits) +
           ", \"misses\": " + std::to_string(result.cache.misses) +
           ", \"hit_rate\": " + num_json(hit_rate) + "},\n";
+  json += std::string("  \"store\": {\"attached\": ") +
+          (result.store_attached ? "true" : "false") +
+          ", \"hits\": " + std::to_string(result.store.hits) +
+          ", \"misses\": " + std::to_string(result.store.misses) +
+          ", \"hit_rate\": " + num_json(result.store_hit_rate()) +
+          ", \"simulations\": " + std::to_string(result.simulations) +
+          "},\n";
   json += "  \"frontier\": [\n";
   for (std::size_t i = 0; i < result.frontier.size(); ++i) {
     const dse::PointResult& p = result.points[result.frontier[i]];

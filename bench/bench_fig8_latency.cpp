@@ -9,10 +9,13 @@
 // identical whatever the worker count.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/export.hpp"
 #include "core/session.hpp"
+#include "serve/store.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 #include "workload/layer_config.hpp"
 #include "workload/sparsity_profile.hpp"
@@ -20,7 +23,15 @@
 using namespace sparsetrain;
 using workload::ModelFamily;
 
-int main() {
+int main(int argc, char** argv) {
+  const Args args(
+      argc, argv,
+      {{"store", "persistent result-store directory (reused across runs)"}});
+  if (args.help_requested()) {
+    std::printf("%s", args.usage(argv[0]).c_str());
+    return 0;
+  }
+
   std::printf(
       "Fig. 8 reproduction: training latency per sample (ms) and speedup.\n"
       "168 PEs / 386 KB buffer on both architectures; densities from the\n"
@@ -31,7 +42,12 @@ int main() {
   const std::vector<std::string> backends = {core::Session::kSparseBackend,
                                              core::Session::kDenseBackend};
 
-  core::Session session;
+  core::SessionConfig scfg;
+  const std::string store_dir = args.get("store", std::string());
+  if (!store_dir.empty()) {
+    scfg.store = std::make_shared<serve::ResultStore>(store_dir);
+  }
+  core::Session session(scfg);
   std::vector<core::Session::JobHandle> jobs;
   for (const auto& w : workloads) {
     const auto profile = workload::SparsityProfile::calibrated(
@@ -96,5 +112,13 @@ int main() {
 
   core::export_csv(session.results(), "fig8_latency.csv");
   std::printf("per-backend CSV written to fig8_latency.csv.\n");
+  if (session.result_store()) {
+    const serve::StoreStats s = session.result_store()->stats();
+    std::printf(
+        "result store (%s): %zu hits / %zu lookups, %zu entries\n",
+        store_dir.c_str(), static_cast<std::size_t>(s.hits),
+        static_cast<std::size_t>(s.lookups()),
+        static_cast<std::size_t>(s.entries));
+  }
   return 0;
 }

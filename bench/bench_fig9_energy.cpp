@@ -7,10 +7,13 @@
 // the per-backend reports (with stage breakdowns) are exported as JSON.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/export.hpp"
 #include "core/session.hpp"
+#include "serve/store.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 #include "workload/layer_config.hpp"
 #include "workload/sparsity_profile.hpp"
@@ -18,7 +21,14 @@
 using namespace sparsetrain;
 using workload::ModelFamily;
 
-int main() {
+int main(int argc, char** argv) {
+  const Args args(
+      argc, argv,
+      {{"store", "persistent result-store directory (reused across runs)"}});
+  if (args.help_requested()) {
+    std::printf("%s", args.usage(argv[0]).c_str());
+    return 0;
+  }
   std::printf(
       "Fig. 9 reproduction: energy per sample (uJ) by component.\n"
       "\"Comb\" = combinational logic (MACs + PE control), on-chip =\n"
@@ -29,7 +39,12 @@ int main() {
   // like AlexNet). Paper-comparison aggregates below use the paper's six.
   const auto& workloads = workload::workload_zoo();
 
-  core::Session session;
+  core::SessionConfig scfg;
+  const std::string store_dir = args.get("store", std::string());
+  if (!store_dir.empty()) {
+    scfg.store = std::make_shared<serve::ResultStore>(store_dir);
+  }
+  core::Session session(scfg);
   std::vector<core::Session::JobHandle> jobs;
   for (const auto& w : workloads) {
     const auto profile = workload::SparsityProfile::calibrated(
@@ -94,5 +109,13 @@ int main() {
   core::export_json(session.results(), "fig9_energy.json");
   std::printf("per-backend JSON (with stage breakdowns) written to "
               "fig9_energy.json.\n");
+  if (session.result_store()) {
+    const serve::StoreStats s = session.result_store()->stats();
+    std::printf(
+        "result store (%s): %zu hits / %zu lookups, %zu entries\n",
+        store_dir.c_str(), static_cast<std::size_t>(s.hits),
+        static_cast<std::size_t>(s.lookups()),
+        static_cast<std::size_t>(s.entries));
+  }
   return 0;
 }

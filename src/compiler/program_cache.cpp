@@ -103,6 +103,11 @@ std::size_t ProgramCache::size() const {
   return cache_.size();
 }
 
+void ProgramCache::reset_stats() {
+  std::lock_guard lock(mu_);
+  stats_ = Stats{};
+}
+
 void ProgramCache::clear() {
   std::lock_guard lock(mu_);
   cache_.clear();

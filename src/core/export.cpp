@@ -128,4 +128,43 @@ void export_json(const std::vector<EvalResult>& results,
   export_json(results, out);
 }
 
+ServiceStats service_stats(const Session& session) {
+  ServiceStats s;
+  s.cache = session.program_cache().snapshot();
+  if (session.result_store()) {
+    s.store_attached = true;
+    s.store = session.result_store()->stats();
+  }
+  return s;
+}
+
+void export_stats_json(const ServiceStats& s, std::ostream& out) {
+  out << "{\"schema\": \"sparsetrain.store_stats/v1\",\n"
+      << " \"program_cache\": {\"hits\": " << s.cache.hits
+      << ", \"misses\": " << s.cache.misses
+      << ", \"lookups\": " << s.cache.lookups() << "},\n"
+      << " \"store_attached\": " << (s.store_attached ? "true" : "false");
+  if (s.store_attached) {
+    out << ",\n \"store\": {\"hits\": " << s.store.hits
+        << ", \"misses\": " << s.store.misses
+        << ", \"hit_rate\": " << num(s.store.hit_rate())
+        << ", \"puts\": " << s.store.puts
+        << ", \"evictions\": " << s.store.evictions
+        << ", \"torn_skipped\": " << s.store.torn_skipped
+        << ", \"entries\": " << s.store.entries
+        << ", \"program_entries\": " << s.store.program_entries
+        << ", \"bytes\": " << s.store.bytes << "}";
+  }
+  out << "}\n";
+}
+
+void export_json(const std::vector<EvalResult>& results,
+                 const Session& session, std::ostream& out) {
+  out << "{\"jobs\": ";
+  export_json(results, out);
+  out << ", \"stats\": ";
+  export_stats_json(service_stats(session), out);
+  out << "}\n";
+}
+
 }  // namespace sparsetrain::core

@@ -3,10 +3,24 @@
 #include <utility>
 
 #include "baseline/eyeriss_like.hpp"
+#include "serve/job.hpp"
 #include "util/hash.hpp"
 #include "util/require.hpp"
 
 namespace sparsetrain::core {
+
+namespace {
+
+/// The per-run content seed: mix(session seed, compiler fingerprint) per
+/// profile kind, then mix in the backend name. Kept in one place so
+/// start_job and run_fingerprint cannot drift.
+std::uint64_t derive_run_seed(std::uint64_t session_seed,
+                              std::uint64_t program_fp,
+                              const std::string& backend_name) {
+  return mix64(mix64(session_seed, program_fp), fnv1a(backend_name));
+}
+
+}  // namespace
 
 SessionConfig::SessionConfig()
     : baseline_arch(baseline::eyeriss_like_config()) {
@@ -70,7 +84,7 @@ double ComparisonResult::energy_efficiency() const {
 }
 
 Session::Session(SessionConfig cfg)
-    : cfg_(std::move(cfg)), pool_(cfg_.workers) {
+    : cfg_(std::move(cfg)), store_(cfg_.store), pool_(cfg_.workers) {
   ST_REQUIRE(cfg_.batch > 0, "batch must be positive");
   ST_REQUIRE(cfg_.sparse_arch.sparse,
              "the sparse architecture must have sparse semantics");
@@ -163,19 +177,18 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
   // name), not from submission order: identical evaluations reproduce
   // bit-exactly anywhere in any session, and adding or reordering
   // unrelated jobs in a driver cannot shift published numbers. At most
-  // two distinct fingerprints exist per job (submitted + dense profile);
-  // each is computed only if a backend of that kind is present.
+  // two distinct program fingerprints exist per job (submitted + dense
+  // profile); each is computed only if a backend of that kind is present.
   bool any_sparse = false;
   for (const auto& b : backends) any_sparse |= b->sparse();
-  const std::uint64_t sparse_fp =
-      any_sparse ? mix64(cfg_.seed, compiler::ProgramCache::fingerprint(
-                                      *shared_net, *shared_profile, copts))
+  const std::uint64_t sparse_prog_fp =
+      any_sparse ? compiler::ProgramCache::fingerprint(
+                       *shared_net, *shared_profile, copts)
                  : 0;
-  const std::uint64_t dense_fp =
-      shared_dense
-          ? mix64(cfg_.seed, compiler::ProgramCache::fingerprint(
-                               *shared_net, *shared_dense, dense_copts))
-          : 0;
+  const std::uint64_t dense_prog_fp =
+      shared_dense ? compiler::ProgramCache::fingerprint(
+                         *shared_net, *shared_dense, dense_copts)
+                   : 0;
 
   // Exact jobs borrow the session's own pool instead of spawning one per
   // run: the engine's stage tiles and the stage-graph units then
@@ -195,19 +208,48 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
       const bool sparse = backend->sparse();
       auto run_profile = sparse ? shared_profile : shared_dense;
       const auto run_copts = sparse ? copts : dense_copts;
+      const std::uint64_t prog_fp = sparse ? sparse_prog_fp : dense_prog_fp;
       const std::uint64_t seed =
-          mix64(sparse ? sparse_fp : dense_fp, fnv1a(backend->name()));
+          derive_run_seed(cfg_.seed, prog_fp, backend->name());
       job.result.runs[i].backend = backend->name();
       // Each task writes only its own pre-sized slot, so no result lock
       // is needed; completion is ordered by the futures.
       job.pending.push_back(pool_.submit(
           [this, backend = std::move(backend), shared_net,
-           run_profile = std::move(run_profile), run_copts, seed,
-           exact = exact_opts, out = &job.result.runs[i]] {
+           run_profile = std::move(run_profile), run_copts, seed, prog_fp,
+           exact = exact_opts, store = store_,
+           out = &job.result.runs[i]] {
+            // Persistent store first: a hit costs one record read — no
+            // compile, no simulation — and is byte-identical to the run
+            // it replaces (serve::fingerprint_v1 covers every input the
+            // numbers depend on).
+            std::uint64_t fp = 0;
+            if (store) {
+              fp = serve::fingerprint_v1(*shared_net, *run_profile,
+                                         run_copts, backend->name(),
+                                         backend->kind(), backend->arch(),
+                                         seed);
+              out->fingerprint = fp;
+              sim::SimReport stored;
+              if (store->get_result(fp, stored)) {
+                out->report = std::move(stored);
+                out->from_store = true;
+                return;
+              }
+            }
             const auto program =
                 cache_.get(*shared_net, *run_profile, run_copts);
             out->report = backend->run(*program, *shared_net, *run_profile,
                                        seed, exact);
+            if (store) {
+              store->put_result(fp, out->report);
+              if (!store->contains_program(prog_fp)) {
+                store->put_program(
+                    prog_fp,
+                    {program->name, program->engine, program->batch,
+                     program->instructions.size()});
+              }
+            }
           }));
     }
   } catch (...) {
@@ -216,6 +258,43 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
     // this job's storage.
     job.error = std::current_exception();
   }
+}
+
+std::uint64_t Session::run_fingerprint(const workload::NetworkConfig& net,
+                                       const workload::SparsityProfile& profile,
+                                       const std::string& backend_name,
+                                       const JobOptions& options) const {
+  ST_REQUIRE(profile.size() == net.layers.size(),
+             "profile does not match network");
+  const auto backend = registry_.find(backend_name);
+  ST_REQUIRE(backend != nullptr,
+             "no backend registered under '" + backend_name + "'");
+  compiler::CompileOptions copts;
+  copts.batch = options.batch != 0 ? options.batch : cfg_.batch;
+  copts.engine = options.sim.engine;
+  // Mirror start_job's dense substitution: dense backends always run an
+  // all-dense profile with a statistical-engine program.
+  if (backend->sparse()) {
+    const std::uint64_t prog_fp =
+        compiler::ProgramCache::fingerprint(net, profile, copts);
+    return serve::fingerprint_v1(
+        net, profile, copts, backend->name(), backend->kind(),
+        backend->arch(), derive_run_seed(cfg_.seed, prog_fp, backend->name()));
+  }
+  copts.engine = isa::EngineKind::Statistical;
+  const auto dense = workload::SparsityProfile::dense(net);
+  const std::uint64_t prog_fp =
+      compiler::ProgramCache::fingerprint(net, dense, copts);
+  return serve::fingerprint_v1(
+      net, dense, copts, backend->name(), backend->kind(), backend->arch(),
+      derive_run_seed(cfg_.seed, prog_fp, backend->name()));
+}
+
+std::uint64_t Session::run_fingerprint(
+    const workload::NetworkConfig& net,
+    const workload::SparsityProfile& profile,
+    const std::string& backend_name) const {
+  return run_fingerprint(net, profile, backend_name, JobOptions{});
 }
 
 Session::Job& Session::job_at(const JobHandle& handle) {
@@ -253,10 +332,23 @@ EvalResult Session::evaluate_now(
     const workload::NetworkConfig& net,
     const workload::SparsityProfile& profile,
     const std::vector<std::string>& backend_names) {
+  return evaluate(net, profile, backend_names, JobOptions{});
+}
+
+EvalResult Session::evaluate(const workload::NetworkConfig& net,
+                             const workload::SparsityProfile& profile,
+                             const std::vector<std::string>& backend_names,
+                             const JobOptions& options) {
   Job job;  // never registered in jobs_ — retains nothing after return
-  start_job(job, net, profile, backend_names, JobOptions{});
+  start_job(job, net, profile, backend_names, options);
   collect(job);  // drains every task before `job` dies; rethrows errors
   return std::move(job.result);
+}
+
+EvalResult Session::evaluate(const workload::NetworkConfig& net,
+                             const workload::SparsityProfile& profile,
+                             const std::vector<std::string>& backend_names) {
+  return evaluate(net, profile, backend_names, JobOptions{});
 }
 
 void Session::wait() {

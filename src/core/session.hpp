@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "compiler/program_cache.hpp"
+#include "serve/store.hpp"
 #include "sim/backend.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/layer_config.hpp"
@@ -53,6 +54,13 @@ struct SessionConfig {
   std::size_t batch = 1;          ///< samples per iteration
   std::size_t workers = 0;        ///< pool size; 0 = hardware concurrency
   std::uint64_t seed = 1;         ///< base of the per-run seed derivation
+  /// Optional persistent result store. When set, every backend run first
+  /// consults the store (a hit skips compilation AND simulation — the
+  /// stored report is byte-identical to what the run would produce) and
+  /// publishes its report after simulating, so results persist across
+  /// processes and users. Shared ownership: several sessions may point
+  /// at one store.
+  std::shared_ptr<serve::ResultStore> store;
 
   SessionConfig();
 };
@@ -61,6 +69,12 @@ struct SessionConfig {
 struct BackendRun {
   std::string backend;
   sim::SimReport report;
+  /// Content fingerprint of this run (serve::fingerprint_v1); 0 when the
+  /// session has no store attached.
+  std::uint64_t fingerprint = 0;
+  /// True when the report was served from the persistent store instead
+  /// of being simulated.
+  bool from_store = false;
 };
 
 /// Multi-way outcome of one submitted job: one report per requested
@@ -146,6 +160,31 @@ class Session {
 
   /// The shared compiled-program cache (hit/miss stats for sweep logs).
   compiler::ProgramCache& program_cache() { return cache_; }
+  const compiler::ProgramCache& program_cache() const { return cache_; }
+
+  /// The persistent result store, or nullptr when none is attached.
+  const std::shared_ptr<serve::ResultStore>& result_store() const {
+    return store_;
+  }
+
+  /// Attaches (or detaches, with nullptr) the persistent store. Not
+  /// thread-safe against in-flight jobs: call between submissions.
+  void attach_store(std::shared_ptr<serve::ResultStore> store) {
+    store_ = std::move(store);
+  }
+
+  /// The store key this session would use for one backend run of
+  /// (net, profile) under `options` — exactly the fingerprint a
+  /// submitted job records in BackendRun::fingerprint. Lets services
+  /// coalesce identical requests on the real storage key. Throws on
+  /// unknown backend names.
+  std::uint64_t run_fingerprint(const workload::NetworkConfig& net,
+                                const workload::SparsityProfile& profile,
+                                const std::string& backend_name,
+                                const JobOptions& options) const;
+  std::uint64_t run_fingerprint(const workload::NetworkConfig& net,
+                                const workload::SparsityProfile& profile,
+                                const std::string& backend_name) const;
 
   /// Enqueues `net`×`profile` against every named backend. Sparse
   /// backends run the submitted profile; dense backends run an all-dense
@@ -165,6 +204,19 @@ class Session {
   /// Blocks until the job finishes; rethrows any job error. The reference
   /// stays valid for the session's lifetime.
   const EvalResult& wait(const JobHandle& handle);
+
+  /// Runs one job to completion and returns its result WITHOUT retaining
+  /// it in results() — the submit/wait path for long-running services
+  /// (the serve daemon), whose per-request results must not accumulate
+  /// for the session's lifetime. Same execution path as submit():
+  /// pool-parallel, store-consulting, deterministic.
+  EvalResult evaluate(const workload::NetworkConfig& net,
+                      const workload::SparsityProfile& profile,
+                      const std::vector<std::string>& backend_names,
+                      const JobOptions& options);
+  EvalResult evaluate(const workload::NetworkConfig& net,
+                      const workload::SparsityProfile& profile,
+                      const std::vector<std::string>& backend_names);
 
   /// Blocks until every submitted job has finished.
   void wait();
@@ -220,6 +272,7 @@ class Session {
   SessionConfig cfg_;
   sim::BackendRegistry registry_;
   compiler::ProgramCache cache_;
+  std::shared_ptr<serve::ResultStore> store_;  ///< may be nullptr
   std::mutex jobs_mu_;  ///< guards jobs_ growth (submit vs. wait)
   std::vector<std::unique_ptr<Job>> jobs_;
   util::ThreadPool pool_;  ///< last member: joins before jobs_/cache_ die

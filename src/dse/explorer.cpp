@@ -29,6 +29,13 @@ double ExploreResult::cache_hit_rate() const {
                    static_cast<double>(cache.lookups());
 }
 
+double ExploreResult::store_hit_rate() const {
+  return store.lookups() == 0
+             ? 0.0
+             : static_cast<double>(store.hits) /
+                   static_cast<double>(store.lookups());
+}
+
 const PointResult* ExploreResult::find(
     const std::function<bool(const DesignPoint&)>& pred) const {
   for (const PointResult& p : points) {
@@ -86,6 +93,9 @@ ExploreResult Explorer::explore(
              "successive halving needs eta > 1");
 
   const auto stats_before = session_.program_cache().stats();
+  const bool has_store = session_.result_store() != nullptr;
+  serve::StoreStats store_before;
+  if (has_store) store_before = session_.result_store()->stats();
   ExploreResult result;
 
   // ---- candidate selection (depends only on the options + space).
@@ -283,6 +293,22 @@ ExploreResult Explorer::explore(
   const auto stats_after = session_.program_cache().stats();
   result.cache.hits = stats_after.hits - stats_before.hits;
   result.cache.misses = stats_after.misses - stats_before.misses;
+  result.simulations = result.evaluations;
+  result.store_attached = has_store;
+  if (has_store) {
+    const serve::StoreStats store_after = session_.result_store()->stats();
+    result.store.hits = store_after.hits - store_before.hits;
+    result.store.misses = store_after.misses - store_before.misses;
+    result.store.puts = store_after.puts - store_before.puts;
+    result.store.evictions = store_after.evictions - store_before.evictions;
+    result.store.torn_skipped =
+        store_after.torn_skipped - store_before.torn_skipped;
+    // Size figures are absolute, not deltas — current store shape.
+    result.store.entries = store_after.entries;
+    result.store.program_entries = store_after.program_entries;
+    result.store.bytes = store_after.bytes;
+    result.simulations = result.evaluations - result.store.hits;
+  }
   return result;
 }
 

@@ -39,6 +39,7 @@
 #include "core/session.hpp"
 #include "dse/pareto.hpp"
 #include "dse/space.hpp"
+#include "serve/store.hpp"
 
 namespace sparsetrain::dse {
 
@@ -96,11 +97,23 @@ struct ExploreResult {
   /// in (latency, energy, area, index) order.
   std::vector<std::size_t> frontier;
   std::size_t evaluations = 0;  ///< backend runs performed (incl. exact)
+  /// Backend runs that actually simulated — evaluations minus persistent-
+  /// store hits. A warm-store re-run of an identical exploration reports
+  /// simulations == 0.
+  std::size_t simulations = 0;
   /// ProgramCache stats delta over this exploration (valid when nothing
   /// else used the session's cache concurrently).
   compiler::ProgramCache::Stats cache;
+  /// Persistent-store stats delta over this exploration (all zero when
+  /// the session has no store attached).
+  bool store_attached = false;
+  serve::StoreStats store;
 
   double cache_hit_rate() const;
+
+  /// store.hits / store.lookups() over this exploration; 1.0 on a fully
+  /// warm store, 0.0 when no store was attached.
+  double store_hit_rate() const;
 
   /// First complete point matching the predicate; nullptr when none
   /// does. Drivers use this to read specific sweep cells out of a grid.

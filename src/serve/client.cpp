@@ -1,0 +1,131 @@
+#include "serve/client.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+#ifndef _WIN32
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace sparsetrain::serve {
+
+std::string format_request(const Request& r) {
+  std::ostringstream os;
+  os.precision(10);
+  os << "{\"type\": \"" << json_escape(r.type) << '"';
+  if (!r.id.empty()) os << ", \"id\": \"" << json_escape(r.id) << '"';
+  if (r.type == "eval") {
+    os << ", \"workload\": \"" << json_escape(r.workload)
+       << "\", \"backend\": \"" << json_escape(r.backend)
+       << "\", \"scenario\": \"" << json_escape(r.scenario)
+       << "\", \"p\": " << r.p << ", \"act_density\": " << r.act_density
+       << ", \"do_density\": " << r.do_density << ", \"engine\": \""
+       << json_escape(r.engine) << "\", \"batch\": " << r.batch
+       << ", \"timeout_ms\": " << r.timeout_ms;
+  }
+  os << '}';
+  return os.str();
+}
+
+#ifndef _WIN32
+
+Client::Client(const std::string& socket_path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ST_REQUIRE(fd_ >= 0, "client: cannot create a unix socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ST_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
+             "client: socket path too long: " + socket_path);
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ST_REQUIRE(false, "client: cannot connect to " + socket_path);
+  }
+  file_ = ::fdopen(fd_, "r+");
+  if (file_ == nullptr) {
+    ::close(fd_);
+    fd_ = -1;
+    ST_REQUIRE(false, "client: fdopen failed for " + socket_path);
+  }
+}
+
+Client::~Client() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<FILE*>(file_));  // also closes fd_
+  } else if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+std::string Client::request_raw(const std::string& json_line) {
+  FILE* f = static_cast<FILE*>(file_);
+  ST_REQUIRE(f != nullptr, "client: not connected");
+  const std::string out = json_line + "\n";
+  ST_REQUIRE(std::fputs(out.c_str(), f) != EOF && std::fflush(f) == 0,
+             "client: connection lost while sending");
+  char* buf = nullptr;
+  std::size_t cap = 0;
+  const ssize_t n = ::getline(&buf, &cap, f);
+  if (n <= 0) {
+    std::free(buf);
+    ST_REQUIRE(false, "client: connection closed before a response");
+  }
+  std::string line(buf, static_cast<std::size_t>(n));
+  std::free(buf);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+#else  // _WIN32
+
+Client::Client(const std::string& socket_path) {
+  ST_REQUIRE(false, "client: unix sockets are unavailable on this platform ("
+                    + socket_path + ")");
+}
+
+Client::~Client() = default;
+
+std::string Client::request_raw(const std::string&) {
+  ST_REQUIRE(false, "client: not connected");
+}
+
+#endif
+
+Response Client::request(const std::string& json_line) {
+  return parse_response(request_raw(json_line));
+}
+
+Response Client::submit(const Request& eval_request) {
+  return request(format_request(eval_request));
+}
+
+Response Client::stats() {
+  Request r;
+  r.type = "stats";
+  return request(format_request(r));
+}
+
+Response Client::status() {
+  Request r;
+  r.type = "status";
+  return request(format_request(r));
+}
+
+Response Client::shutdown() {
+  Request r;
+  r.type = "shutdown";
+  return request(format_request(r));
+}
+
+}  // namespace sparsetrain::serve

@@ -1,0 +1,47 @@
+// Client side of the evaluation daemon.
+//
+// One Client = one connection to a daemon's unix socket; request() sends
+// one NDJSON line and blocks for the matching response line (the daemon
+// answers each connection's requests in order). Open several clients for
+// concurrent submissions — identical in-flight jobs coalesce server-side.
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace sparsetrain::serve {
+
+class Client {
+ public:
+  /// Connects to the daemon at `socket_path`; throws ContractError when
+  /// the socket cannot be reached.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line, returns the raw response line (no newline).
+  /// Throws ContractError when the connection drops mid-exchange.
+  std::string request_raw(const std::string& json_line);
+
+  /// request_raw + parse_response.
+  Response request(const std::string& json_line);
+
+  /// Convenience wrappers over request().
+  Response submit(const Request& eval_request);
+  Response stats();
+  Response status();
+  Response shutdown();
+
+ private:
+  int fd_ = -1;
+  void* file_ = nullptr;  ///< FILE* of the buffered duplex stream
+};
+
+/// Formats `r` as one request line (inverse of parse_request for the
+/// fields the protocol defines).
+std::string format_request(const Request& r);
+
+}  // namespace sparsetrain::serve

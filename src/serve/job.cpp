@@ -1,0 +1,75 @@
+#include "serve/job.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "compiler/program_cache.hpp"
+#include "util/hash.hpp"
+
+namespace sparsetrain::serve {
+
+namespace {
+
+void put_double(std::ostringstream& os, double v) {
+  os << std::bit_cast<std::uint64_t>(v) << ';';
+}
+
+void put_name(std::ostringstream& os, const std::string& name) {
+  os << name.size() << ':' << name << ';';
+}
+
+}  // namespace
+
+std::string canonical_job_key_v1(const workload::NetworkConfig& net,
+                                 const workload::SparsityProfile& profile,
+                                 const compiler::CompileOptions& copts,
+                                 const std::string& backend,
+                                 const std::string& backend_kind,
+                                 const sim::ArchConfig& a,
+                                 std::uint64_t run_seed) {
+  std::ostringstream os;
+  os << "sparsetrain.evaljob/v1;";
+  // Compiler inputs: reuse the ProgramCache canonicalisation verbatim, so
+  // the store and the compile cache can never disagree about what makes
+  // two programs "the same".
+  os << "program=";
+  put_name(os, compiler::ProgramCache::key(net, profile, copts));
+  os << "backend=";
+  put_name(os, backend);
+  put_name(os, backend_kind);
+  os << "arch=";
+  put_name(os, a.name);
+  os << a.pe_groups << ',' << a.pes_per_group << ',' << a.buffer_bytes << ','
+     << a.sparse << ',' << a.seed << ',' << a.max_sched_samples << ','
+     << a.timing.weight_port_width << ',' << a.timing.pipeline_drain << ';';
+  put_double(os, a.clock_ghz);
+  put_double(os, a.energy.mac_pj);
+  put_double(os, a.energy.reg_pj);
+  put_double(os, a.energy.sram_pj);
+  put_double(os, a.energy.dram_pj);
+  put_double(os, a.energy.ctrl_pj_cycle);
+  os << "seed=" << run_seed;
+  return os.str();
+}
+
+std::string canonical_job_key_v1(const EvalJob& job) {
+  return canonical_job_key_v1(job.net, job.profile, job.copts, job.backend,
+                              job.backend_kind, job.arch, job.run_seed);
+}
+
+std::uint64_t fingerprint_v1(const workload::NetworkConfig& net,
+                             const workload::SparsityProfile& profile,
+                             const compiler::CompileOptions& copts,
+                             const std::string& backend,
+                             const std::string& backend_kind,
+                             const sim::ArchConfig& arch,
+                             std::uint64_t run_seed) {
+  return fnv1a(canonical_job_key_v1(net, profile, copts, backend,
+                                    backend_kind, arch, run_seed));
+}
+
+std::uint64_t fingerprint_v1(const EvalJob& job) {
+  return fnv1a(canonical_job_key_v1(job));
+}
+
+}  // namespace sparsetrain::serve

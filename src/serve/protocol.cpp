@@ -1,0 +1,137 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::serve {
+
+namespace {
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+std::uint64_t parse_hex16(const std::string& s) {
+  ST_REQUIRE(!s.empty() && s.size() <= 16,
+             "protocol: bad fingerprint '" + s + "'");
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      ST_REQUIRE(false, "protocol: bad fingerprint '" + s + "'");
+    }
+  }
+  return v;
+}
+
+std::size_t non_negative_int(const JsonValue& obj, const std::string& key,
+                             double fallback) {
+  const double v = obj.get_number(key, fallback);
+  ST_REQUIRE(v >= 0 && std::floor(v) == v,
+             "protocol: '" + key + "' must be a non-negative integer");
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const JsonValue doc = parse_json(line);
+  ST_REQUIRE(doc.is_object(), "protocol: request is not a JSON object");
+
+  Request r;
+  r.type = doc.get_string("type", "");
+  ST_REQUIRE(r.type == "eval" || r.type == "stats" || r.type == "status" ||
+                 r.type == "shutdown",
+             "protocol: unknown request type '" + r.type + "'");
+  r.id = doc.get_string("id", "");
+  if (r.type != "eval") return r;
+
+  r.workload = doc.get_string("workload", r.workload);
+  r.backend = doc.get_string("backend", r.backend);
+  r.scenario = doc.get_string("scenario", r.scenario);
+  ST_REQUIRE(r.scenario == "dense" || r.scenario == "natural" ||
+                 r.scenario == "pruned" || r.scenario == "calibrated",
+             "protocol: unknown scenario '" + r.scenario + "'");
+  r.p = doc.get_number("p", r.p);
+  r.act_density = doc.get_number("act_density", r.act_density);
+  r.do_density = doc.get_number("do_density", r.do_density);
+  r.engine = doc.get_string("engine", r.engine);
+  ST_REQUIRE(r.engine == "statistical" || r.engine == "exact",
+             "protocol: unknown engine '" + r.engine + "'");
+  r.batch = non_negative_int(doc, "batch", 0);
+  r.timeout_ms =
+      static_cast<long>(non_negative_int(doc, "timeout_ms", 0));
+  return r;
+}
+
+std::string format_response(const Response& r) {
+  std::ostringstream os;
+  os << "{\"id\": \"" << json_escape(r.id) << "\", \"type\": \""
+     << json_escape(r.type) << "\", \"status\": \"" << json_escape(r.status)
+     << '"';
+  if (!r.error.empty()) {
+    os << ", \"error\": \"" << json_escape(r.error) << '"';
+  }
+  if (!r.source.empty()) {
+    os << ", \"source\": \"" << json_escape(r.source) << '"';
+  }
+  if (r.type == "result" && r.status == "ok") {
+    os << ", \"workload\": \"" << json_escape(r.workload)
+       << "\", \"backend\": \"" << json_escape(r.backend)
+       << "\", \"engine\": \"" << json_escape(r.engine)
+       << "\", \"fingerprint\": \"" << hex16(r.fingerprint)
+       << "\", \"cycles\": " << r.cycles
+       << ", \"latency_ms\": " << num(r.latency_ms)
+       << ", \"utilization\": " << num(r.utilization)
+       << ", \"on_chip_uj\": " << num(r.on_chip_uj)
+       << ", \"dram_uj\": " << num(r.dram_uj);
+  }
+  if (!r.payload_json.empty()) {
+    os << ", \"payload\": " << r.payload_json;
+  }
+  os << '}';
+  return os.str();
+}
+
+Response parse_response(const std::string& line) {
+  const JsonValue doc = parse_json(line);
+  ST_REQUIRE(doc.is_object(), "protocol: response is not a JSON object");
+
+  Response r;
+  r.id = doc.get_string("id", "");
+  r.type = doc.get_string("type", "result");
+  r.status = doc.get_string("status", "");
+  ST_REQUIRE(!r.status.empty(), "protocol: response has no status");
+  r.error = doc.get_string("error", "");
+  r.source = doc.get_string("source", "");
+  r.workload = doc.get_string("workload", "");
+  r.backend = doc.get_string("backend", "");
+  r.engine = doc.get_string("engine", "");
+  const std::string fp = doc.get_string("fingerprint", "");
+  if (!fp.empty()) r.fingerprint = parse_hex16(fp);
+  r.cycles = static_cast<std::uint64_t>(doc.get_number("cycles", 0));
+  r.latency_ms = doc.get_number("latency_ms", 0.0);
+  r.utilization = doc.get_number("utilization", 0.0);
+  r.on_chip_uj = doc.get_number("on_chip_uj", 0.0);
+  r.dram_uj = doc.get_number("dram_uj", 0.0);
+  return r;
+}
+
+}  // namespace sparsetrain::serve

@@ -1,0 +1,75 @@
+// Wire protocol of the evaluation daemon.
+//
+// Newline-delimited JSON in both directions. Requests are flat objects
+// with a "type":
+//
+//   {"type":"eval","id":"r1","workload":"AlexNet/CIFAR",
+//    "backend":"sparsetrain","scenario":"pruned","p":0.9,
+//    "engine":"statistical","batch":1,"timeout_ms":5000}
+//   {"type":"stats","id":"s"}      — store + cache + request counters
+//   {"type":"status","id":"q"}     — liveness: inflight/completed counts
+//   {"type":"shutdown","id":"z"}   — graceful drain, then a "bye" reply
+//
+// Every response is one line carrying the request's "id" and a "status"
+// of ok | error | rejected | timeout. Evaluation responses additionally
+// say where the numbers came from: "source" = store (persistent-store
+// hit), computed (freshly simulated) or coalesced (attached to an
+// identical in-flight request — the single-flight discipline
+// compiler::ProgramCache uses, applied to whole evaluations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/json.hpp"
+
+namespace sparsetrain::serve {
+
+struct Request {
+  std::string type;  ///< eval | stats | status | shutdown
+  std::string id;    ///< echoed verbatim in the response ("" when absent)
+  // eval fields (defaults mirror the paper's operating point).
+  std::string workload = "AlexNet/CIFAR";  ///< zoo name
+  std::string backend = "sparsetrain";     ///< registered backend name
+  std::string scenario = "pruned";  ///< dense | natural | pruned | calibrated
+  double p = 0.9;                   ///< pruning rate (scenario=pruned)
+  double act_density = 0.45;
+  double do_density = 1.0;          ///< scenario=calibrated only
+  std::string engine = "statistical";  ///< statistical | exact
+  std::size_t batch = 0;               ///< 0 = session default
+  long timeout_ms = 0;                 ///< 0 = server default / none
+};
+
+/// Parses one request line. Throws ContractError on malformed JSON, a
+/// missing/unknown "type", or out-of-domain fields — the server turns
+/// the exception into an explicit error response.
+Request parse_request(const std::string& line);
+
+struct Response {
+  std::string id;
+  std::string type = "result";  ///< result | stats | status | bye
+  std::string status = "ok";    ///< ok | error | rejected | timeout
+  std::string error;            ///< human-readable cause when not ok
+  std::string source;           ///< store | computed | coalesced (evals)
+  // Evaluation payload.
+  std::string workload;
+  std::string backend;
+  std::string engine;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t cycles = 0;
+  double latency_ms = 0.0;
+  double utilization = 0.0;
+  double on_chip_uj = 0.0;
+  double dram_uj = 0.0;
+  /// Raw JSON object appended as "payload" (stats/status responses).
+  std::string payload_json;
+};
+
+/// One response line (no trailing newline).
+std::string format_response(const Response& r);
+
+/// Client-side parse of a response line. Throws ContractError when the
+/// line is not a response object.
+Response parse_response(const std::string& line);
+
+}  // namespace sparsetrain::serve

@@ -1,0 +1,26 @@
+// Byte-exact SimReport serialisation for the persistent result store.
+//
+// A stored report must replay *identically* to a fresh simulation —
+// drivers diff warm-store output against cold output byte for byte — so
+// every double travels as its IEEE-754 bit pattern (hex), never as a
+// rounded decimal, and strings are length-prefixed so embedded
+// newlines/separators cannot break framing. The format is a versioned
+// line-oriented text record ("sparsetrain.report/v1"); parse() rejects
+// anything it does not fully understand rather than guessing.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/report.hpp"
+
+namespace sparsetrain::serve {
+
+/// Serialises `report` into the v1 record payload.
+std::string serialize_report(const sim::SimReport& report);
+
+/// Parses a v1 payload. Throws ContractError on any malformed, truncated
+/// or version-mismatched input.
+sim::SimReport parse_report(std::string_view payload);
+
+}  // namespace sparsetrain::serve

@@ -1,0 +1,439 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "core/export.hpp"
+#include "isa/instruction.hpp"
+#include "util/require.hpp"
+
+#ifndef _WIN32
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#include <thread>
+#include <vector>
+#endif
+
+namespace sparsetrain::serve {
+
+namespace {
+
+std::shared_ptr<ResultStore> open_store(const ServerOptions& opts) {
+  if (opts.store_dir.empty()) return nullptr;
+  StoreOptions so;
+  so.max_bytes = opts.store_max_bytes;
+  return std::make_shared<ResultStore>(opts.store_dir, so);
+}
+
+core::SessionConfig session_config(const ServerOptions& opts) {
+  core::SessionConfig cfg = opts.session;
+  cfg.store = open_store(opts);
+  return cfg;
+}
+
+workload::SparsityProfile profile_for(const workload::NetworkConfig& net,
+                                      const Request& r) {
+  if (r.scenario == "dense") return workload::SparsityProfile::dense(net);
+  if (r.scenario == "natural") {
+    return workload::SparsityProfile::natural(net, r.act_density);
+  }
+  if (r.scenario == "pruned") {
+    return workload::SparsityProfile::pruned(net, r.p, r.act_density);
+  }
+  return workload::SparsityProfile::calibrated(net, r.act_density,
+                                               r.do_density);
+}
+
+/// Collapses a pretty-printed JSON document onto one NDJSON-safe line.
+std::string one_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n') c = ' ';
+  }
+  while (!s.empty() && s.back() == ' ') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      session_(session_config(opts_)),
+      eval_pool_(opts_.request_workers ? opts_.request_workers : 1) {}
+
+Server::~Server() = default;
+
+Server::Counters Server::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+Response Server::handle(const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.received;
+  }
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.errors;
+    Response resp;
+    resp.status = "error";
+    resp.error = e.what();
+    return resp;
+  }
+  return process(req);
+}
+
+Response Server::process(const Request& req) {
+  if (req.type == "stats") return stats_response(req);
+  if (req.type == "status") return status_response(req);
+  if (req.type == "shutdown") {
+    eval_pool_.wait_idle();  // drain in-flight evaluations
+    return bye_response(req);
+  }
+  // eval: admission first — a full queue answers immediately instead of
+  // growing without bound.
+  if (pending_.load() >= opts_.max_queue) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.rejected;
+    Response resp;
+    resp.id = req.id;
+    resp.status = "rejected";
+    resp.error =
+        "queue full (" + std::to_string(opts_.max_queue) + " in flight)";
+    return resp;
+  }
+  ++pending_;
+  Response resp = process_eval(req);
+  --pending_;
+  return resp;
+}
+
+Response Server::process_eval(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  try {
+    const workload::NetworkConfig net =
+        req.workload == "tiny" ? workload::tiny_workload()
+                               : workload::find_workload(req.workload).net;
+    const workload::SparsityProfile profile = profile_for(net, req);
+    core::Session::JobOptions options;
+    options.batch = req.batch;
+    if (req.engine == "exact") options.sim.engine = isa::EngineKind::Exact;
+
+    // The single-flight key is the store's own fingerprint, so "identical
+    // request" means exactly "would hit the same store record".
+    const std::uint64_t fp =
+        session_.run_fingerprint(net, profile, req.backend, options);
+
+    OutcomeFuture future;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      const auto it = inflight_.find(fp);
+      if (it != inflight_.end()) {
+        future = it->second;
+      } else {
+        owner = true;
+      }
+    }
+    if (owner) {
+      auto promise = std::make_shared<
+          std::promise<std::shared_ptr<const EvalOutcome>>>();
+      future = promise->get_future().share();
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.emplace(fp, future);
+      }
+      eval_pool_.submit([this, promise, fp, net, profile,
+                         backend = req.backend, options]() {
+        auto outcome = std::make_shared<EvalOutcome>();
+        try {
+          if (opts_.before_eval) opts_.before_eval();
+          const core::EvalResult result =
+              session_.evaluate(net, profile, {backend}, options);
+          const core::BackendRun& run = result.runs.front();
+          outcome->from_store = run.from_store;
+          outcome->fingerprint = run.fingerprint != 0 ? run.fingerprint : fp;
+          outcome->workload = net.name;
+          outcome->engine = isa::engine_name(run.report.engine);
+          outcome->cycles = run.report.total_cycles;
+          outcome->latency_ms = run.report.latency_ms();
+          outcome->utilization = run.report.utilization();
+          outcome->on_chip_uj = run.report.energy.on_chip_pj() * 1e-6;
+          outcome->dram_uj = run.report.energy.dram_pj * 1e-6;
+        } catch (const std::exception& e) {
+          outcome->error = e.what();
+        }
+        // Erase BEFORE resolving the promise: anyone who answers after
+        // this evaluation completed must have either grabbed the future
+        // while the entry existed (coalesced) or missed it entirely — in
+        // which case the store (already published above) serves them. A
+        // waiter can therefore never observe a completed response while
+        // the entry lingers.
+        {
+          std::lock_guard<std::mutex> lock(inflight_mu_);
+          inflight_.erase(fp);
+        }
+        promise->set_value(std::move(outcome));
+      });
+    }
+
+    const long timeout_ms =
+        req.timeout_ms > 0 ? req.timeout_ms : opts_.default_timeout_ms;
+    if (timeout_ms > 0 &&
+        future.wait_for(std::chrono::milliseconds(timeout_ms)) !=
+            std::future_status::ready) {
+      // The evaluation keeps running and still publishes to the store —
+      // only this requester stops waiting.
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.timeouts;
+      resp.status = "timeout";
+      resp.error = "evaluation still running after " +
+                   std::to_string(timeout_ms) + " ms";
+      return resp;
+    }
+
+    const std::shared_ptr<const EvalOutcome> outcome = future.get();
+    if (!outcome->error.empty()) {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.errors;
+      resp.status = "error";
+      resp.error = outcome->error;
+      return resp;
+    }
+
+    resp.status = "ok";
+    resp.source = !owner ? "coalesced"
+                         : (outcome->from_store ? "store" : "computed");
+    resp.workload = outcome->workload;
+    resp.backend = req.backend;
+    resp.engine = outcome->engine;
+    resp.fingerprint = outcome->fingerprint;
+    resp.cycles = outcome->cycles;
+    resp.latency_ms = outcome->latency_ms;
+    resp.utilization = outcome->utilization;
+    resp.on_chip_uj = outcome->on_chip_uj;
+    resp.dram_uj = outcome->dram_uj;
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.completed;
+      if (!owner) {
+        ++counters_.coalesced;
+      } else if (outcome->from_store) {
+        ++counters_.store_hits;
+      } else {
+        ++counters_.computed;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.errors;
+    resp.status = "error";
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+Response Server::stats_response(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  resp.type = "stats";
+  std::ostringstream os;
+  core::export_stats_json(core::service_stats(session_), os);
+  resp.payload_json = one_line(os.str());
+  return resp;
+}
+
+Response Server::status_response(const Request& req) const {
+  Response resp;
+  resp.id = req.id;
+  resp.type = "status";
+  const Counters c = counters();
+  std::ostringstream os;
+  os << "{\"inflight\": " << pending_.load()
+     << ", \"received\": " << c.received
+     << ", \"completed\": " << c.completed
+     << ", \"computed\": " << c.computed
+     << ", \"store_hits\": " << c.store_hits
+     << ", \"coalesced\": " << c.coalesced
+     << ", \"errors\": " << c.errors << ", \"rejected\": " << c.rejected
+     << ", \"timeouts\": " << c.timeouts << "}";
+  resp.payload_json = os.str();
+  return resp;
+}
+
+Response Server::bye_response(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  resp.type = "bye";
+  const Counters c = counters();
+  std::ostringstream os;
+  os << "{\"completed\": " << c.completed << ", \"errors\": " << c.errors
+     << ", \"rejected\": " << c.rejected << "}";
+  resp.payload_json = os.str();
+  return resp;
+}
+
+void Server::serve(std::istream& in, std::ostream& out) {
+  util::ThreadPool responders(opts_.request_workers ? opts_.request_workers
+                                                    : 1);
+  std::mutex write_mu;
+  const auto write_line = [&write_mu, &out](const Response& r) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    out << format_response(r) << '\n' << std::flush;
+  };
+
+  std::string line;
+  Request shutdown_req;
+  bool saw_shutdown = false;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.received;
+    }
+    Request req;
+    try {
+      req = parse_request(line);
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.errors;
+      }
+      Response err;
+      err.status = "error";
+      err.error = e.what();
+      write_line(err);
+      continue;
+    }
+    if (req.type == "shutdown") {
+      shutdown_req = req;
+      saw_shutdown = true;
+      break;
+    }
+    if (req.type != "eval") {
+      write_line(process(req));
+      continue;
+    }
+    // Admission on the intake thread: what the cap bounds is dispatched
+    // work, so the responder queue can never grow past max_queue.
+    if (pending_.load() >= opts_.max_queue) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.rejected;
+      }
+      Response rej;
+      rej.id = req.id;
+      rej.status = "rejected";
+      rej.error =
+          "queue full (" + std::to_string(opts_.max_queue) + " in flight)";
+      write_line(rej);
+      continue;
+    }
+    ++pending_;
+    responders.submit([this, req, write_line]() {
+      const Response resp = process_eval(req);
+      --pending_;
+      write_line(resp);
+    });
+  }
+  responders.wait_idle();  // graceful drain: every admitted eval answers
+  write_line(bye_response(saw_shutdown ? shutdown_req : Request{}));
+}
+
+#ifndef _WIN32
+
+int Server::serve_unix_socket(const std::string& path) {
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ST_REQUIRE(listen_fd >= 0, "serve: cannot create a unix socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  ST_REQUIRE(path.size() < sizeof(addr.sun_path),
+             "serve: socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 16) != 0) {
+    ::close(listen_fd);
+    ST_REQUIRE(false, "serve: cannot bind/listen on " + path);
+  }
+
+  std::mutex conns_mu;
+  std::vector<int> conn_fds;  // open connections, for shutdown kicks
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  while (!stop.load()) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) break;  // listener shut down
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conn_fds.push_back(fd);
+    }
+    threads.emplace_back([this, fd, listen_fd, &stop, &conns_mu,
+                          &conn_fds]() {
+      FILE* f = ::fdopen(fd, "r+");
+      if (f == nullptr) {
+        ::close(fd);
+        return;
+      }
+      char* buf = nullptr;
+      std::size_t cap = 0;
+      ssize_t n = 0;
+      while ((n = ::getline(&buf, &cap, f)) > 0) {
+        std::string line(buf, static_cast<std::size_t>(n));
+        while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+          line.pop_back();
+        }
+        if (line.empty()) continue;
+        const Response resp = handle(line);
+        const std::string out = format_response(resp) + "\n";
+        if (std::fputs(out.c_str(), f) == EOF) break;
+        std::fflush(f);
+        if (resp.type == "bye") {
+          // Shutdown: stop accepting and kick every other connection so
+          // their reader loops end and the daemon can drain.
+          stop.store(true);
+          ::shutdown(listen_fd, SHUT_RDWR);
+          std::lock_guard<std::mutex> lock(conns_mu);
+          for (const int other : conn_fds) {
+            if (other != fd) ::shutdown(other, SHUT_RDWR);
+          }
+          break;
+        }
+      }
+      std::free(buf);
+      std::fclose(f);  // also closes fd
+    });
+  }
+
+  for (auto& t : threads) t.join();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
+  eval_pool_.wait_idle();
+  return 0;
+}
+
+#else  // _WIN32
+
+int Server::serve_unix_socket(const std::string& path) {
+  ST_REQUIRE(false, "serve: unix sockets are unavailable on this platform ("
+                    + path + ")");
+}
+
+#endif
+
+}  // namespace sparsetrain::serve

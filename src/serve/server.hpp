@@ -1,0 +1,145 @@
+// The evaluation daemon.
+//
+// serve::Server wraps a core::Session (with an optional persistent
+// ResultStore attached) behind the NDJSON protocol of serve/protocol.hpp.
+// Three properties the loop guarantees:
+//
+//  * Single-flight coalescing — concurrent requests whose store
+//    fingerprints (Session::run_fingerprint) are identical share one
+//    evaluation: the first becomes the owner, later arrivals attach to
+//    its future and answer with source "coalesced".
+//  * Bounded admission — at most `max_queue` evaluations may be pending
+//    at once; excess requests get an immediate "rejected" response
+//    instead of growing an unbounded queue.
+//  * Graceful drain — EOF or a shutdown request stops intake, waits for
+//    every in-flight evaluation, then answers with a final "bye" line.
+//
+// A per-request timeout (request field or server default) bounds how
+// long the *requester* waits; a timed-out evaluation keeps running in
+// the background and still publishes its report to the store, so the
+// retry is a store hit.
+//
+// Transport is pluggable: serve(in, out) speaks over any stream pair
+// (the CLI uses stdin/stdout), serve_unix_socket(path) accepts local
+// socket connections, and handle(line) answers one request synchronously
+// for in-process use and tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/session.hpp"
+#include "serve/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sparsetrain::serve {
+
+struct ServerOptions {
+  /// Session configuration (arches, batch, sim workers, seed). The
+  /// `store` field is overridden when `store_dir` is set.
+  core::SessionConfig session;
+  /// Persistent store directory; empty = serve without a store (every
+  /// eval simulates, coalescing still applies).
+  std::string store_dir;
+  std::uint64_t store_max_bytes = 0;  ///< 0 = unbounded
+  /// Threads answering requests (waiters/responders). Evaluations run on
+  /// a separate internal pool of the same size, so a thread waiting on a
+  /// coalesced future never starves the evaluation it waits for.
+  std::size_t request_workers = 2;
+  /// Max evaluations admitted at once; further evals are rejected.
+  std::size_t max_queue = 64;
+  long default_timeout_ms = 0;  ///< 0 = wait forever
+  /// Test seam: runs in the evaluator thread right before the session
+  /// submit (e.g. to hold an evaluation open while coalescers arrive).
+  std::function<void()> before_eval;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  core::Session& session() { return session_; }
+  const core::Session& session() const { return session_; }
+
+  /// Request-level counters (evaluation-source breakdown included).
+  struct Counters {
+    std::uint64_t received = 0;   ///< lines read / handle() calls
+    std::uint64_t completed = 0;  ///< ok eval responses
+    std::uint64_t computed = 0;   ///< ok evals that simulated
+    std::uint64_t store_hits = 0; ///< ok evals served from the store
+    std::uint64_t coalesced = 0;  ///< ok evals attached to an in-flight twin
+    std::uint64_t errors = 0;     ///< malformed / failed requests
+    std::uint64_t rejected = 0;   ///< admission-control rejections
+    std::uint64_t timeouts = 0;   ///< requester gave up waiting
+  };
+  Counters counters() const;
+
+  /// Evaluations currently admitted (owners + waiters).
+  std::size_t inflight() const { return pending_.load(); }
+
+  /// Parses and answers one request line synchronously. Never throws:
+  /// malformed input becomes a status "error" response. A "shutdown"
+  /// request drains in-flight evaluations and answers "bye" (the next
+  /// handle() still works — lifecycle belongs to the transport loop).
+  Response handle(const std::string& line);
+
+  /// NDJSON loop: one request per input line, one response line each
+  /// (responses complete in evaluation order, not input order). Returns
+  /// after EOF or a "shutdown" request, once every in-flight evaluation
+  /// drained and the final "bye" line was written.
+  void serve(std::istream& in, std::ostream& out);
+
+  /// Listens on a unix-domain socket, one NDJSON loop per connection
+  /// (each in its own thread). Returns 0 after a clean shutdown-drain;
+  /// throws ContractError when the socket cannot be created.
+  int serve_unix_socket(const std::string& path);
+
+ private:
+  struct EvalOutcome {
+    std::string error;  ///< nonempty = evaluation failed
+    bool from_store = false;
+    std::uint64_t fingerprint = 0;
+    std::string workload;
+    std::string engine;
+    std::uint64_t cycles = 0;
+    double latency_ms = 0.0;
+    double utilization = 0.0;
+    double on_chip_uj = 0.0;
+    double dram_uj = 0.0;
+  };
+  using OutcomeFuture = std::shared_future<std::shared_ptr<const EvalOutcome>>;
+
+  Response process(const Request& req);
+  Response process_eval(const Request& req);
+  Response stats_response(const Request& req);
+  Response status_response(const Request& req) const;
+  Response bye_response(const Request& req);
+
+  ServerOptions opts_;
+  core::Session session_;
+  std::atomic<std::size_t> pending_{0};
+
+  mutable std::mutex counters_mu_;
+  Counters counters_;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<std::uint64_t, OutcomeFuture> inflight_;
+
+  /// Declared last: members destroy in reverse order, so the pool joins
+  /// its evaluator threads while session_ (which they use) is still
+  /// alive.
+  util::ThreadPool eval_pool_;
+};
+
+}  // namespace sparsetrain::serve

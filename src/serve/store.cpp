@@ -1,0 +1,316 @@
+#include "serve/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "serve/report_io.hpp"
+#include "util/hash.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kMagic = "sparsetrain.store/v1";
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool parse_hex(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c >= '0' && c <= '9') {
+      v = v * 16 + static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = v * 16 + static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  out = v;
+  return true;
+}
+
+std::string serialize_program_meta(const ProgramMeta& m) {
+  std::ostringstream os;
+  os << "name=" << m.name.size() << ':' << m.name << '\n'
+     << "engine=" << static_cast<unsigned>(m.engine) << '\n'
+     << "batch=" << m.batch << '\n'
+     << "instructions=" << m.instructions << '\n';
+  return os.str();
+}
+
+bool parse_program_meta(std::string_view payload, ProgramMeta& out) {
+  // name=<len>:<bytes>\nengine=..\nbatch=..\ninstructions=..\n
+  if (payload.rfind("name=", 0) != 0) return false;
+  payload.remove_prefix(5);
+  const std::size_t colon = payload.find(':');
+  if (colon == std::string_view::npos) return false;
+  std::size_t len = 0;
+  for (const char c : payload.substr(0, colon)) {
+    if (c < '0' || c > '9') return false;
+    len = len * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (colon + 1 + len >= payload.size()) return false;
+  out.name = std::string(payload.substr(colon + 1, len));
+  payload.remove_prefix(colon + 1 + len + 1);  // incl. '\n'
+  unsigned engine = 0;
+  unsigned long long batch = 0, instructions = 0;
+  if (std::sscanf(std::string(payload).c_str(),
+                  "engine=%u\nbatch=%llu\ninstructions=%llu", &engine, &batch,
+                  &instructions) != 3) {
+    return false;
+  }
+  if (engine > static_cast<unsigned>(isa::EngineKind::Exact)) return false;
+  out.engine = static_cast<isa::EngineKind>(engine);
+  out.batch = batch;
+  out.instructions = instructions;
+  return true;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir, StoreOptions opts)
+    : dir_(std::move(dir)), opts_(opts) {
+  ST_REQUIRE(!dir_.empty(), "result store needs a directory");
+  std::error_code ec;
+  fs::create_directories(fs::path(dir_) / "results", ec);
+  ST_REQUIRE(!ec, "cannot create store directory '" + dir_ + "': " +
+                      ec.message());
+  fs::create_directories(fs::path(dir_) / "programs", ec);
+  ST_REQUIRE(!ec, "cannot create store directory '" + dir_ + "': " +
+                      ec.message());
+  fs::create_directories(fs::path(dir_) / "tmp", ec);
+  ST_REQUIRE(!ec, "cannot create store directory '" + dir_ + "': " +
+                      ec.message());
+  scan_dir("results", "result");
+  scan_dir("programs", "program");
+}
+
+std::string ResultStore::result_path(std::uint64_t fp) const {
+  return (fs::path(dir_) / "results" / (hex16(fp) + ".rec")).string();
+}
+
+std::string ResultStore::program_path(std::uint64_t fp) const {
+  return (fs::path(dir_) / "programs" / (hex16(fp) + ".rec")).string();
+}
+
+void ResultStore::scan_dir(const char* subdir, const char* kind) {
+  // Recovery: every record must parse and checksum; anything torn (e.g. a
+  // record truncated by a crash or a copy of a live directory) is skipped
+  // and removed. Recency is seeded from modification times so eviction
+  // order survives a reopen; ties (same mtime granularity) break by
+  // filename for determinism.
+  struct Found {
+    std::uint64_t fp;
+    std::uint64_t bytes;
+    fs::file_time_type mtime;
+    std::string name;
+  };
+  std::vector<Found> found;
+  const fs::path base = fs::path(dir_) / subdir;
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(base, ec)) {
+    const std::string name = de.path().filename().string();
+    std::uint64_t fp = 0;
+    const bool named_ok = name.size() == 20 &&
+                          name.compare(16, 4, ".rec") == 0 &&
+                          parse_hex(name.substr(0, 16), fp);
+    std::string payload;
+    if (!named_ok || !read_record(de.path().string(), kind, fp, payload)) {
+      ++stats_.torn_skipped;
+      std::error_code rm;
+      fs::remove(de.path(), rm);
+      continue;
+    }
+    found.push_back({fp, payload.size(),
+                     fs::last_write_time(de.path(), ec), name});
+  }
+  std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+    if (a.mtime != b.mtime) return a.mtime < b.mtime;
+    return a.name < b.name;
+  });
+  const bool is_results = std::string(subdir) == "results";
+  auto& index = is_results ? results_ : programs_;
+  for (const Found& f : found) {
+    index[f.fp] = Entry{f.bytes, next_seq_++};
+    if (is_results) bytes_ += f.bytes;
+  }
+}
+
+std::uint64_t ResultStore::publish(const std::string& final_path,
+                                   const char* kind, std::uint64_t fp,
+                                   const std::string& payload) {
+  // Header + payload to a unique tmp file, then atomic rename: a reader
+  // either sees the whole record or no record.
+  std::ostringstream header;
+  header << kMagic << ' ' << kind << ' ' << hex16(fp) << ' '
+         << payload.size() << ' ' << hex16(fnv1a(payload)) << '\n';
+  const std::string tmp =
+      (fs::path(dir_) / "tmp" /
+       (hex16(fp) + "." + std::to_string(++tmp_counter_) + ".tmp"))
+          .string();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    ST_REQUIRE(static_cast<bool>(out), "cannot write '" + tmp + "'");
+    const std::string h = header.str();
+    out.write(h.data(), static_cast<std::streamsize>(h.size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    ST_REQUIRE(static_cast<bool>(out), "short write to '" + tmp + "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    std::error_code rm;
+    fs::remove(tmp, rm);
+    ST_REQUIRE(false, "cannot publish store record '" + final_path +
+                          "': " + ec.message());
+  }
+  return payload.size();
+}
+
+bool ResultStore::read_record(const std::string& path, const char* kind,
+                              std::uint64_t fp,
+                              std::string& payload_out) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  const std::size_t eol = content.find('\n');
+  if (eol == std::string::npos) return false;
+  std::istringstream hdr(content.substr(0, eol));
+  std::string magic, got_kind, fp_hex, sum_hex;
+  std::uint64_t size = 0;
+  if (!(hdr >> magic >> got_kind >> fp_hex >> size >> sum_hex)) return false;
+  std::uint64_t got_fp = 0, sum = 0;
+  if (magic != kMagic || got_kind != kind || !parse_hex(fp_hex, got_fp) ||
+      got_fp != fp || !parse_hex(sum_hex, sum)) {
+    return false;
+  }
+  // Torn detection: the payload must be exactly the advertised length and
+  // hash to the advertised checksum.
+  if (content.size() - (eol + 1) != size) return false;
+  std::string payload = content.substr(eol + 1);
+  if (fnv1a(payload) != sum) return false;
+  payload_out = std::move(payload);
+  return true;
+}
+
+bool ResultStore::get_result(std::uint64_t fp, sim::SimReport& out) {
+  std::lock_guard lock(mu_);
+  const auto it = results_.find(fp);
+  if (it == results_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  std::string payload;
+  if (!read_record(result_path(fp), "result", fp, payload)) {
+    // Evicted/garbled behind our back (another process): drop and miss.
+    bytes_ -= it->second.bytes;
+    results_.erase(it);
+    ++stats_.misses;
+    return false;
+  }
+  try {
+    out = parse_report(payload);
+  } catch (const ContractError&) {
+    bytes_ -= it->second.bytes;
+    results_.erase(it);
+    ++stats_.misses;
+    return false;
+  }
+  it->second.seq = next_seq_++;
+  ++stats_.hits;
+  return true;
+}
+
+void ResultStore::put_result(std::uint64_t fp, const sim::SimReport& report) {
+  const std::string payload = serialize_report(report);
+  std::lock_guard lock(mu_);
+  const std::uint64_t bytes =
+      publish(result_path(fp), "result", fp, payload);
+  auto& entry = results_[fp];
+  bytes_ += bytes - entry.bytes;  // overwrite replaces the old payload
+  entry.bytes = bytes;
+  entry.seq = next_seq_++;
+  ++stats_.puts;
+  if (opts_.max_bytes > 0) evict_over_cap(fp);
+}
+
+void ResultStore::evict_over_cap(std::uint64_t keep_fp) {
+  while (bytes_ > opts_.max_bytes && results_.size() > 1) {
+    auto victim = results_.end();
+    for (auto it = results_.begin(); it != results_.end(); ++it) {
+      if (it->first == keep_fp) continue;
+      if (victim == results_.end() || it->second.seq < victim->second.seq) {
+        victim = it;
+      }
+    }
+    if (victim == results_.end()) break;
+    std::error_code ec;
+    fs::remove(result_path(victim->first), ec);
+    bytes_ -= victim->second.bytes;
+    results_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+bool ResultStore::get_program(std::uint64_t fp, ProgramMeta& out) {
+  std::lock_guard lock(mu_);
+  const auto it = programs_.find(fp);
+  if (it == programs_.end()) return false;
+  std::string payload;
+  if (!read_record(program_path(fp), "program", fp, payload) ||
+      !parse_program_meta(payload, out)) {
+    programs_.erase(it);
+    return false;
+  }
+  it->second.seq = next_seq_++;
+  return true;
+}
+
+void ResultStore::put_program(std::uint64_t fp, const ProgramMeta& meta) {
+  const std::string payload = serialize_program_meta(meta);
+  std::lock_guard lock(mu_);
+  const std::uint64_t bytes =
+      publish(program_path(fp), "program", fp, payload);
+  programs_[fp] = Entry{bytes, next_seq_++};
+}
+
+bool ResultStore::contains_result(std::uint64_t fp) const {
+  std::lock_guard lock(mu_);
+  return results_.count(fp) != 0;
+}
+
+bool ResultStore::contains_program(std::uint64_t fp) const {
+  std::lock_guard lock(mu_);
+  return programs_.count(fp) != 0;
+}
+
+StoreStats ResultStore::stats() const {
+  std::lock_guard lock(mu_);
+  StoreStats s = stats_;
+  s.entries = results_.size();
+  s.program_entries = programs_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void ResultStore::reset_stats() {
+  std::lock_guard lock(mu_);
+  stats_ = StoreStats{};
+}
+
+}  // namespace sparsetrain::serve

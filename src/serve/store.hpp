@@ -1,0 +1,138 @@
+// Content-addressed on-disk result store.
+//
+// Maps a job fingerprint (serve::fingerprint_v1) to a serialized
+// SimReport, and a program fingerprint (compiler::ProgramCache::
+// fingerprint) to compiled-program metadata, persistently across
+// processes and users. core::Session consults an attached store before
+// simulating and publishes after, so a warm store serves repeat
+// evaluation traffic with zero simulations and zero compiles.
+//
+// Layout: one record per file under <dir>/results and <dir>/programs,
+// named by the fingerprint hex. Records carry a versioned header with the
+// payload length and checksum; they are written to <dir>/tmp and
+// published by atomic rename, so readers (and other store instances on
+// the same directory) never observe a half-written record. open()
+// rebuilds the in-memory index by scanning the record directories;
+// torn/truncated/corrupt records are skipped (and removed) rather than
+// trusted — a crash mid-write costs at most the record being written.
+//
+// Eviction: when `max_bytes > 0`, publishing a result evicts
+// least-recently-used result records until the resident payload size is
+// back under the cap (the record just published is never evicted, so a
+// single oversized record still persists its run). Recency is seeded
+// from file modification times at open and bumped by hits and puts.
+//
+// Concurrency: all operations are thread-safe within one instance (a
+// single mutex — store traffic is tiny next to a simulation). Two
+// *processes* on one directory are safe against corruption thanks to the
+// rename discipline, but each instance only sees the other's records
+// published before its own open(); a get() whose file was evicted by
+// another instance degrades to a miss.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "isa/instruction.hpp"
+#include "sim/report.hpp"
+
+namespace sparsetrain::serve {
+
+struct StoreOptions {
+  /// Cap on the total result-payload bytes resident on disk; 0 = no cap.
+  std::uint64_t max_bytes = 0;
+};
+
+/// Counter snapshot (process-lifetime for this instance, plus the
+/// resident index sizes).
+struct StoreStats {
+  std::size_t hits = 0;          ///< get_result found a record
+  std::size_t misses = 0;        ///< get_result found nothing
+  std::size_t puts = 0;          ///< result records published
+  std::size_t evictions = 0;     ///< result records evicted by the cap
+  std::size_t torn_skipped = 0;  ///< corrupt records skipped at open()
+  std::size_t entries = 0;       ///< result records in the index
+  std::size_t program_entries = 0;  ///< program-metadata records
+  std::uint64_t bytes = 0;       ///< resident result payload bytes
+
+  std::size_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups());
+  }
+};
+
+/// Metadata kept per compiled program (the program itself is recompiled
+/// on a result miss; the metadata makes the store auditable without
+/// replaying anything).
+struct ProgramMeta {
+  std::string name;
+  isa::EngineKind engine = isa::EngineKind::Statistical;
+  std::size_t batch = 1;
+  std::size_t instructions = 0;
+};
+
+class ResultStore {
+ public:
+  /// Opens (creating directories as needed) and rebuilds the index.
+  explicit ResultStore(std::string dir, StoreOptions opts = {});
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  const std::string& dir() const { return dir_; }
+
+  /// Loads the stored report for `fp` into `out`. Counts a hit or miss;
+  /// an unreadable/corrupt record degrades to a miss.
+  bool get_result(std::uint64_t fp, sim::SimReport& out);
+
+  /// Publishes `report` under `fp` (atomic rename), then applies the
+  /// eviction cap. Overwrites any previous record for `fp`.
+  void put_result(std::uint64_t fp, const sim::SimReport& report);
+
+  bool get_program(std::uint64_t fp, ProgramMeta& out);
+  void put_program(std::uint64_t fp, const ProgramMeta& meta);
+
+  /// True when a result record for `fp` is resident (no stat counted).
+  bool contains_result(std::uint64_t fp) const;
+
+  /// True when a program-metadata record for `fp` is resident.
+  bool contains_program(std::uint64_t fp) const;
+
+  StoreStats stats() const;
+  void reset_stats();  ///< zeroes the counters; the index is untouched
+
+ private:
+  struct Entry {
+    std::uint64_t bytes = 0;
+    std::uint64_t seq = 0;  ///< LRU recency (higher = more recent)
+  };
+
+  std::string result_path(std::uint64_t fp) const;
+  std::string program_path(std::uint64_t fp) const;
+  /// Serialise + tmp-write + rename. Returns the payload size.
+  std::uint64_t publish(const std::string& final_path, const char* kind,
+                        std::uint64_t fp, const std::string& payload);
+  /// Validates a record file and returns its payload; empty optional when
+  /// the record is torn/corrupt/missing.
+  bool read_record(const std::string& path, const char* kind,
+                   std::uint64_t fp, std::string& payload_out) const;
+  void scan_dir(const char* subdir, const char* kind);
+  void evict_over_cap(std::uint64_t keep_fp);
+
+  std::string dir_;
+  StoreOptions opts_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> results_;
+  std::unordered_map<std::uint64_t, Entry> programs_;
+  StoreStats stats_;
+  std::uint64_t bytes_ = 0;     ///< resident result payload bytes
+  std::uint64_t next_seq_ = 1;  ///< LRU clock
+  std::uint64_t tmp_counter_ = 0;
+};
+
+}  // namespace sparsetrain::serve

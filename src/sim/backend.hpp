@@ -38,6 +38,13 @@ class Backend {
   /// Registry name (stable identifier used by Session::submit).
   virtual const std::string& name() const = 0;
 
+  /// Execution kind ("accelerator" = engine follows the program's
+  /// metadata, "exact" = pinned to the exact engine). Part of the
+  /// persistent store's job canonicalisation (serve::fingerprint_v1):
+  /// two backends with identical architectures but different kinds
+  /// produce different reports and must never share a store key.
+  virtual const char* kind() const = 0;
+
   /// The architecture this backend simulates.
   virtual const ArchConfig& arch() const = 0;
 
@@ -83,6 +90,7 @@ class AcceleratorBackend : public Backend {
   AcceleratorBackend(std::string name, ArchConfig cfg);
 
   const std::string& name() const override { return name_; }
+  const char* kind() const override { return "accelerator"; }
   const ArchConfig& arch() const override { return accel_.config(); }
 
   using Backend::run;
@@ -107,6 +115,7 @@ class ExactBackend : public Backend {
   ExactBackend(std::string name, ArchConfig cfg, ExactOptions opts = {});
 
   const std::string& name() const override { return name_; }
+  const char* kind() const override { return "exact"; }
   const ArchConfig& arch() const override { return engine_.config(); }
   const ExactOptions& exact_options() const { return engine_.options(); }
 

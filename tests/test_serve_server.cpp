@@ -1,0 +1,287 @@
+// Evaluation daemon: JSON/protocol parsing, the request loop's admission
+// control, single-flight coalescing, per-request timeouts, store-backed
+// repeat requests, and graceful stream drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain {
+namespace {
+
+namespace fs = std::filesystem;
+
+using serve::JsonValue;
+using serve::Request;
+using serve::Response;
+using serve::Server;
+using serve::ServerOptions;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "sparsetrain_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+constexpr const char* kTinyEval =
+    "{\"type\":\"eval\",\"id\":\"r1\",\"workload\":\"tiny\"}";
+
+TEST(Json, ParsesDocuments) {
+  const JsonValue v = serve::parse_json(
+      " {\"a\": 1.5, \"b\": [true, null, \"x\\n\\u0041\"], \"c\": {}} ");
+  EXPECT_EQ(v.get_number("a", 0), 1.5);
+  const auto& arr = v.find("b")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_TRUE(arr[1].is_null());
+  EXPECT_EQ(arr[2].as_string(), "x\nA");
+  EXPECT_TRUE(v.find("c")->is_object());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.get_string("missing", "d"), "d");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(serve::parse_json(""), ContractError);
+  EXPECT_THROW(serve::parse_json("{"), ContractError);
+  EXPECT_THROW(serve::parse_json("{\"a\":}"), ContractError);
+  EXPECT_THROW(serve::parse_json("{} trailing"), ContractError);
+  EXPECT_THROW(serve::parse_json("\"unterminated"), ContractError);
+  EXPECT_THROW(serve::parse_json("01x"), ContractError);
+}
+
+TEST(Protocol, RequestDefaultsAndValidation) {
+  const Request r = serve::parse_request(kTinyEval);
+  EXPECT_EQ(r.type, "eval");
+  EXPECT_EQ(r.id, "r1");
+  EXPECT_EQ(r.workload, "tiny");
+  EXPECT_EQ(r.backend, "sparsetrain");
+  EXPECT_EQ(r.scenario, "pruned");
+  EXPECT_EQ(r.engine, "statistical");
+  EXPECT_THROW(serve::parse_request("{\"type\":\"nope\"}"), ContractError);
+  EXPECT_THROW(
+      serve::parse_request(
+          "{\"type\":\"eval\",\"scenario\":\"unknown\"}"),
+      ContractError);
+  EXPECT_THROW(
+      serve::parse_request("{\"type\":\"eval\",\"batch\":-1}"),
+      ContractError);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  Response r;
+  r.id = "x";
+  r.status = "ok";
+  r.source = "computed";
+  r.workload = "tiny";
+  r.backend = "sparsetrain";
+  r.engine = "statistical";
+  r.fingerprint = 0xdeadbeefcafe1234u;
+  r.cycles = 123;
+  r.latency_ms = 0.5;
+  r.utilization = 0.25;
+  r.on_chip_uj = 1.5;
+  r.dram_uj = 2.5;
+  const Response back = serve::parse_response(serve::format_response(r));
+  EXPECT_EQ(back.id, r.id);
+  EXPECT_EQ(back.status, "ok");
+  EXPECT_EQ(back.source, "computed");
+  EXPECT_EQ(back.fingerprint, r.fingerprint);
+  EXPECT_EQ(back.cycles, 123u);
+  EXPECT_EQ(back.latency_ms, 0.5);
+}
+
+ServerOptions tiny_server_options(const std::string& store_dir = {}) {
+  ServerOptions opts;
+  opts.store_dir = store_dir;
+  opts.session.workers = 2;
+  opts.request_workers = 2;
+  return opts;
+}
+
+TEST(Server, EvalComputesThenServesFromStore) {
+  const std::string dir = fresh_dir("server_store");
+  Server server(tiny_server_options(dir));
+  const Response first = server.handle(kTinyEval);
+  ASSERT_EQ(first.status, "ok") << first.error;
+  EXPECT_EQ(first.source, "computed");
+  EXPECT_GT(first.cycles, 0u);
+  EXPECT_NE(first.fingerprint, 0u);
+
+  const Response second = server.handle(kTinyEval);
+  ASSERT_EQ(second.status, "ok") << second.error;
+  EXPECT_EQ(second.source, "store");
+  EXPECT_EQ(second.cycles, first.cycles);
+  EXPECT_EQ(second.fingerprint, first.fingerprint);
+  EXPECT_EQ(second.latency_ms, first.latency_ms);
+
+  const auto c = server.counters();
+  EXPECT_EQ(c.completed, 2u);
+  EXPECT_EQ(c.computed, 1u);
+  EXPECT_EQ(c.store_hits, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(Server, MalformedAndUnknownRequestsAnswerErrors) {
+  Server server(tiny_server_options());
+  EXPECT_EQ(server.handle("{oops").status, "error");
+  EXPECT_EQ(server.handle("{\"type\":\"frobnicate\"}").status, "error");
+  const Response bad_workload = server.handle(
+      "{\"type\":\"eval\",\"id\":\"w\",\"workload\":\"NoSuchNet\"}");
+  EXPECT_EQ(bad_workload.status, "error");
+  EXPECT_EQ(bad_workload.id, "w");
+  EXPECT_FALSE(bad_workload.error.empty());
+  EXPECT_EQ(server.counters().errors, 3u);
+}
+
+TEST(Server, AdmissionRejectsWhenQueueFull) {
+  ServerOptions opts = tiny_server_options();
+  opts.max_queue = 0;
+  Server server(opts);
+  const Response r = server.handle(kTinyEval);
+  EXPECT_EQ(r.status, "rejected");
+  EXPECT_NE(r.error.find("queue full"), std::string::npos);
+  EXPECT_EQ(server.counters().rejected, 1u);
+}
+
+TEST(Server, TimeoutAnswersWithoutKillingTheEvaluation) {
+  const std::string dir = fresh_dir("server_timeout");
+  ServerOptions opts = tiny_server_options(dir);
+  std::atomic<bool> release{false};
+  opts.before_eval = [&release]() {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  Server server(opts);
+  const Response timed_out = server.handle(
+      "{\"type\":\"eval\",\"id\":\"t\",\"workload\":\"tiny\","
+      "\"timeout_ms\":30}");
+  EXPECT_EQ(timed_out.status, "timeout");
+  EXPECT_EQ(server.counters().timeouts, 1u);
+
+  // The abandoned evaluation finishes in the background and publishes;
+  // the retry is answered (from the in-flight entry or the store).
+  release.store(true);
+  const Response retry = server.handle(kTinyEval);
+  ASSERT_EQ(retry.status, "ok") << retry.error;
+  EXPECT_TRUE(retry.source == "store" || retry.source == "coalesced");
+  fs::remove_all(dir);
+}
+
+TEST(Server, IdenticalInflightRequestsCoalesce) {
+  ServerOptions opts = tiny_server_options();  // no store needed
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  opts.before_eval = [&]() {
+    started.store(true);
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  Server server(opts);
+
+  Response a, b;
+  std::thread owner([&]() { a = server.handle(kTinyEval); });
+  while (!started.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread waiter([&]() { b = server.handle(kTinyEval); });
+  // Give the waiter time to attach, then let the evaluation run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true);
+  owner.join();
+  waiter.join();
+
+  ASSERT_EQ(a.status, "ok") << a.error;
+  ASSERT_EQ(b.status, "ok") << b.error;
+  EXPECT_EQ(a.source, "computed");
+  EXPECT_EQ(b.source, "coalesced");
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  const auto c = server.counters();
+  EXPECT_EQ(c.computed, 1u);
+  EXPECT_EQ(c.coalesced, 1u);
+}
+
+TEST(Server, StatsAndStatusRequests) {
+  const std::string dir = fresh_dir("server_stats");
+  Server server(tiny_server_options(dir));
+  ASSERT_EQ(server.handle(kTinyEval).status, "ok");
+
+  const Response stats = server.handle("{\"type\":\"stats\",\"id\":\"s\"}");
+  EXPECT_EQ(stats.type, "stats");
+  EXPECT_EQ(stats.status, "ok");
+  EXPECT_NE(stats.payload_json.find("sparsetrain.store_stats/v1"),
+            std::string::npos);
+  EXPECT_NE(stats.payload_json.find("\"store_attached\": true"),
+            std::string::npos);
+  // The payload is itself valid JSON (NDJSON-safe single line).
+  EXPECT_EQ(stats.payload_json.find('\n'), std::string::npos);
+  EXPECT_NO_THROW(serve::parse_json(stats.payload_json));
+
+  const Response status = server.handle("{\"type\":\"status\"}");
+  EXPECT_EQ(status.type, "status");
+  const JsonValue payload = serve::parse_json(status.payload_json);
+  EXPECT_EQ(payload.get_number("completed", -1), 1);
+  EXPECT_EQ(payload.get_number("inflight", -1), 0);
+  fs::remove_all(dir);
+}
+
+TEST(Server, StreamLoopDrainsAndAnswersBye) {
+  const std::string dir = fresh_dir("server_stream");
+  ServerOptions opts = tiny_server_options(dir);
+  opts.request_workers = 1;  // sequential: the repeat is a store hit
+  Server server(opts);
+
+  std::istringstream in(
+      std::string(kTinyEval) + "\n" +
+      "{\"type\":\"eval\",\"id\":\"r2\",\"workload\":\"tiny\"}\n" +
+      "this is not json\n" +
+      "{\"type\":\"stats\",\"id\":\"s\"}\n" +
+      "{\"type\":\"shutdown\",\"id\":\"z\"}\n" +
+      "{\"type\":\"eval\",\"id\":\"after\",\"workload\":\"tiny\"}\n");
+  std::ostringstream out;
+  server.serve(in, out);
+
+  std::vector<Response> responses;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    responses.push_back(serve::parse_response(line));
+  }
+  ASSERT_EQ(responses.size(), 5u) << out.str();
+
+  auto by_id = [&](const std::string& id) -> const Response& {
+    for (const Response& r : responses) {
+      if (r.id == id) return r;
+    }
+    ADD_FAILURE() << "no response with id " << id << "\n" << out.str();
+    return responses.front();
+  };
+  EXPECT_EQ(by_id("r1").status, "ok");
+  EXPECT_EQ(by_id("r1").source, "computed");
+  EXPECT_EQ(by_id("r2").status, "ok");
+  EXPECT_EQ(by_id("r2").source, "store");
+  EXPECT_EQ(by_id("s").type, "stats");
+  // The malformed line got an explicit error response (no id).
+  EXPECT_EQ(by_id("").status, "error");
+  // Shutdown drained and answered last; the request after it was never
+  // read.
+  EXPECT_EQ(responses.back().type, "bye");
+  EXPECT_EQ(responses.back().id, "z");
+  for (const Response& r : responses) EXPECT_NE(r.id, "after");
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sparsetrain

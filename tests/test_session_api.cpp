@@ -233,6 +233,7 @@ TEST(Session, SubmitRejectsUnknownBackends) {
 class ExplodingBackend : public sim::Backend {
  public:
   const std::string& name() const override { return name_; }
+  const char* kind() const override { return "exploding"; }
   const sim::ArchConfig& arch() const override { return cfg_; }
   using sim::Backend::run;
   sim::SimReport run(const isa::Program&, const workload::NetworkConfig&,

@@ -1,0 +1,120 @@
+// The evaluation daemon + its CLI client.
+//
+// Daemon (NDJSON over stdin/stdout, or a unix socket):
+//   sparsetrain_serve --stdio --store serve_store
+//   sparsetrain_serve --socket /tmp/sparsetrain.sock --store serve_store
+//
+// Client (one request per invocation, response line on stdout):
+//   sparsetrain_serve --connect /tmp/sparsetrain.sock \
+//       --submit '{"type":"eval","id":"r1","workload":"AlexNet/CIFAR"}'
+//   sparsetrain_serve --connect /tmp/sparsetrain.sock --stats
+//   sparsetrain_serve --connect /tmp/sparsetrain.sock --shutdown
+//
+// The store directory is shared: every daemon (and every bench driver
+// run with --store) pointing at the same directory reuses each other's
+// evaluations.
+#include <cstddef>
+#include <iostream>
+#include <string>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using sparsetrain::Args;
+
+const std::vector<Args::Flag> kFlags = {
+    // daemon mode
+    {"stdio", "serve NDJSON over stdin/stdout (default mode)", false},
+    {"socket", "serve on this unix-socket path", true},
+    {"store", "persistent result-store directory", true},
+    {"max-store-bytes", "store size cap (0 = unbounded)", true},
+    {"workers", "simulation threads (0 = hardware concurrency)", true},
+    {"request-workers", "concurrent request handlers", true},
+    {"max-queue", "max in-flight evaluations before rejecting", true},
+    {"timeout-ms", "default per-request timeout (0 = none)", true},
+    {"seed", "session base seed", true},
+    {"batch", "session default batch size", true},
+    // client mode
+    {"connect", "act as a client of the daemon at this socket path", true},
+    {"submit",
+     "client: send this request (a JSON line, or a bare workload name)",
+     true},
+    {"stats", "client: request the store/cache stats report", false},
+    {"status", "client: request the liveness counters", false},
+    {"shutdown", "client: ask the daemon to drain and exit", false},
+};
+
+int run_client(const Args& args) {
+  sparsetrain::serve::Client client(args.get("connect", std::string{}));
+  bool did = false;
+  if (args.has("submit")) {
+    std::string line = args.get("submit", std::string{});
+    if (line.empty() || line[0] != '{') {
+      // Bare workload name → a default eval request for it.
+      sparsetrain::serve::Request req;
+      req.type = "eval";
+      req.workload = line;
+      line = sparsetrain::serve::format_request(req);
+    }
+    std::cout << client.request_raw(line) << '\n';
+    did = true;
+  }
+  if (args.has("stats")) {
+    std::cout << client.request_raw("{\"type\":\"stats\"}") << '\n';
+    did = true;
+  }
+  if (args.has("status")) {
+    std::cout << client.request_raw("{\"type\":\"status\"}") << '\n';
+    did = true;
+  }
+  if (args.has("shutdown")) {
+    std::cout << client.request_raw("{\"type\":\"shutdown\"}") << '\n';
+    did = true;
+  }
+  if (!did) {
+    std::cerr << "sparsetrain_serve: --connect needs one of --submit/"
+                 "--stats/--status/--shutdown\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv, kFlags);
+    if (args.help_requested()) {
+      std::cout << args.usage("sparsetrain_serve");
+      return 0;
+    }
+    if (args.has("connect")) return run_client(args);
+
+    sparsetrain::serve::ServerOptions opts;
+    opts.store_dir = args.get("store", std::string{});
+    opts.store_max_bytes = static_cast<std::uint64_t>(
+        args.get("max-store-bytes", 0L));
+    opts.session.workers =
+        static_cast<std::size_t>(args.get("workers", 0L));
+    opts.session.seed = static_cast<std::uint64_t>(args.get("seed", 1L));
+    opts.session.batch =
+        static_cast<std::size_t>(args.get("batch", 1L));
+    opts.request_workers =
+        static_cast<std::size_t>(args.get("request-workers", 2L));
+    opts.max_queue = static_cast<std::size_t>(args.get("max-queue", 64L));
+    opts.default_timeout_ms = args.get("timeout-ms", 0L);
+
+    sparsetrain::serve::Server server(opts);
+    if (args.has("socket")) {
+      return server.serve_unix_socket(args.get("socket", std::string{}));
+    }
+    server.serve(std::cin, std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sparsetrain_serve: " << e.what() << '\n';
+    return 1;
+  }
+}
