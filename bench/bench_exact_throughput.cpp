@@ -8,9 +8,20 @@
 // scaling factor; with --scaling the pass becomes a {1, 2, 4, 8}-worker
 // sweep and each entry carries its whole speedup curve. Results go to
 // stdout as a table and to a JSON file (default BENCH_exact_engine.json —
-// schema sparsetrain.bench_exact_throughput/v2, documented in the
+// schema sparsetrain.bench_exact_throughput/v3, documented in the
 // README's Performance section) so CI can archive the trajectory run
 // over run and gate on the 4-worker speedup.
+//
+// The JSON records which row-op kernel path the binary was built with
+// (`"simd"`, from dataflow::simd_mode()). --baseline PATH merges a prior
+// run of the *other* build into each entry (`baseline` object with that
+// run's seconds and the resulting speedup), which is how the committed
+// snapshot carries both the scalar and the SIMD measurement of one host:
+// bench the scalar build first, then the SIMD build with
+// --baseline scalar.json. The simulated fields must agree exactly with
+// the baseline's — the driver fails loudly if they don't, because a
+// simulated-field mismatch between kernel paths is a correctness bug,
+// not a perf regression.
 //
 // Layer selection: every zoo workload contributes its median-MACs conv
 // layer, and AlexNet/ImageNet conv2 (the acceptance geometry tracked
@@ -24,12 +35,17 @@
 // columns could possibly use).
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <string>
 #include <vector>
 
 #include "dataflow/conv_decompose.hpp"
+#include "dataflow/row_ops.hpp"
+#include "serve/json.hpp"
 #include "sim/exact_engine.hpp"
 #include "util/args.hpp"
 #include "util/hash.hpp"
@@ -115,6 +131,57 @@ void json_escape(std::string& out, const std::string& s) {
   }
 }
 
+/// One entry of a prior run loaded via --baseline: the timing to compare
+/// against plus the simulated fields, which must match exactly.
+struct BaselineEntry {
+  double seconds_serial = 0.0;
+  std::size_t tasks = 0;
+  std::size_t row_ops = 0;
+  std::size_t macs = 0;
+  std::size_t cycles = 0;
+};
+
+struct Baseline {
+  std::string simd = "unknown";
+  std::map<std::string, BaselineEntry> entries;  // workload|layer|stage
+};
+
+std::string baseline_key(const std::string& workload,
+                         const std::string& layer, const std::string& stage) {
+  return workload + "|" + layer + "|" + stage;
+}
+
+bool load_baseline(const std::string& path, Baseline& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read baseline %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    const serve::JsonValue doc = serve::parse_json(buf.str());
+    out.simd = doc.get_string("simd", "unknown");
+    const serve::JsonValue* entries = doc.find("entries");
+    if (entries == nullptr) return false;
+    for (const serve::JsonValue& e : entries->as_array()) {
+      BaselineEntry be;
+      be.seconds_serial = e.get_number("seconds_serial", 0.0);
+      be.tasks = static_cast<std::size_t>(e.get_number("tasks", 0.0));
+      be.row_ops = static_cast<std::size_t>(e.get_number("row_ops", 0.0));
+      be.macs = static_cast<std::size_t>(e.get_number("macs", 0.0));
+      be.cycles = static_cast<std::size_t>(e.get_number("cycles", 0.0));
+      out.entries[baseline_key(e.get_string("workload", ""),
+                               e.get_string("layer", ""),
+                               e.get_string("stage", ""))] = be;
+    }
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "baseline %s: %s\n", path.c_str(), ex.what());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -125,7 +192,10 @@ int main(int argc, char** argv) {
        {"quick", "CIFAR AlexNet entry only (the CI subset)", false},
        {"full", "every conv layer of every zoo workload", false},
        {"scaling", "sweep workers {1,2,4,8} per entry", false},
-       {"workers", "parallel-pass worker count (0 = hardware)"}});
+       {"workers", "parallel-pass worker count (0 = hardware)"},
+       {"baseline",
+        "prior run's JSON to merge (records its timings per entry; "
+        "simulated fields must match exactly)"}});
   if (args.help_requested()) {
     std::printf("%s", args.usage(argv[0]).c_str());
     return 0;
@@ -136,6 +206,10 @@ int main(int argc, char** argv) {
   const bool full = args.has("full");
   const bool scaling = args.has("scaling");
   const auto workers = static_cast<std::size_t>(args.get("workers", 0L));
+  const std::string baseline_path = args.get("baseline", "");
+  Baseline baseline;
+  const bool have_baseline = !baseline_path.empty();
+  if (have_baseline && !load_baseline(baseline_path, baseline)) return 1;
 
   // ---- select the bench cases
   std::vector<BenchCase> cases;
@@ -194,7 +268,11 @@ int main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"sparsetrain.bench_exact_throughput/v2\",\n";
+  json += "  \"schema\": \"sparsetrain.bench_exact_throughput/v3\",\n";
+  json += "  \"simd\": \"" + std::string(dataflow::simd_mode()) + "\",\n";
+  if (have_baseline) {
+    json += "  \"baseline_simd\": \"" + baseline.simd + "\",\n";
+  }
   json += "  \"densities\": {\"input_acts\": " + std::to_string(kInputDensity) +
           ", \"output_grads\": " + std::to_string(kGradDensity) +
           ", \"mask\": " + std::to_string(kMaskDensity) + "},\n";
@@ -300,7 +378,34 @@ int main(int argc, char** argv) {
                 ", \"seconds\": " + std::to_string(p.seconds) +
                 ", \"speedup\": " + std::to_string(p.speedup) + "}";
       }
-      json += "]}";
+      json += "]";
+      if (have_baseline) {
+        const auto it = baseline.entries.find(
+            baseline_key(bc.workload, l.name, sr.stage));
+        if (it != baseline.entries.end()) {
+          const BaselineEntry& be = it->second;
+          // Kernel-path equivalence gate: the simulated fields are pure
+          // functions of the inputs, so any divergence from the baseline
+          // build is a bug, not noise.
+          if (be.tasks != sr.tasks || be.row_ops != sr.row_ops ||
+              be.macs != sr.macs || be.cycles != sr.cycles) {
+            std::fprintf(stderr,
+                         "FATAL: simulated fields diverge from baseline "
+                         "for %s/%s %s\n",
+                         bc.workload.c_str(), l.name.c_str(),
+                         sr.stage.c_str());
+            return 1;
+          }
+          const double speedup = sr.seconds_serial > 0.0
+                                     ? be.seconds_serial / sr.seconds_serial
+                                     : 0.0;
+          json += ", \"baseline\": {\"simd\": \"" + baseline.simd +
+                  "\", \"seconds_serial\": " +
+                  std::to_string(be.seconds_serial) +
+                  ", \"speedup\": " + std::to_string(speedup) + "}";
+        }
+      }
+      json += "}";
     }
   }
   json += "\n  ]\n}\n";

@@ -1,0 +1,200 @@
+// AVX2 register-blocked implementations of the row-op work counters.
+//
+// Only included by row_ops.hpp when the build enables the SIMD path
+// (SPARSETRAIN_SIMD_ENABLED from CMake AND __AVX2__ from the compiler);
+// the flags are a whole-build PUBLIC property of the library target, so
+// every TU sees the same definitions and there is no ODR split between
+// SIMD and scalar translation units.
+//
+// Contract: every kernel here returns bit-for-bit the same counts as its
+// scalar sibling in row_ops.hpp. The counters are pure integer
+// arithmetic, so "equivalent" is exact equality, asserted per build by
+// tests/test_row_ops_simd.cpp and across builds by the CI diff of
+// bench_exact_throughput's simulated fields.
+//
+// Blocking layout (the gemm register-blocking idiom applied to CSR
+// sweeps): each kernel streams the contiguous offsets arena in vector
+// registers — 8 lanes of window-clamp arithmetic for stride-1 SRC,
+// 4 × 64-bit gathered mask words + in-register popcount for MSRC
+// windows, 8-lane compare/popcount pointer advances for the OSRC
+// sweep — and keeps the MAC/active accumulators in ymm registers until
+// the row is done, touching the scalar RowOpWork exactly once per row.
+#pragma once
+
+#include <cstdint>
+#include <immintrin.h>
+
+namespace sparsetrain::dataflow::detail {
+
+/// Horizontal sum of 4 × 64-bit lanes.
+inline std::uint64_t hsum_epi64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_extract_epi64(s, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+/// Per-lane popcount of 4 × 64-bit words (nibble-LUT + SAD — AVX2 has
+/// no vpopcntq; this is the standard Mula construction).
+inline __m256i popcount_epi64(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), low);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+/// Stride-1 SRC work: 8 offsets per step. Lane math is the scalar
+/// clamp body (khi = min(kmax, base), klo = max(0, base − base_min),
+/// taps = max(0, khi − klo + 1)) verbatim; taps widen into two 4 × 64
+/// accumulators so no row length can overflow a lane.
+/// Caller guarantees base = offset + padding fits in int32.
+inline void src_work_s1_avx2(const std::uint32_t* offsets, std::size_t nnz,
+                             std::int32_t padding, std::int32_t kmax,
+                             std::int32_t base_min, std::size_t& macs,
+                             std::size_t& active) {
+  const __m256i vp = _mm256_set1_epi32(padding);
+  const __m256i vkmax = _mm256_set1_epi32(kmax);
+  const __m256i vbmin = _mm256_set1_epi32(base_min);
+  const __m256i vzero = _mm256_setzero_si256();
+  const __m256i vone = _mm256_set1_epi32(1);
+  __m256i macs_acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= nnz; i += 8) {
+    const __m256i off = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(offsets + i));
+    const __m256i base = _mm256_add_epi32(off, vp);
+    const __m256i khi = _mm256_min_epi32(vkmax, base);
+    const __m256i klo = _mm256_max_epi32(vzero, _mm256_sub_epi32(base, vbmin));
+    const __m256i taps = _mm256_max_epi32(
+        vzero, _mm256_add_epi32(_mm256_sub_epi32(khi, klo), vone));
+    macs_acc = _mm256_add_epi64(
+        macs_acc,
+        _mm256_add_epi64(
+            _mm256_cvtepu32_epi64(_mm256_castsi256_si128(taps)),
+            _mm256_cvtepu32_epi64(_mm256_extracti128_si256(taps, 1))));
+    const int live = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(taps, vzero)));
+    active += static_cast<std::size_t>(__builtin_popcount(
+        static_cast<unsigned>(live)));
+  }
+  macs += hsum_epi64(macs_acc);
+  for (; i < nnz; ++i) {
+    const std::int32_t base = static_cast<std::int32_t>(offsets[i]) + padding;
+    const std::int32_t khi = kmax < base ? kmax : base;
+    const std::int32_t klo = base - base_min > 0 ? base - base_min : 0;
+    const std::int32_t taps = khi - klo + 1 > 0 ? khi - klo + 1 : 0;
+    macs += static_cast<std::size_t>(taps);
+    active += taps > 0 ? 1 : 0;
+  }
+}
+
+/// MSRC window work: 4 windows per step. Per lane: win = [off·S − P,
+/// off·S − P + K) clamped to [0, out_len); the surviving-position count
+/// is a popcount of the ≤ 2 mask words straddled by the window, funnel-
+/// shifted into one register word. `words` must carry the BitMask guard
+/// words (word_data()), so the w + 1 gather is in-bounds even when a
+/// fully clamped window starts at out_len. Caller guarantees
+/// kernel ≤ 64 and off·S + K fits in int32.
+inline void msrc_work_avx2(const std::uint32_t* offsets, std::size_t nnz,
+                           std::int32_t stride, std::int32_t padding,
+                           std::int32_t kernel, std::int32_t out_len,
+                           const std::uint64_t* words, std::size_t& macs,
+                           std::size_t& skipped) {
+  const __m128i vs = _mm_set1_epi32(stride);
+  const __m128i vp = _mm_set1_epi32(padding);
+  const __m128i vk = _mm_set1_epi32(kernel);
+  const __m128i vout = _mm_set1_epi32(out_len);
+  const __m128i vz32 = _mm_setzero_si128();
+  const __m128i v63 = _mm_set1_epi32(63);
+  const __m128i vone32 = _mm_set1_epi32(1);
+  const __m256i vz64 = _mm256_setzero_si256();
+  const __m256i vall = _mm256_set1_epi64x(-1);
+  const __m256i v64_64 = _mm256_set1_epi64x(64);
+  const __m256i v63_64 = _mm256_set1_epi64x(63);
+  const long long* base =
+      reinterpret_cast<const long long*>(words);
+  __m256i macs_acc = _mm256_setzero_si256();
+  __m256i skip_acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= nnz; i += 4) {
+    const __m128i off = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(offsets + i));
+    const __m128i wl = _mm_sub_epi32(_mm_mullo_epi32(off, vs), vp);
+    const __m128i lo = _mm_min_epi32(_mm_max_epi32(wl, vz32), vout);
+    const __m128i hi = _mm_min_epi32(
+        _mm_max_epi32(_mm_add_epi32(wl, vk), vz32), vout);
+    const __m128i len32 = _mm_sub_epi32(hi, lo);  // 0 ≤ len ≤ kernel ≤ 64
+    const __m128i w0idx = _mm_srli_epi32(lo, 6);
+    const __m256i w0 = _mm256_i32gather_epi64(base, w0idx, 8);
+    const __m256i w1 =
+        _mm256_i32gather_epi64(base, _mm_add_epi32(w0idx, vone32), 8);
+    const __m256i s = _mm256_cvtepi32_epi64(_mm_and_si128(lo, v63));
+    // span = window bits of [w0, w1] aligned to bit 0; the double shift
+    // on w1 keeps the s == 0 lane defined (both counts ≤ 63).
+    const __m256i span = _mm256_or_si256(
+        _mm256_srlv_epi64(w0, s),
+        _mm256_sllv_epi64(_mm256_slli_epi64(w1, 1),
+                          _mm256_sub_epi64(v63_64, s)));
+    // keep = len low bits; AVX2 variable shifts ≥ 64 yield 0, which is
+    // exactly the len == 0 (fully clamped window) case.
+    const __m256i keep = _mm256_srlv_epi64(
+        vall, _mm256_sub_epi64(v64_64, _mm256_cvtepi32_epi64(len32)));
+    const __m256i cnt = popcount_epi64(_mm256_and_si256(span, keep));
+    macs_acc = _mm256_add_epi64(macs_acc, cnt);
+    // cmpeq lanes are −1 where the window died: subtracting counts them.
+    skip_acc = _mm256_sub_epi64(skip_acc, _mm256_cmpeq_epi64(cnt, vz64));
+  }
+  macs += hsum_epi64(macs_acc);
+  skipped += hsum_epi64(skip_acc);
+  for (; i < nnz; ++i) {
+    const std::int32_t wl =
+        static_cast<std::int32_t>(offsets[i]) * stride - padding;
+    std::int32_t lo = wl < 0 ? 0 : wl;
+    if (lo > out_len) lo = out_len;
+    std::int32_t hi = wl + kernel;
+    if (hi < 0) hi = 0;
+    if (hi > out_len) hi = out_len;
+    const std::int32_t len = hi - lo;
+    std::size_t cnt = 0;
+    if (len > 0) {
+      const std::size_t w = static_cast<std::uint32_t>(lo) >> 6;
+      const std::uint32_t sh = static_cast<std::uint32_t>(lo) & 63;
+      const std::uint64_t span =
+          (words[w] >> sh) | ((words[w + 1] << 1) << (63 - sh));
+      const std::uint64_t keep =
+          ~std::uint64_t{0} >> (64 - static_cast<std::uint32_t>(len));
+      cnt = static_cast<std::size_t>(std::popcount(span & keep));
+    }
+    macs += cnt;
+    skipped += cnt == 0 ? 1 : 0;
+  }
+}
+
+/// First index ≥ i whose offset is not below `bound` (offsets ascending,
+/// all < 2^31 — guaranteed by the caller). The compare mask of a sorted
+/// block is a prefix, so its popcount IS the advance distance: the OSRC
+/// sweep's two while-loops become one compare + popcount per 8 offsets.
+inline std::size_t advance_lt_avx2(const std::uint32_t* offsets,
+                                   std::size_t n, std::size_t i,
+                                   std::int32_t bound) {
+  const __m256i vb = _mm256_set1_epi32(bound);
+  while (i + 8 <= n) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(offsets + i));
+    const int below = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(vb, v)));
+    i += static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(below)));
+    if (below != 0xff) return i;
+  }
+  while (i < n && static_cast<std::int32_t>(offsets[i]) < bound) ++i;
+  return i;
+}
+
+}  // namespace sparsetrain::dataflow::detail

@@ -1,6 +1,7 @@
 #include "serve/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,6 +16,12 @@ class Parser {
   explicit Parser(std::string_view text) : text_(text) {}
 
   JsonValue parse_document() {
+    // Both caps turn pathological inputs into ordinary parse errors (an
+    // NDJSON error response) instead of resource exhaustion: the size cap
+    // bounds the multi-MiB-line case, the depth cap bounds the `[[[[…`
+    // recursion that would otherwise overflow the stack and abort.
+    ST_REQUIRE(text_.size() <= kMaxInput,
+               "json: input exceeds " + std::to_string(kMaxInput) + " bytes");
     skip_ws();
     JsonValue v = parse_value();
     skip_ws();
@@ -64,8 +71,18 @@ class Parser {
 
   JsonValue parse_value() {
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        if (++depth_ > kMaxDepth) fail("nesting too deep");
+        JsonValue v = parse_object();
+        --depth_;
+        return v;
+      }
+      case '[': {
+        if (++depth_ > kMaxDepth) fail("nesting too deep");
+        JsonValue v = parse_array();
+        --depth_;
+        return v;
+      }
       case '"': return JsonValue::make_string(parse_string());
       case 't':
         if (!consume_literal("true")) fail("bad literal");
@@ -184,27 +201,65 @@ class Parser {
   }
 
   JsonValue parse_number() {
+    // The RFC 8259 grammar, validated before strtod: -?(0|[1-9][0-9]*)
+    // (.[0-9]+)?([eE][+-]?[0-9]+)?. strtod alone is laxer ("+1", "01",
+    // "1.", ".5", "0x10", "inf" all convert) and would make the NDJSON
+    // dialect drift from every other JSON parser a client might use.
     const std::size_t start = pos_;
+    const auto digit_at = [this](std::size_t p) {
+      return p < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[p]));
+    };
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) {
+    if (!digit_at(pos_)) {
       pos_ = start;
-      fail("malformed number '" + token + "'");
+      fail("expected a value");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // a leading zero stands alone: "0", "0.5" — never "01"
+    } else {
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit_at(pos_)) {
+        pos_ = start;
+        fail("malformed number (expected digits after '.')");
+      }
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit_at(pos_)) {
+        pos_ = start;
+        fail("malformed number (expected exponent digits)");
+      }
+      while (digit_at(pos_)) ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double v = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(v)) {
+      // 1e999 overflows to ±inf, which the emitter could never round-trip.
+      pos_ = start;
+      fail("number out of range '" + token + "'");
     }
     return JsonValue::make_number(v);
   }
 
+  /// Grammar caps (see parse_document): generous for real request
+  /// traffic — the largest legitimate line is a DSE scenario list well
+  /// under 64 KiB — yet small enough that abuse degrades into an error
+  /// response.
+  static constexpr std::size_t kMaxInput = 1u << 20;  // 1 MiB per document
+  static constexpr int kMaxDepth = 64;                // nested containers
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

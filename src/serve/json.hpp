@@ -64,7 +64,11 @@ class JsonValue {
 };
 
 /// Parses exactly one JSON document (trailing whitespace allowed,
-/// trailing garbage is an error). Throws ContractError when malformed.
+/// trailing garbage is an error). Numbers follow the strict RFC 8259
+/// grammar (no "+1"/"01"/"1."/".5", no hex, no infinities), container
+/// nesting is capped at 64 levels and documents at 1 MiB — oversized or
+/// pathological inputs fail like any other malformed line, they never
+/// exhaust the process. Throws ContractError when malformed.
 JsonValue parse_json(std::string_view text);
 
 /// Escapes `s` for embedding in a JSON string literal (no quotes added).

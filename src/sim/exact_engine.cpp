@@ -11,15 +11,28 @@ namespace sparsetrain::sim {
 
 namespace {
 
-/// iy = oy·S + ky − P, or false when the row lies in padding.
-bool input_row_index(std::size_t oy, std::size_t ky,
-                     const dataflow::ConvGeometry& geo, std::size_t in_h,
-                     std::size_t& iy) {
-  const std::int64_t v = static_cast<std::int64_t>(oy * geo.stride + ky) -
-                         static_cast<std::int64_t>(geo.padding);
-  if (v < 0 || v >= static_cast<std::int64_t>(in_h)) return false;
-  iy = static_cast<std::size_t>(v);
-  return true;
+/// The contiguous ky range of output row oy whose input rows
+/// iy = oy·S + ky − P exist (are not padding), plus the iy of the first
+/// valid ky. iy is monotone in ky, so validity is one interval — the
+/// per-(channel, tap) padding test of the stage kernels collapses to a
+/// per-task range computation.
+struct KyRange {
+  std::size_t lo;   ///< first valid ky
+  std::size_t hi;   ///< one past the last valid ky (hi ≤ lo: none)
+  std::size_t iy0;  ///< input row of ky == lo (iy of ky k is iy0 + k − lo)
+};
+
+KyRange valid_ky_range(std::size_t oy, const dataflow::ConvGeometry& geo,
+                       std::size_t in_h) {
+  const std::int64_t base = static_cast<std::int64_t>(oy * geo.stride) -
+                            static_cast<std::int64_t>(geo.padding);
+  const std::int64_t lo = base < 0 ? -base : 0;
+  std::int64_t hi = static_cast<std::int64_t>(in_h) - base;
+  if (hi > static_cast<std::int64_t>(geo.kernel))
+    hi = static_cast<std::int64_t>(geo.kernel);
+  if (hi < lo) hi = lo;
+  return KyRange{static_cast<std::size_t>(lo), static_cast<std::size_t>(hi),
+                 static_cast<std::size_t>(base + lo)};
 }
 
 isa::RowBlock block_from(const dataflow::ConvGeometry& geo,
@@ -39,7 +52,7 @@ isa::RowBlock block_from(const dataflow::ConvGeometry& geo,
 /// within the first few tasks, after which evaluating a task performs no
 /// heap allocation at all (the zero-alloc contract of the hot path).
 struct TaskScratch {
-  BitMask mask;
+  std::vector<std::uint32_t> mask_prefix;  ///< masked GTA: prefix popcount
   std::vector<std::uint32_t> gta_oy;  ///< ky → source oy (kNoRow: padding)
 };
 
@@ -329,25 +342,36 @@ ExactStageResult ExactEngine::run_tasks(std::size_t task_count,
 namespace {
 
 /// Forward stage kernel: one task per output row (n, f, oy), C·K SRC ops.
+///
+/// The SRC cost of an op is a pure function of (input row, block) — it
+/// does not depend on the task's output channel f at all, so evaluating
+/// it inline would recompute each input row's cost F times per oy (and
+/// K more times across overlapping oy windows). run_forward instead
+/// precomputes one PeCost per physical input row (`row_costs`, N·C·IH
+/// entries) and the kernel folds table entries. The reducer consumes the
+/// identical PeCost sequence in the identical order, so every simulated
+/// field is byte-identical to the inline evaluation.
 struct ForwardKernel {
-  const CompressedRows& rows;
+  const PeCost* row_costs;
   const dataflow::ConvGeometry& geo;
   Shape in_shape;
   Shape out_shape;
-  isa::RowBlock b;
-  const PeExact& pe;
   std::size_t lanes;
 
   std::size_t operator()(std::size_t index, PeGroupReducer& red) const {
     const std::size_t oy = index % out_shape.h;
     const std::size_t n = index / (out_shape.h * geo.out_channels);
+    // iy = oy·S + ky − P is monotone in ky, so the valid taps form one
+    // contiguous ky range — resolve it once per task instead of testing
+    // every (c, ky) pair. Iteration order (c-major, ky ascending) and
+    // thus the reducer's fold are unchanged.
+    const auto [ky_lo, ky_hi, iy0] = valid_ky_range(oy, geo, in_shape.h);
+    const std::size_t taps = ky_hi - ky_lo;
     red.begin_task();
     for (std::size_t c = 0; c < geo.in_channels; ++c) {
-      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
-        std::size_t iy;
-        if (!input_row_index(oy, ky, geo, in_shape.h, iy)) continue;
-        red.add(
-            pe.run_src(rows.row((n * in_shape.c + c) * in_shape.h + iy), b));
+      const PeCost* cost = row_costs + (n * in_shape.c + c) * in_shape.h + iy0;
+      for (std::size_t t = 0; t < taps; ++t) {
+        red.add(cost[t]);
       }
     }
     return red.end_task();
@@ -356,6 +380,11 @@ struct ForwardKernel {
 
 /// GTA stage kernel: one task per dI row (n, c, iy), F·K MSRC ops
 /// scattering into it.
+///
+/// The task's mask is shared by all its ops, so it is lowered once per
+/// task into a prefix-popcount table (prefix[i] = allowed outputs before
+/// position i): each op's window queries become two loads and a subtract
+/// instead of a per-window word-funnel popcount, identical counts.
 struct GtaKernel {
   const CompressedRows& go_rows;
   const dataflow::ConvGeometry& geo;
@@ -363,8 +392,9 @@ struct GtaKernel {
   Shape in_shape;
   isa::RowBlock b;
   const PeExact& pe;
-  const BitMask& all_pass;
+  const std::uint32_t* all_pass_prefix;  ///< unmasked: prefix[i] = i
   const Tensor* prev_mask;
+  std::size_t wl;  ///< stage-constant weight-load cycles (hoisted)
   std::size_t lanes;
 
   std::size_t operator()(std::size_t index, PeGroupReducer& red) const {
@@ -372,10 +402,18 @@ struct GtaKernel {
     const std::size_t c = (index / in_shape.h) % geo.in_channels;
     const std::size_t n = index / (in_shape.h * geo.in_channels);
     TaskScratch& scratch = task_scratch();
-    const BitMask* mask = &all_pass;
+    const std::uint32_t* prefix = all_pass_prefix;
     if (prev_mask != nullptr) {
-      scratch.mask.assign_from_dense(prev_mask->row(n, c, iy));
-      mask = &scratch.mask;
+      const std::span<const float> dense = prev_mask->row(n, c, iy);
+      std::vector<std::uint32_t>& pre = scratch.mask_prefix;
+      pre.resize(dense.size() + 1);
+      std::uint32_t acc = 0;
+      for (std::size_t x = 0; x < dense.size(); ++x) {
+        pre[x] = acc;
+        acc += dense[x] != 0.0f ? 1u : 0u;
+      }
+      pre[dense.size()] = acc;
+      prefix = pre.data();
     }
     // oy·S + ky − P = iy → every (oy, ky) pair writing this row. The
     // mapping depends only on iy, so resolve it once per task instead of
@@ -398,7 +436,7 @@ struct GtaKernel {
       for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
         if (oy_of[ky] == kNoRow) continue;
         red.add(pe.run_msrc(
-            go_rows.row((n * out.c + f) * out.h + oy_of[ky]), *mask, b));
+            go_rows.row((n * out.c + f) * out.h + oy_of[ky]), prefix, b, wl));
       }
     }
     return red.end_task();
@@ -415,21 +453,28 @@ struct GtwKernel {
   Shape in;
   isa::RowBlock b;
   const PeExact& pe;
+  std::size_t wl;  ///< stage-constant weight-load cycles (hoisted)
   std::size_t lanes;
 
   std::size_t operator()(std::size_t index, PeGroupReducer& red) const {
     const std::size_t c = index % geo.in_channels;
     const std::size_t f = (index / geo.in_channels) % geo.out_channels;
     const std::size_t n = index / (geo.in_channels * geo.out_channels);
+    const std::size_t go_base = (n * out.c + f) * out.h;
+    const std::size_t in_base = (n * in.c + c) * in.h;
     red.begin_task();
     for (std::size_t oy = 0; oy < out.h; ++oy) {
-      const SparseRowView go = go_rows.row((n * out.c + f) * out.h + oy);
+      const SparseRowView go = go_rows.row(go_base + oy);
       if (go.empty()) continue;  // zero dO row: nothing scheduled
-      for (std::size_t ky = 0; ky < geo.kernel; ++ky) {
-        std::size_t iy;
-        if (!input_row_index(oy, ky, geo, in.h, iy)) continue;
-        red.add(
-            pe.run_osrc(in_rows.row((n * in.c + c) * in.h + iy), go, b));
+      // The dO chunk count depends only on this oy's row — reuse it for
+      // every kernel tap the row pairs with.
+      const std::size_t chunks = (go.nnz() + geo.kernel - 1) / geo.kernel;
+      // Valid taps are one contiguous ky range (see valid_ky_range); the
+      // op order per oy — ky ascending — is the same as the per-tap test.
+      const auto [ky_lo, ky_hi, iy0] = valid_ky_range(oy, geo, in.h);
+      for (std::size_t ky = ky_lo; ky < ky_hi; ++ky) {
+        red.add(pe.run_osrc(in_rows.row(in_base + iy0 + (ky - ky_lo)), go, b,
+                            wl, chunks));
       }
     }
     return red.end_task();
@@ -473,10 +518,22 @@ ExactStageResult ExactEngine::run_forward(
   const isa::RowBlock b =
       block_from(geo, in_shape.w, out_shape.w, isa::RowOpKind::SRC);
 
+  // Fill the per-input-row cost table the kernel folds (see
+  // ForwardKernel). The lease outlives run_tasks (which takes its own
+  // arena), so worker threads read a stable table; both arenas return to
+  // the pool afterwards and steady-state stages stay allocation-free.
+  ArenaLease lease = acquire_arena();
+  std::vector<PeCost>& costs = lease.arena->src_costs;
+  costs.resize(rows.rows());
+  const std::size_t wl = pe_.weight_load(b);
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    costs[r] = pe_.run_src(rows.row(r), b, wl);
+  }
+
   const std::size_t task_count =
       in_shape.n * geo.out_channels * out_shape.h;
-  const ForwardKernel kernel{rows,      geo, in_shape, out_shape,
-                             b,         pe_, geo.kernel};
+  const ForwardKernel kernel{costs.data(), geo, in_shape, out_shape,
+                             geo.kernel};
   return run_tasks(task_count, geo.in_channels * geo.kernel, kernel);
 }
 
@@ -495,16 +552,20 @@ ExactStageResult ExactEngine::run_gta(const RowSet& go_rows,
   const isa::RowBlock b =
       block_from(geo, out.w, input_shape.w, isa::RowOpKind::MSRC);
 
-  // The all-pass mask is one shared constant — every unmasked task reads
-  // it in place. Masked tasks rebuild their row's BitMask in per-thread
-  // scratch instead of copying offset lists around.
-  BitMask all_pass;
-  all_pass.assign_all(static_cast<std::uint32_t>(input_shape.w));
+  // The all-pass prefix (prefix[i] = i) is one shared constant — every
+  // unmasked task reads it in place. Masked tasks lower their row's mask
+  // into per-thread scratch (see GtaKernel).
+  std::vector<std::uint32_t> all_pass(input_shape.w + 1);
+  for (std::size_t i = 0; i < all_pass.size(); ++i) {
+    all_pass[i] = static_cast<std::uint32_t>(i);
+  }
 
   const std::size_t task_count =
       out.n * geo.in_channels * input_shape.h;
-  const GtaKernel kernel{go_rows, geo,       out,       input_shape, b,
-                         pe_,     all_pass,  prev_mask, geo.kernel};
+  const GtaKernel kernel{go_rows,     geo,       out,
+                         input_shape, b,         pe_,
+                         all_pass.data(), prev_mask, pe_.weight_load(b),
+                         geo.kernel};
   return run_tasks(task_count, geo.out_channels * geo.kernel, kernel);
 }
 
@@ -532,7 +593,9 @@ ExactStageResult ExactEngine::run_gtw(const RowSet& go_rows,
              ? 1
              : go_rows.nonempty_rows() * out.h * geo.kernel /
                    go_rows.rows());
-  const GtwKernel kernel{go_rows, in_rows, geo, out, in, b, pe_, geo.kernel};
+  const GtwKernel kernel{go_rows, in_rows, geo,      out,
+                         in,      b,       pe_,      pe_.weight_load(b),
+                         geo.kernel};
   return run_tasks(task_count, est_ops, kernel);
 }
 

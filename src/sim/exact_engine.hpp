@@ -165,6 +165,7 @@ class ExactEngine {
     std::vector<TileTotals> tile_totals;   ///< per-tile aggregates
     std::vector<std::size_t> loads;        ///< per-group schedule load
     std::vector<std::uint32_t> heap;       ///< d-ary heap of group ids
+    std::vector<PeCost> src_costs;         ///< forward: per-input-row cost
   };
 
   /// RAII lease of one arena from the engine's pool.

@@ -47,14 +47,30 @@ class PeExact {
  public:
   explicit PeExact(PeTiming timing = {}) : timing_(timing) {}
 
+  /// Weight-buffer preload cycles for `geo`'s kernel row. Constant per
+  /// stage (it depends only on the block), so the engine's tile kernels
+  /// hoist it out of their op loops and feed it back through the
+  /// `wl`-taking overloads below — the same arithmetic, folded once per
+  /// stage instead of paying an integer division on every row op.
+  std::size_t weight_load(const isa::RowBlock& geo) const {
+    return (geo.kernel + timing_.weight_port_width - 1) /
+           timing_.weight_port_width;
+  }
+
   /// SRC: sparse input row against a K-length kernel row.
   PeCost run_src(SparseRowView input, const isa::RowBlock& geo) const {
+    return run_src(input, geo, weight_load(geo));
+  }
+
+  /// SRC with the stage-constant weight-load cycles precomputed.
+  PeCost run_src(SparseRowView input, const isa::RowBlock& geo,
+                 std::size_t wl) const {
     const dataflow::RowOpWork w =
         dataflow::src_work(input, row_geometry(geo), geo.out_len);
     PeCost cost;
     cost.ingested = w.active_inputs;
     cost.macs = w.macs;
-    cost.cycles = weight_load(geo) + w.active_inputs + timing_.pipeline_drain;
+    cost.cycles = wl + w.active_inputs + timing_.pipeline_drain;
     return cost;
   }
 
@@ -62,12 +78,33 @@ class PeExact {
   /// window is masked are skipped by look-ahead (zero cycles).
   PeCost run_msrc(SparseRowView input, const BitMask& mask,
                   const isa::RowBlock& geo) const {
+    return run_msrc(input, mask, geo, weight_load(geo));
+  }
+
+  /// MSRC with the stage-constant weight-load cycles precomputed.
+  PeCost run_msrc(SparseRowView input, const BitMask& mask,
+                  const isa::RowBlock& geo, std::size_t wl) const {
     const dataflow::RowOpWork w =
         dataflow::msrc_work(input, mask, row_geometry(geo), geo.out_len);
     PeCost cost;
     cost.ingested = w.active_inputs;  // look-ahead makes skips free
     cost.macs = w.macs;
-    cost.cycles = weight_load(geo) + w.active_inputs + timing_.pipeline_drain;
+    cost.cycles = wl + w.active_inputs + timing_.pipeline_drain;
+    return cost;
+  }
+
+  /// MSRC against a prefix-popcount mask (see the dataflow overload):
+  /// the GTA stage builds one prefix per task and pays O(1) per window.
+  /// Costs are identical to the BitMask overloads for the same mask.
+  PeCost run_msrc(SparseRowView input, const std::uint32_t* mask_prefix,
+                  const isa::RowBlock& geo, std::size_t wl) const {
+    const dataflow::RowOpWork w =
+        dataflow::msrc_work(input, mask_prefix, row_geometry(geo),
+                            geo.out_len);
+    PeCost cost;
+    cost.ingested = w.active_inputs;  // look-ahead makes skips free
+    cost.macs = w.macs;
+    cost.cycles = wl + w.active_inputs + timing_.pipeline_drain;
     return cost;
   }
 
@@ -82,19 +119,27 @@ class PeExact {
   /// is streamed once per chunk.
   PeCost run_osrc(SparseRowView input_acts, SparseRowView grad_out,
                   const isa::RowBlock& geo) const {
+    const std::size_t chunks =
+        grad_out.nnz() == 0
+            ? 0
+            : (grad_out.nnz() + geo.kernel - 1) / geo.kernel;
+    return run_osrc(input_acts, grad_out, geo, weight_load(geo), chunks);
+  }
+
+  /// OSRC with the weight load and the dO chunk count precomputed: the
+  /// chunk count depends only on grad_out, so the GTW kernel reuses it
+  /// across every kernel tap the same dO row pairs with.
+  PeCost run_osrc(SparseRowView input_acts, SparseRowView grad_out,
+                  const isa::RowBlock& geo, std::size_t wl,
+                  std::size_t chunks) const {
     const dataflow::RowOpWork w =
         dataflow::osrc_work(input_acts, grad_out, row_geometry(geo));
     PeCost cost;
     cost.macs = w.macs;
     // dO nonzeros are cached K at a time in Reg-1; each chunk streams every
     // I nonzero once past the scratchpad.
-    const std::size_t chunks =
-        grad_out.nnz() == 0
-            ? 0
-            : (grad_out.nnz() + geo.kernel - 1) / geo.kernel;
     cost.ingested = chunks * input_acts.nnz();
-    cost.cycles = chunks * (weight_load(geo) + input_acts.nnz()) +
-                  timing_.pipeline_drain;
+    cost.cycles = chunks * (wl + input_acts.nnz()) + timing_.pipeline_drain;
     return cost;
   }
 
@@ -105,11 +150,6 @@ class PeExact {
     geo.stride = block.stride;
     geo.padding = block.padding;
     return geo;
-  }
-
-  std::size_t weight_load(const isa::RowBlock& geo) const {
-    return (geo.kernel + timing_.weight_port_width - 1) /
-           timing_.weight_port_width;
   }
 
   PeTiming timing_;

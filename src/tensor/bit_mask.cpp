@@ -9,15 +9,18 @@ namespace sparsetrain {
 void BitMask::reset_words(std::uint32_t length) {
   length_ = length;
   const std::size_t n = (static_cast<std::size_t>(length) + 63) / 64;
-  words_.assign(n, 0);  // reuses capacity: no allocation once warm
+  // Two zero guard words past the payload (see word_data()) so windowed
+  // kernels read words [w, w+1] unconditionally for any w ≤ n.
+  words_.assign(n + 2, 0);  // reuses capacity: no allocation once warm
 }
 
 void BitMask::assign_all(std::uint32_t length) {
   reset_words(length);
   if (length == 0) return;
-  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  const std::size_t n = word_count();
+  std::fill(words_.begin(), words_.begin() + n, ~std::uint64_t{0});
   const std::uint32_t tail = length & 63;
-  if (tail != 0) words_.back() = (std::uint64_t{1} << tail) - 1;
+  if (tail != 0) words_[n - 1] = (std::uint64_t{1} << tail) - 1;
 }
 
 void BitMask::assign_none(std::uint32_t length) { reset_words(length); }
@@ -38,7 +41,7 @@ void BitMask::assign(const MaskRow& mask) {
 
 std::size_t BitMask::allowed() const {
   std::size_t n = 0;
-  for (const std::uint64_t w : words_) n += std::popcount(w);
+  for (const std::uint64_t w : words()) n += std::popcount(w);
   return n;
 }
 
@@ -50,6 +53,20 @@ double BitMask::density() const {
 std::size_t BitMask::count_in(std::uint32_t lo, std::uint32_t hi) const {
   hi = std::min(hi, length_);
   if (lo >= hi) return 0;
+  const std::uint32_t width = hi - lo;
+  if (width <= 64) {
+    // Narrow window (the MSRC case: width ≤ kernel ≤ 64): funnel the at
+    // most two straddled words into one and popcount once. The guard
+    // words make words_[w + 1] readable for every start word, and the
+    // double shift keeps the s == 0 case defined (shift counts stay
+    // ≤ 63).
+    const std::size_t w = lo >> 6;
+    const std::uint32_t s = lo & 63;
+    const std::uint64_t span =
+        (words_[w] >> s) | ((words_[w + 1] << 1) << (63 - s));
+    const std::uint64_t keep = ~std::uint64_t{0} >> (64 - width);
+    return static_cast<std::size_t>(std::popcount(span & keep));
+  }
   const std::size_t wlo = lo >> 6;
   const std::size_t whi = (hi - 1) >> 6;
   const std::uint64_t lo_keep = ~std::uint64_t{0} << (lo & 63);

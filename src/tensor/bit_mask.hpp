@@ -56,15 +56,30 @@ class BitMask {
   std::size_t count_in(std::uint32_t lo, std::uint32_t hi) const;
 
   /// Word-level access for word-skipping iteration (bits ≥ length() are
-  /// guaranteed zero).
-  std::span<const std::uint64_t> words() const { return words_; }
+  /// guaranteed zero). Excludes the guard words.
+  std::span<const std::uint64_t> words() const {
+    return std::span<const std::uint64_t>(words_.data(), word_count());
+  }
+
+  /// Number of payload words, ⌈length() / 64⌉.
+  std::size_t word_count() const {
+    return (static_cast<std::size_t>(length_) + 63) / 64;
+  }
+
+  /// Raw word pointer for windowed kernels. The storage always carries
+  /// two zero guard words past word_count(), so a two-word window read
+  /// words[w], words[w + 1] is in-bounds for every w ≤ word_count() —
+  /// the AVX2 MSRC kernel gathers both window words branch-free even
+  /// when a clamped window starts exactly at length(). Never null once
+  /// assigned (zero-length masks still hold the guards).
+  const std::uint64_t* word_data() const { return words_.data(); }
 
  private:
-  /// Sizes the word array for `length` bits, zero-filled.
+  /// Sizes the word array for `length` bits plus guards, zero-filled.
   void reset_words(std::uint32_t length);
 
   std::uint32_t length_ = 0;
-  std::vector<std::uint64_t> words_;
+  std::vector<std::uint64_t> words_;  ///< word_count() payload + 2 guards
 };
 
 /// Value-returning conveniences (tests, reference paths).

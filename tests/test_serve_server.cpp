@@ -59,6 +59,54 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_THROW(serve::parse_json("01x"), ContractError);
 }
 
+TEST(Json, NumbersFollowTheStrictGrammar) {
+  EXPECT_EQ(serve::parse_json("0").as_number(), 0.0);
+  EXPECT_EQ(serve::parse_json("-0.5").as_number(), -0.5);
+  EXPECT_EQ(serve::parse_json("1e3").as_number(), 1000.0);
+  EXPECT_EQ(serve::parse_json("1E+3").as_number(), 1000.0);
+  EXPECT_EQ(serve::parse_json("1.25e-2").as_number(), 0.0125);
+  EXPECT_EQ(serve::parse_json("123456789").as_number(), 123456789.0);
+
+  // strtod would happily convert every one of these; RFC 8259 does not.
+  for (const char* bad :
+       {"+1", "01", "1.", ".5", "-", "-.", "1e", "1e+", "1e-", "0x10",
+        "NaN", "nan", "inf", "Infinity", "--1", "1..2", "1.e3"}) {
+    EXPECT_THROW(serve::parse_json(bad), ContractError) << bad;
+  }
+  // Grammar-valid but unrepresentable: overflows to infinity, which the
+  // emitter could never round-trip. Rejected, not silently clamped.
+  EXPECT_THROW(serve::parse_json("1e999"), ContractError);
+  EXPECT_THROW(serve::parse_json("-1e999"), ContractError);
+  // Underflow to (sub)normal zero is representable and fine.
+  EXPECT_EQ(serve::parse_json("1e-999").as_number(), 0.0);
+}
+
+TEST(Json, RejectsIncompleteEscapes) {
+  EXPECT_THROW(serve::parse_json("\"\\"), ContractError);
+  EXPECT_THROW(serve::parse_json("\"\\q\""), ContractError);
+  EXPECT_THROW(serve::parse_json("\"\\u12\""), ContractError);
+  EXPECT_THROW(serve::parse_json("\"\\u12g4\""), ContractError);
+  EXPECT_EQ(serve::parse_json("\"\\u0041\"").as_string(), "A");
+}
+
+TEST(Json, BoundsDepthAndInputSize) {
+  // Deep nesting fails as a parse error — never a stack overflow.
+  const std::string deep(100000, '[');
+  EXPECT_THROW(serve::parse_json(deep), ContractError);
+  std::string nested;
+  for (int i = 0; i < 60; ++i) nested += '[';
+  for (int i = 0; i < 60; ++i) nested += ']';
+  EXPECT_NO_THROW(serve::parse_json(nested));  // 60 < the 64-level cap
+
+  // Oversized documents are refused up front (1 MiB cap), including
+  // syntactically valid ones.
+  std::string big = "\"";
+  big.append((1u << 20) + 16, 'x');
+  big += '"';
+  EXPECT_THROW(serve::parse_json(big), ContractError);
+  EXPECT_NO_THROW(serve::parse_json('"' + std::string(1000, 'x') + '"'));
+}
+
 TEST(Protocol, RequestDefaultsAndValidation) {
   const Request r = serve::parse_request(kTinyEval);
   EXPECT_EQ(r.type, "eval");
@@ -141,6 +189,56 @@ TEST(Server, MalformedAndUnknownRequestsAnswerErrors) {
   EXPECT_EQ(bad_workload.id, "w");
   EXPECT_FALSE(bad_workload.error.empty());
   EXPECT_EQ(server.counters().errors, 3u);
+}
+
+TEST(Server, MalformedLineCorpusAlwaysAnswersAnError) {
+  // Every malformed NDJSON line — lax numbers, broken escapes, nesting
+  // bombs, oversized documents — must come back as an error response
+  // from the same process: the daemon survives arbitrary garbage.
+  Server server(tiny_server_options());
+  std::vector<std::string> corpus = {
+      "{oops",
+      "{\"a\":}",
+      "{} trailing garbage",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"half escape \\",
+      "\"short unicode \\u12\"",
+      "{\"type\":\"eval\",\"batch\":+1}",
+      "{\"type\":\"eval\",\"batch\":01}",
+      "{\"type\":\"eval\",\"batch\":1.}",
+      "{\"type\":\"eval\",\"batch\":.5}",
+      "{\"type\":\"eval\",\"batch\":-}",
+      "{\"type\":\"eval\",\"batch\":1e}",
+      "{\"type\":\"eval\",\"batch\":1e999}",
+      "[1,2,]",
+      "{\"a\":1,}",
+      "nul",
+      "tru",
+      std::string(100000, '['),                      // nesting bomb
+      "{\"pad\":\"" + std::string(1u << 21, 'x') + "\"}",  // > 1 MiB line
+  };
+  std::string stream;
+  for (const std::string& line : corpus) stream += line + "\n";
+  std::istringstream in(stream);
+  std::ostringstream out;
+  server.serve(in, out);
+
+  std::size_t errors = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    const Response r = serve::parse_response(line);
+    if (r.type == "bye") continue;  // the drain's sign-off, not an answer
+    EXPECT_EQ(r.status, "error") << line;
+    EXPECT_FALSE(r.error.empty()) << line;
+    ++errors;
+  }
+  EXPECT_EQ(errors, corpus.size());
+  EXPECT_EQ(server.counters().errors, corpus.size());
+
+  // And the server still works afterwards.
+  EXPECT_EQ(server.handle(kTinyEval).status, "ok");
 }
 
 TEST(Server, AdmissionRejectsWhenQueueFull) {
