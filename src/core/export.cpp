@@ -139,7 +139,11 @@ ServiceStats service_stats(const Session& session) {
 }
 
 void export_stats_json(const ServiceStats& s, std::ostream& out) {
-  out << "{\"schema\": \"sparsetrain.store_stats/v1\",\n"
+  // v2 adds the degradation fields (read_only, publish_failures,
+  // dropped_publishes, tmp_cleaned); v1 consumers that only read the
+  // original counters keep working, the schema tag tells them more is
+  // there.
+  out << "{\"schema\": \"sparsetrain.store_stats/v2\",\n"
       << " \"program_cache\": {\"hits\": " << s.cache.hits
       << ", \"misses\": " << s.cache.misses
       << ", \"lookups\": " << s.cache.lookups() << "},\n"
@@ -151,6 +155,10 @@ void export_stats_json(const ServiceStats& s, std::ostream& out) {
         << ", \"puts\": " << s.store.puts
         << ", \"evictions\": " << s.store.evictions
         << ", \"torn_skipped\": " << s.store.torn_skipped
+        << ", \"tmp_cleaned\": " << s.store.tmp_cleaned
+        << ", \"publish_failures\": " << s.store.publish_failures
+        << ", \"dropped_publishes\": " << s.store.dropped_publishes
+        << ", \"read_only\": " << (s.store.read_only ? "true" : "false")
         << ", \"entries\": " << s.store.entries
         << ", \"program_entries\": " << s.store.program_entries
         << ", \"bytes\": " << s.store.bytes << "}";

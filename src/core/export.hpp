@@ -40,7 +40,7 @@ struct ServiceStats {
 ServiceStats service_stats(const Session& session);
 
 /// The "store-stats" report: one JSON object (schema
-/// "sparsetrain.store_stats/v1") with the cache and store counters, so
+/// "sparsetrain.store_stats/v2") with the cache and store counters, so
 /// daemons and drivers export service health without log scraping.
 void export_stats_json(const ServiceStats& stats, std::ostream& out);
 

@@ -241,7 +241,10 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
                 cache_.get(*shared_net, *run_profile, run_copts);
             out->report = backend->run(*program, *shared_net, *run_profile,
                                        seed, exact);
-            if (store) {
+            // Publication is strictly best-effort: a store that degraded
+            // to read-only (sick disk) drops the put and the session
+            // keeps computing — serving never depends on persistence.
+            if (store && !store->read_only()) {
               store->put_result(fp, out->report);
               if (!store->contains_program(prog_fp)) {
                 store->put_program(

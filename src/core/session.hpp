@@ -58,8 +58,10 @@ struct SessionConfig {
   /// consults the store (a hit skips compilation AND simulation — the
   /// stored report is byte-identical to what the run would produce) and
   /// publishes its report after simulating, so results persist across
-  /// processes and users. Shared ownership: several sessions may point
-  /// at one store.
+  /// processes and users. Publication is best-effort: a store that has
+  /// degraded to read-only (persistent publish failures, e.g. a full
+  /// disk) drops the put and the evaluation still completes normally.
+  /// Shared ownership: several sessions may point at one store.
   std::shared_ptr<serve::ResultStore> store;
 
   SessionConfig();

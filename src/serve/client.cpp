@@ -1,19 +1,25 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "util/require.hpp"
 
-#ifndef _WIN32
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-#endif
-
 namespace sparsetrain::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+long ms_since(Clock::time_point start) {
+  return static_cast<long>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                               Clock::now() - start)
+                               .count());
+}
+
+}  // namespace
 
 std::string format_request(const Request& r) {
   std::ostringstream os;
@@ -33,74 +39,122 @@ std::string format_request(const Request& r) {
   return os.str();
 }
 
-#ifndef _WIN32
-
-Client::Client(const std::string& socket_path) {
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  ST_REQUIRE(fd_ >= 0, "client: cannot create a unix socket");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  ST_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
-             "client: socket path too long: " + socket_path);
-  std::strncpy(addr.sun_path, socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    ::close(fd_);
-    fd_ = -1;
-    ST_REQUIRE(false, "client: cannot connect to " + socket_path);
+Client::Client(const std::string& endpoint_spec, ClientOptions opts)
+    : ep_(parse_endpoint(endpoint_spec)), opts_(opts),
+      rng_(opts.backoff_seed) {
+  std::string error;
+  if (!ensure_connected(error) && opts_.retries <= 0) {
+    ST_REQUIRE(false, "client: cannot connect to " + ep_.describe() + ": " +
+                          error);
   }
-  file_ = ::fdopen(fd_, "r+");
-  if (file_ == nullptr) {
-    ::close(fd_);
-    fd_ = -1;
-    ST_REQUIRE(false, "client: fdopen failed for " + socket_path);
-  }
-}
-
-Client::~Client() {
-  if (file_ != nullptr) {
-    std::fclose(static_cast<FILE*>(file_));  // also closes fd_
-  } else if (fd_ >= 0) {
-    ::close(fd_);
-  }
-}
-
-std::string Client::request_raw(const std::string& json_line) {
-  FILE* f = static_cast<FILE*>(file_);
-  ST_REQUIRE(f != nullptr, "client: not connected");
-  const std::string out = json_line + "\n";
-  ST_REQUIRE(std::fputs(out.c_str(), f) != EOF && std::fflush(f) == 0,
-             "client: connection lost while sending");
-  char* buf = nullptr;
-  std::size_t cap = 0;
-  const ssize_t n = ::getline(&buf, &cap, f);
-  if (n <= 0) {
-    std::free(buf);
-    ST_REQUIRE(false, "client: connection closed before a response");
-  }
-  std::string line(buf, static_cast<std::size_t>(n));
-  std::free(buf);
-  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
-    line.pop_back();
-  }
-  return line;
-}
-
-#else  // _WIN32
-
-Client::Client(const std::string& socket_path) {
-  ST_REQUIRE(false, "client: unix sockets are unavailable on this platform ("
-                    + socket_path + ")");
+  // With retries configured an unreachable daemon is not fatal here —
+  // the first request() keeps trying (the daemon may be restarting).
 }
 
 Client::~Client() = default;
 
-std::string Client::request_raw(const std::string&) {
-  ST_REQUIRE(false, "client: not connected");
+bool Client::ensure_connected(std::string& error) {
+  if (conn_.valid()) return true;
+  conn_ = connect_endpoint(ep_, &error);
+  if (!conn_.valid()) return false;
+  ++stats_.connects;
+  if (stats_.connects > 1) ++stats_.reconnects;
+  return true;
 }
 
-#endif
+long Client::remaining_ms(long elapsed_ms) const {
+  if (opts_.deadline_ms <= 0) return 0;  // 0 = wait forever downstream
+  return std::max(1L, opts_.deadline_ms - elapsed_ms);
+}
+
+std::string Client::request_raw(const std::string& json_line) {
+  const Clock::time_point start = Clock::now();
+  long sleep_ms = opts_.backoff_base_ms;
+  std::string last_error = "no attempt made";
+  std::string rejected_line;  // last "rejected" response, returned when
+                              // retries run out
+
+  for (int attempt = 0;; ++attempt) {
+    const bool last = attempt >= opts_.retries;
+    std::string error;
+    bool retry_this = false;
+
+    if (!ensure_connected(error)) {
+      last_error = "cannot connect to " + ep_.describe() + ": " + error;
+      retry_this = true;
+    } else {
+      ++stats_.attempts;
+      if (!conn_.write_line(json_line)) {
+        last_error = "connection lost while sending";
+        conn_.close();
+        retry_this = true;
+      } else {
+        std::string line;
+        const Conn::ReadStatus st =
+            conn_.read_line(line, remaining_ms(ms_since(start)));
+        if (st == Conn::ReadStatus::Timeout) {
+          conn_.close();  // the late response would desync the stream
+          ST_REQUIRE(false, "client: deadline of " +
+                                std::to_string(opts_.deadline_ms) +
+                                " ms exceeded waiting for " +
+                                ep_.describe());
+        }
+        if (st != Conn::ReadStatus::Ok) {
+          last_error = "connection closed before a response";
+          conn_.close();
+          retry_this = true;
+        } else {
+          // An admission rejection is retryable by policy: the daemon is
+          // alive but briefly full, exactly what backoff is for.
+          bool rejected = false;
+          if (opts_.retry_rejected && !last) {
+            try {
+              rejected = parse_response(line).status == "rejected";
+            } catch (const std::exception&) {
+              rejected = false;  // unparseable: hand it to the caller
+            }
+          }
+          if (!rejected) return line;
+          rejected_line = line;
+          last_error = "request rejected (server overloaded)";
+          ++stats_.rejected_retries;
+          // Reconnect on the retry: a connection-cap rejection closed the
+          // socket server-side (a queue-full one didn't, but a fresh
+          // connect is correct for both).
+          conn_.close();
+          retry_this = true;
+        }
+      }
+    }
+
+    if (!retry_this || last) {
+      if (!rejected_line.empty()) return rejected_line;
+      ST_REQUIRE(false, "client: " + last_error + " (after " +
+                            std::to_string(attempt + 1) + " attempt(s) to " +
+                            ep_.describe() + ")");
+    }
+
+    // Exponential backoff with decorrelated jitter: each sleep is drawn
+    // from [base, 3 * previous], capped — growth without lockstep.
+    const double lo = static_cast<double>(opts_.backoff_base_ms);
+    const double hi = std::max(lo + 1.0, 3.0 * static_cast<double>(sleep_ms));
+    sleep_ms = std::min(opts_.backoff_cap_ms,
+                        static_cast<long>(rng_.uniform(lo, hi)));
+    if (opts_.deadline_ms > 0 &&
+        ms_since(start) + sleep_ms >= opts_.deadline_ms) {
+      ST_REQUIRE(false, "client: deadline of " +
+                            std::to_string(opts_.deadline_ms) +
+                            " ms exceeded retrying " + ep_.describe() +
+                            " (last failure: " + last_error + ")");
+    }
+    ++stats_.retries;
+    if (opts_.sleeper) {
+      opts_.sleeper(sleep_ms);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+  }
+}
 
 Response Client::request(const std::string& json_line) {
   return parse_response(request_raw(json_line));

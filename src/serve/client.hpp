@@ -1,29 +1,80 @@
 // Client side of the evaluation daemon.
 //
-// One Client = one connection to a daemon's unix socket; request() sends
-// one NDJSON line and blocks for the matching response line (the daemon
+// One Client = one connection to a daemon endpoint — a unix-socket path
+// or "host:port" for TCP (see serve::parse_endpoint); request() sends one
+// NDJSON line and blocks for the matching response line (the daemon
 // answers each connection's requests in order). Open several clients for
 // concurrent submissions — identical in-flight jobs coalesce server-side.
+//
+// Resilience: with `retries > 0` the client survives a daemon restart.
+// A failed connect, a dropped connection mid-exchange, or an admission
+// rejection ("rejected" status) is retried after an exponential backoff
+// with decorrelated jitter — each retry reconnects from scratch. This is
+// safe for eval requests because evaluations are idempotent: the daemon
+// keys work by the store fingerprint, so a retried request coalesces with
+// a surviving twin or is served from the store rather than recomputed.
+// `deadline_ms` bounds the whole exchange (connect + retries + response
+// wait); past it the client throws instead of retrying further. The
+// final attempt's "rejected" response, if any, is returned as-is so the
+// caller sees why.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+#include "util/rng.hpp"
 
 namespace sparsetrain::serve {
 
+struct ClientOptions {
+  /// Extra attempts after the first (0 = fail fast, the default).
+  int retries = 0;
+  /// Overall budget in ms for one request() call, covering connects,
+  /// backoff sleeps, and the response wait; 0 = no deadline.
+  long deadline_ms = 0;
+  /// Backoff: sleep_n = min(cap, uniform(base, 3 * sleep_{n-1})) —
+  /// exponential growth with decorrelated jitter, so a burst of clients
+  /// retrying against a restarting daemon spreads out instead of
+  /// stampeding in lockstep.
+  long backoff_base_ms = 25;
+  long backoff_cap_ms = 1000;
+  std::uint64_t backoff_seed = 0x5eed;
+  /// Retry "rejected" (admission-control) responses too, not just
+  /// transport failures.
+  bool retry_rejected = true;
+  /// Test seam: called with each backoff duration instead of sleeping.
+  std::function<void(long)> sleeper;
+};
+
 class Client {
  public:
-  /// Connects to the daemon at `socket_path`; throws ContractError when
-  /// the socket cannot be reached.
-  explicit Client(const std::string& socket_path);
+  /// Parses `endpoint_spec` and connects. With `retries == 0` an
+  /// unreachable daemon throws ContractError immediately (fail fast);
+  /// with retries the first request() keeps trying instead.
+  explicit Client(const std::string& endpoint_spec, ClientOptions opts = {});
   ~Client();
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
+  /// What the retry machinery actually did, for tests and diagnostics.
+  struct Stats {
+    std::uint64_t attempts = 0;          ///< request transmissions tried
+    std::uint64_t connects = 0;          ///< successful connects
+    std::uint64_t reconnects = 0;        ///< connects after the first
+    std::uint64_t retries = 0;           ///< backoff sleeps taken
+    std::uint64_t rejected_retries = 0;  ///< retries caused by "rejected"
+  };
+  const Stats& retry_stats() const { return stats_; }
+
+  bool connected() const { return conn_.valid(); }
+
   /// Sends one request line, returns the raw response line (no newline).
-  /// Throws ContractError when the connection drops mid-exchange.
+  /// Retries per ClientOptions; throws ContractError once retries and/or
+  /// the deadline are exhausted.
   std::string request_raw(const std::string& json_line);
 
   /// request_raw + parse_response.
@@ -36,8 +87,14 @@ class Client {
   Response shutdown();
 
  private:
-  int fd_ = -1;
-  void* file_ = nullptr;  ///< FILE* of the buffered duplex stream
+  bool ensure_connected(std::string& error);
+  long remaining_ms(long elapsed_ms) const;
+
+  Endpoint ep_;
+  ClientOptions opts_;
+  Conn conn_;
+  Stats stats_;
+  Rng rng_;
 };
 
 /// Formats `r` as one request line (inverse of parse_request for the

@@ -1,0 +1,159 @@
+#include "serve/io_hooks.hpp"
+
+#include <cerrno>
+#include <cstdio>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace sparsetrain::serve {
+
+std::FILE* IoHooks::open(const std::string& path, const char* mode) {
+  return std::fopen(path.c_str(), mode);
+}
+
+std::size_t IoHooks::write(std::FILE* f, const void* data, std::size_t n) {
+  return std::fwrite(data, 1, n, f);
+}
+
+int IoHooks::flush(std::FILE* f) { return std::fflush(f); }
+
+int IoHooks::sync(std::FILE* f) {
+#ifndef _WIN32
+  return ::fsync(::fileno(f));
+#else
+  (void)f;
+  return 0;  // no fsync on this platform; flush already happened
+#endif
+}
+
+int IoHooks::close(std::FILE* f) { return std::fclose(f); }
+
+int IoHooks::rename(const std::string& from, const std::string& to) {
+  return std::rename(from.c_str(), to.c_str());
+}
+
+int IoHooks::remove(const std::string& path) {
+  return std::remove(path.c_str());
+}
+
+bool IoHooks::read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+const std::shared_ptr<IoHooks>& IoHooks::real() {
+  static const std::shared_ptr<IoHooks> instance = std::make_shared<IoHooks>();
+  return instance;
+}
+
+// ------------------------------------------------------------- injection
+
+void FaultIoHooks::arm(Fault fault) {
+  std::lock_guard lock(mu_);
+  fault_ = fault;
+  ops_ = 0;
+}
+
+std::uint64_t FaultIoHooks::ops() const {
+  std::lock_guard lock(mu_);
+  return ops_;
+}
+
+bool FaultIoHooks::firing(const char* what) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t n = ++ops_;
+  if (fault_.crash_at != 0 && n == fault_.crash_at) {
+    throw InjectedCrash("injected crash at io op " + std::to_string(n) +
+                        " (" + what + ")");
+  }
+  const bool fail =
+      fault_.fail_at != 0 &&
+      (n == fault_.fail_at || (fault_.sticky && n > fault_.fail_at));
+  if (fail) errno = fault_.error;
+  return fail;
+}
+
+std::FILE* FaultIoHooks::open(const std::string& path, const char* mode) {
+  if (firing("open")) return nullptr;
+  return IoHooks::open(path, mode);
+}
+
+std::size_t FaultIoHooks::write(std::FILE* f, const void* data,
+                                std::size_t n) {
+  if (firing("write")) {
+    bool short_write;
+    int error;
+    {
+      std::lock_guard lock(mu_);
+      short_write = fault_.short_write;
+      error = fault_.error;
+    }
+    if (short_write && n > 1) {
+      // A torn write: half the bytes land, then the device gives out.
+      const std::size_t wrote = IoHooks::write(f, data, n / 2);
+      errno = error;
+      return wrote;
+    }
+    return 0;
+  }
+  return IoHooks::write(f, data, n);
+}
+
+int FaultIoHooks::flush(std::FILE* f) {
+  if (firing("flush")) return EOF;
+  return IoHooks::flush(f);
+}
+
+int FaultIoHooks::sync(std::FILE* f) {
+  if (firing("fsync")) return -1;
+  return IoHooks::sync(f);
+}
+
+int FaultIoHooks::close(std::FILE* f) {
+  bool fail = false;
+  try {
+    fail = firing("close");
+  } catch (...) {
+    // Even a simulated process death releases the stream — a real dead
+    // process frees its FILEs — so crash-matrix tests stay leak-free.
+    IoHooks::close(f);
+    throw;
+  }
+  if (fail) {
+    // The resource is always released — a failed fclose still frees the
+    // stream — so callers never leak on an injected close failure.
+    const int saved = errno;
+    IoHooks::close(f);
+    errno = saved;
+    return EOF;
+  }
+  return IoHooks::close(f);
+}
+
+int FaultIoHooks::rename(const std::string& from, const std::string& to) {
+  if (firing("rename")) return -1;
+  return IoHooks::rename(from, to);
+}
+
+int FaultIoHooks::remove(const std::string& path) {
+  if (firing("remove")) return -1;
+  return IoHooks::remove(path);
+}
+
+bool FaultIoHooks::read_file(const std::string& path, std::string& out) {
+  if (firing("read")) return false;
+  return IoHooks::read_file(path, out);
+}
+
+}  // namespace sparsetrain::serve

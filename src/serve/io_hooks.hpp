@@ -1,0 +1,104 @@
+// Fault-injection seam between the result store and the filesystem.
+//
+// Every mutating file operation ResultStore performs — open, write,
+// flush, fsync, close, rename, remove — plus whole-file reads goes
+// through exactly one virtual call on an IoHooks instance, so tests can
+// make any individual step fail (ENOSPC, EIO, a short write) or "crash"
+// the process at that step (throw InjectedCrash) and then assert the
+// store recovers. Production uses IoHooks::real(), which forwards to the
+// C stdio/POSIX calls unchanged.
+//
+// FaultIoHooks counts operations in call order (across all kinds) and
+// triggers on the Nth one, which makes exhaustive crash matrices trivial:
+// run one clean publication to learn its op count, then re-run it once
+// per op index with crash_at = that index.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace sparsetrain::serve {
+
+/// Thrown by FaultIoHooks to simulate the process dying at an exact I/O
+/// step. Never thrown by real I/O. Tests catch it at the call that would
+/// have killed the process, then reopen the store and assert recovery —
+/// so it deliberately does NOT derive from the store's error type (a
+/// crash must not be "handled" by the degradation path).
+class InjectedCrash : public std::runtime_error {
+ public:
+  explicit InjectedCrash(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Virtual seam over the file operations the store performs. Return
+/// conventions mirror the calls they wrap: open returns nullptr on
+/// failure, write returns the byte count written, flush/sync/close/
+/// rename/remove return 0 on success (errno holds the cause on failure),
+/// read_file returns false when the file cannot be read in full.
+class IoHooks {
+ public:
+  virtual ~IoHooks() = default;
+
+  virtual std::FILE* open(const std::string& path, const char* mode);
+  virtual std::size_t write(std::FILE* f, const void* data, std::size_t n);
+  virtual int flush(std::FILE* f);
+  /// fsync of the underlying descriptor — the store syncs a tmp record
+  /// before renaming it into place, so a published record is durable.
+  virtual int sync(std::FILE* f);
+  virtual int close(std::FILE* f);
+  virtual int rename(const std::string& from, const std::string& to);
+  virtual int remove(const std::string& path);
+  virtual bool read_file(const std::string& path, std::string& out);
+
+  /// The shared real-I/O instance (no faults, plain syscalls).
+  static const std::shared_ptr<IoHooks>& real();
+};
+
+/// Deterministic fault injection for tests. Operations are counted from
+/// the most recent arm() in call order; the configured fault fires on the
+/// Nth operation (1-based). A firing fault either fails the call with the
+/// configured errno (the real operation is still performed for close —
+/// the resource is always released — and skipped otherwise), performs a
+/// short write, or throws InjectedCrash *instead of* the operation.
+class FaultIoHooks : public IoHooks {
+ public:
+  struct Fault {
+    std::uint64_t fail_at = 0;   ///< fail op N with `error`; 0 = never
+    int error = EIO;             ///< errno for injected failures
+    bool sticky = false;         ///< keep failing every op from N on
+    bool short_write = false;    ///< fail writes by writing half the bytes
+    std::uint64_t crash_at = 0;  ///< throw InjectedCrash instead of op N
+  };
+
+  /// Installs `fault` and resets the operation counter, so store-open
+  /// bookkeeping (index scan, tmp cleanup) never shifts the indices of
+  /// the operation sequence under test.
+  void arm(Fault fault);
+
+  /// Operations observed since the last arm().
+  std::uint64_t ops() const;
+
+  std::FILE* open(const std::string& path, const char* mode) override;
+  std::size_t write(std::FILE* f, const void* data, std::size_t n) override;
+  int flush(std::FILE* f) override;
+  int sync(std::FILE* f) override;
+  int close(std::FILE* f) override;
+  int rename(const std::string& from, const std::string& to) override;
+  int remove(const std::string& path) override;
+  bool read_file(const std::string& path, std::string& out) override;
+
+ private:
+  /// Counts the op; throws on a crash point; returns true when the op
+  /// must fail (errno already set to the injected error).
+  bool firing(const char* what);
+
+  mutable std::mutex mu_;
+  Fault fault_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace sparsetrain::serve

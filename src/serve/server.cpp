@@ -6,20 +6,16 @@
 #include <sstream>
 #include <utility>
 
+#include <memory>
+#include <thread>
+#include <vector>
+
 #include "core/export.hpp"
 #include "isa/instruction.hpp"
 #include "util/require.hpp"
 
 #ifndef _WIN32
 #include <csignal>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-#include <thread>
-#include <vector>
 #endif
 
 namespace sparsetrain::serve {
@@ -268,7 +264,9 @@ Response Server::status_response(const Request& req) const {
      << ", \"store_hits\": " << c.store_hits
      << ", \"coalesced\": " << c.coalesced
      << ", \"errors\": " << c.errors << ", \"rejected\": " << c.rejected
-     << ", \"timeouts\": " << c.timeouts << "}";
+     << ", \"timeouts\": " << c.timeouts
+     << ", \"overloaded\": " << c.overloaded
+     << ", \"idle_closed\": " << c.idle_closed << "}";
   resp.payload_json = os.str();
   return resp;
 }
@@ -352,88 +350,148 @@ void Server::serve(std::istream& in, std::ostream& out) {
   write_line(bye_response(saw_shutdown ? shutdown_req : Request{}));
 }
 
+int Server::serve_listener(Listener& listener) {
 #ifndef _WIN32
-
-int Server::serve_unix_socket(const std::string& path) {
   std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  ST_REQUIRE(listen_fd >= 0, "serve: cannot create a unix socket");
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  ST_REQUIRE(path.size() < sizeof(addr.sun_path),
-             "serve: socket path too long: " + path);
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  ::unlink(path.c_str());
-  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd, 16) != 0) {
-    ::close(listen_fd);
-    ST_REQUIRE(false, "serve: cannot bind/listen on " + path);
-  }
+#endif
+  ST_REQUIRE(listener.valid(), "serve: listener is not listening");
 
+  // One thread per connection. All bookkeeping below (creation, reaping,
+  // the final join) happens on the accept thread; a handler thread only
+  // touches its own slot's conn and done flag, plus — on shutdown — the
+  // other conns' thread-safe shutdown().
+  struct ConnSlot {
+    Conn conn;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
   std::mutex conns_mu;
-  std::vector<int> conn_fds;  // open connections, for shutdown kicks
+  std::vector<std::shared_ptr<ConnSlot>> conns;  // guarded by conns_mu
   std::atomic<bool> stop{false};
-  std::vector<std::thread> threads;
+  std::atomic<std::size_t> active{0};
 
-  while (!stop.load()) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) break;  // listener shut down
+  const auto reap_finished = [&]() {
+    std::vector<std::shared_ptr<ConnSlot>> finished;
     {
       std::lock_guard<std::mutex> lock(conns_mu);
-      conn_fds.push_back(fd);
-    }
-    threads.emplace_back([this, fd, listen_fd, &stop, &conns_mu,
-                          &conn_fds]() {
-      FILE* f = ::fdopen(fd, "r+");
-      if (f == nullptr) {
-        ::close(fd);
-        return;
-      }
-      char* buf = nullptr;
-      std::size_t cap = 0;
-      ssize_t n = 0;
-      while ((n = ::getline(&buf, &cap, f)) > 0) {
-        std::string line(buf, static_cast<std::size_t>(n));
-        while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
-          line.pop_back();
+      auto it = conns.begin();
+      while (it != conns.end()) {
+        if ((*it)->done.load()) {
+          finished.push_back(*it);
+          it = conns.erase(it);
+        } else {
+          ++it;
         }
-        if (line.empty()) continue;
+      }
+    }
+    for (const auto& slot : finished) {
+      if (slot->thread.joinable()) slot->thread.join();
+    }
+  };
+
+  while (!stop.load()) {
+    Conn conn = listener.accept();
+    // accept() already retried every transient failure; an invalid Conn
+    // means shutdown() fired or the listener itself is broken.
+    if (!conn.valid()) break;
+    reap_finished();  // bound the slot list by the live connection count
+    if (opts_.max_connections > 0 && active.load() >= opts_.max_connections) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.overloaded;
+      }
+      Response rej;
+      rej.status = "rejected";
+      rej.error = "overloaded: " + std::to_string(opts_.max_connections) +
+                  " connections already open, try again later";
+      conn.write_line(format_response(rej));
+      continue;  // conn closes on scope exit — an explicit no, not a hang
+    }
+    auto slot = std::make_shared<ConnSlot>();
+    slot->conn = std::move(conn);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conns.push_back(slot);
+    }
+    ++active;
+    // Raw pointer into the slot: the accept thread keeps the shared_ptr
+    // alive until after join (a shared_ptr capture would make the slot's
+    // own thread keep the slot alive — a cycle that never frees).
+    ConnSlot* s = slot.get();
+    slot->thread = std::thread([this, s, &listener, &stop, &conns_mu,
+                                &conns, &active]() {
+      std::string line;
+      for (;;) {
+        const Conn::ReadStatus st =
+            s->conn.read_line(line, opts_.idle_timeout_ms);
+        if (st == Conn::ReadStatus::Timeout) {
+          {
+            std::lock_guard<std::mutex> lock(counters_mu_);
+            ++counters_.idle_closed;
+          }
+          Response err;
+          err.status = "error";
+          err.error = "idle timeout: no request for " +
+                      std::to_string(opts_.idle_timeout_ms) +
+                      " ms, closing connection";
+          s->conn.write_line(format_response(err));
+          break;
+        }
+        if (st != Conn::ReadStatus::Ok) break;  // Eof / transport error
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
         const Response resp = handle(line);
-        const std::string out = format_response(resp) + "\n";
-        if (std::fputs(out.c_str(), f) == EOF) break;
-        std::fflush(f);
+        if (!s->conn.write_line(format_response(resp))) break;
         if (resp.type == "bye") {
           // Shutdown: stop accepting and kick every other connection so
           // their reader loops end and the daemon can drain.
           stop.store(true);
-          ::shutdown(listen_fd, SHUT_RDWR);
+          listener.shutdown();
           std::lock_guard<std::mutex> lock(conns_mu);
-          for (const int other : conn_fds) {
-            if (other != fd) ::shutdown(other, SHUT_RDWR);
+          for (const auto& other : conns) {
+            if (other.get() != s) other->conn.shutdown();
           }
           break;
         }
       }
-      std::free(buf);
-      std::fclose(f);  // also closes fd
+      // Half-close only — the fd is closed by the slot's destructor on
+      // the accept thread after join, so a late shutdown() kick can
+      // never race a concurrent close.
+      s->conn.shutdown();
+      --active;
+      s->done.store(true);
     });
   }
 
-  for (auto& t : threads) t.join();
-  ::close(listen_fd);
-  ::unlink(path.c_str());
+  // Kick any connection still blocked in a read (idempotent after the
+  // bye kick), then join everything.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    for (const auto& slot : conns) slot->conn.shutdown();
+  }
+  std::vector<std::shared_ptr<ConnSlot>> remaining;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    remaining.swap(conns);
+  }
+  for (const auto& slot : remaining) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  listener.close();
   eval_pool_.wait_idle();
   return 0;
 }
 
-#else  // _WIN32
-
 int Server::serve_unix_socket(const std::string& path) {
-  ST_REQUIRE(false, "serve: unix sockets are unavailable on this platform ("
-                    + path + ")");
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::Unix;
+  ep.path = path;
+  Listener listener = Listener::listen(ep);
+  return serve_listener(listener);
 }
 
-#endif
+int Server::serve_endpoint(const std::string& spec) {
+  Listener listener = Listener::listen(spec);
+  return serve_listener(listener);
+}
 
 }  // namespace sparsetrain::serve

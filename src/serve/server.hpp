@@ -20,9 +20,14 @@
 // retry is a store hit.
 //
 // Transport is pluggable: serve(in, out) speaks over any stream pair
-// (the CLI uses stdin/stdout), serve_unix_socket(path) accepts local
-// socket connections, and handle(line) answers one request synchronously
-// for in-process use and tests.
+// (the CLI uses stdin/stdout), serve_listener(listener) accepts
+// connections from any serve::Listener — AF_UNIX via serve_unix_socket,
+// TCP or unix via serve_endpoint — and handle(line) answers one request
+// synchronously for in-process use and tests. Socket serving defends
+// itself: transient accept failures are retried, connections past
+// `max_connections` get an explicit "rejected" response instead of a
+// silent hang, and a connection idle past `idle_timeout_ms` is told so
+// and closed (slow or vanished clients cannot pin threads forever).
 #pragma once
 
 #include <atomic>
@@ -37,6 +42,7 @@
 
 #include "core/session.hpp"
 #include "serve/protocol.hpp"
+#include "serve/transport.hpp"
 #include "util/thread_pool.hpp"
 
 namespace sparsetrain::serve {
@@ -56,6 +62,12 @@ struct ServerOptions {
   /// Max evaluations admitted at once; further evals are rejected.
   std::size_t max_queue = 64;
   long default_timeout_ms = 0;  ///< 0 = wait forever
+  /// Socket serving only: connections above this count are answered with
+  /// one "rejected" line and closed (0 = unlimited).
+  std::size_t max_connections = 64;
+  /// Socket serving only: a connection that sends no complete request
+  /// line for this long is told "idle timeout" and closed (0 = never).
+  long idle_timeout_ms = 0;
   /// Test seam: runs in the evaluator thread right before the session
   /// submit (e.g. to hold an evaluation open while coalescers arrive).
   std::function<void()> before_eval;
@@ -82,6 +94,8 @@ class Server {
     std::uint64_t errors = 0;     ///< malformed / failed requests
     std::uint64_t rejected = 0;   ///< admission-control rejections
     std::uint64_t timeouts = 0;   ///< requester gave up waiting
+    std::uint64_t overloaded = 0; ///< connections refused at the cap
+    std::uint64_t idle_closed = 0;///< connections closed by idle timeout
   };
   Counters counters() const;
 
@@ -100,10 +114,19 @@ class Server {
   /// drained and the final "bye" line was written.
   void serve(std::istream& in, std::ostream& out);
 
-  /// Listens on a unix-domain socket, one NDJSON loop per connection
-  /// (each in its own thread). Returns 0 after a clean shutdown-drain;
-  /// throws ContractError when the socket cannot be created.
+  /// Accepts connections from `listener`, one NDJSON loop per connection
+  /// (each in its own thread). Returns 0 after a clean shutdown-drain: a
+  /// "shutdown" request answers "bye", stops the listener, and kicks the
+  /// remaining connections.
+  int serve_listener(Listener& listener);
+
+  /// Listens on a unix-domain socket. Throws ContractError (with the
+  /// errno text) when the socket cannot be created or bound.
   int serve_unix_socket(const std::string& path);
+
+  /// Listens on an endpoint spec — "host:port" for TCP, anything else a
+  /// unix path (see parse_endpoint). Same contract as serve_unix_socket.
+  int serve_endpoint(const std::string& spec);
 
  private:
   struct EvalOutcome {

@@ -1,15 +1,16 @@
 #include "serve/store.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "serve/report_io.hpp"
 #include "util/hash.hpp"
 #include "util/require.hpp"
+#include "util/syscall.hpp"
 
 namespace sparsetrain::serve {
 
@@ -79,10 +80,34 @@ bool parse_program_meta(std::string_view payload, ProgramMeta& out) {
   return true;
 }
 
+/// Releases the FILE* on every exit path — including an InjectedCrash
+/// unwinding out of a hooked write — so a publication that "dies"
+/// mid-step never leaks the stream. The unwind path closes with plain
+/// fclose (not the hooks) so cleanup cannot itself fault or shift the
+/// injected op sequence.
+class FileGuard {
+ public:
+  explicit FileGuard(std::FILE* f) : f_(f) {}
+  ~FileGuard() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  FileGuard(const FileGuard&) = delete;
+  FileGuard& operator=(const FileGuard&) = delete;
+  std::FILE* release() {
+    std::FILE* f = f_;
+    f_ = nullptr;
+    return f;
+  }
+
+ private:
+  std::FILE* f_;
+};
+
 }  // namespace
 
 ResultStore::ResultStore(std::string dir, StoreOptions opts)
-    : dir_(std::move(dir)), opts_(opts) {
+    : dir_(std::move(dir)), opts_(opts),
+      io_(opts.hooks ? opts.hooks : IoHooks::real()) {
   ST_REQUIRE(!dir_.empty(), "result store needs a directory");
   std::error_code ec;
   fs::create_directories(fs::path(dir_) / "results", ec);
@@ -94,6 +119,7 @@ ResultStore::ResultStore(std::string dir, StoreOptions opts)
   fs::create_directories(fs::path(dir_) / "tmp", ec);
   ST_REQUIRE(!ec, "cannot create store directory '" + dir_ + "': " +
                       ec.message());
+  clean_tmp();
   scan_dir("results", "result");
   scan_dir("programs", "program");
 }
@@ -104,6 +130,18 @@ std::string ResultStore::result_path(std::uint64_t fp) const {
 
 std::string ResultStore::program_path(std::uint64_t fp) const {
   return (fs::path(dir_) / "programs" / (hex16(fp) + ".rec")).string();
+}
+
+void ResultStore::clean_tmp() {
+  // Anything under tmp/ is a publication that never reached its rename —
+  // a crash mid-write. The record it was replacing (if any) is still
+  // intact under results/, so stale tmp files are pure garbage.
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(fs::path(dir_) / "tmp", ec)) {
+    std::error_code rm;
+    fs::remove(de.path(), rm);
+    if (!rm) ++stats_.tmp_cleaned;
+  }
 }
 
 void ResultStore::scan_dir(const char* subdir, const char* kind) {
@@ -152,42 +190,61 @@ void ResultStore::scan_dir(const char* subdir, const char* kind) {
 std::uint64_t ResultStore::publish(const std::string& final_path,
                                    const char* kind, std::uint64_t fp,
                                    const std::string& payload) {
-  // Header + payload to a unique tmp file, then atomic rename: a reader
-  // either sees the whole record or no record.
+  // Header + payload to a unique tmp file — every step checked, fsync
+  // before the rename — then atomic rename: a reader either sees the
+  // whole durable record or no record, and a torn tmp file is never
+  // renamed into place. Any failed step throws StoreIoError with the tmp
+  // removed; an InjectedCrash propagates with the tmp left behind for
+  // clean_tmp() at the next open, exactly like a real process death.
   std::ostringstream header;
   header << kMagic << ' ' << kind << ' ' << hex16(fp) << ' '
          << payload.size() << ' ' << hex16(fnv1a(payload)) << '\n';
+  const std::string h = header.str();
   const std::string tmp =
       (fs::path(dir_) / "tmp" /
        (hex16(fp) + "." + std::to_string(++tmp_counter_) + ".tmp"))
           .string();
+  auto fail = [&](const std::string& step) -> StoreIoError {
+    const std::string cause = util::errno_text(errno);
+    std::remove(tmp.c_str());  // best effort; clean_tmp() catches leftovers
+    return StoreIoError(step + " '" + tmp + "': " + cause);
+  };
+  std::FILE* raw = io_->open(tmp, "wb");
+  if (raw == nullptr) throw fail("cannot open");
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    ST_REQUIRE(static_cast<bool>(out), "cannot write '" + tmp + "'");
-    const std::string h = header.str();
-    out.write(h.data(), static_cast<std::streamsize>(h.size()));
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    out.flush();
-    ST_REQUIRE(static_cast<bool>(out), "short write to '" + tmp + "'");
+    FileGuard guard(raw);
+    if (io_->write(raw, h.data(), h.size()) != h.size()) {
+      throw fail("short write to");
+    }
+    if (!payload.empty() &&
+        io_->write(raw, payload.data(), payload.size()) != payload.size()) {
+      throw fail("short write to");
+    }
+    if (io_->flush(raw) != 0) throw fail("cannot flush");
+    if (io_->sync(raw) != 0) throw fail("cannot fsync");
+    if (io_->close(guard.release()) != 0) throw fail("cannot close");
   }
-  std::error_code ec;
-  fs::rename(tmp, final_path, ec);
-  if (ec) {
-    std::error_code rm;
-    fs::remove(tmp, rm);
-    ST_REQUIRE(false, "cannot publish store record '" + final_path +
-                          "': " + ec.message());
+  if (io_->rename(tmp, final_path) != 0) {
+    throw fail("cannot publish");
   }
   return payload.size();
+}
+
+void ResultStore::note_publish_failure(const std::string& cause) {
+  ++stats_.publish_failures;
+  last_publish_error_ = cause;
+  ++consecutive_publish_failures_;
+  if (opts_.read_only_after > 0 &&
+      consecutive_publish_failures_ >= opts_.read_only_after) {
+    read_only_ = true;
+  }
 }
 
 bool ResultStore::read_record(const std::string& path, const char* kind,
                               std::uint64_t fp,
                               std::string& payload_out) const {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
+  std::string content;
+  if (!io_->read_file(path, content)) return false;
   const std::size_t eol = content.find('\n');
   if (eol == std::string::npos) return false;
   std::istringstream hdr(content.substr(0, eol));
@@ -236,17 +293,28 @@ bool ResultStore::get_result(std::uint64_t fp, sim::SimReport& out) {
   return true;
 }
 
-void ResultStore::put_result(std::uint64_t fp, const sim::SimReport& report) {
+bool ResultStore::put_result(std::uint64_t fp, const sim::SimReport& report) {
   const std::string payload = serialize_report(report);
   std::lock_guard lock(mu_);
-  const std::uint64_t bytes =
-      publish(result_path(fp), "result", fp, payload);
+  if (read_only_) {
+    ++stats_.dropped_publishes;
+    return false;
+  }
+  std::uint64_t bytes = 0;
+  try {
+    bytes = publish(result_path(fp), "result", fp, payload);
+  } catch (const StoreIoError& e) {
+    note_publish_failure(e.what());
+    return false;
+  }
+  consecutive_publish_failures_ = 0;
   auto& entry = results_[fp];
   bytes_ += bytes - entry.bytes;  // overwrite replaces the old payload
   entry.bytes = bytes;
   entry.seq = next_seq_++;
   ++stats_.puts;
   if (opts_.max_bytes > 0) evict_over_cap(fp);
+  return true;
 }
 
 void ResultStore::evict_over_cap(std::uint64_t keep_fp) {
@@ -259,8 +327,7 @@ void ResultStore::evict_over_cap(std::uint64_t keep_fp) {
       }
     }
     if (victim == results_.end()) break;
-    std::error_code ec;
-    fs::remove(result_path(victim->first), ec);
+    io_->remove(result_path(victim->first));  // failure: reopen reindexes it
     bytes_ -= victim->second.bytes;
     results_.erase(victim);
     ++stats_.evictions;
@@ -281,12 +348,23 @@ bool ResultStore::get_program(std::uint64_t fp, ProgramMeta& out) {
   return true;
 }
 
-void ResultStore::put_program(std::uint64_t fp, const ProgramMeta& meta) {
+bool ResultStore::put_program(std::uint64_t fp, const ProgramMeta& meta) {
   const std::string payload = serialize_program_meta(meta);
   std::lock_guard lock(mu_);
-  const std::uint64_t bytes =
-      publish(program_path(fp), "program", fp, payload);
+  if (read_only_) {
+    ++stats_.dropped_publishes;
+    return false;
+  }
+  std::uint64_t bytes = 0;
+  try {
+    bytes = publish(program_path(fp), "program", fp, payload);
+  } catch (const StoreIoError& e) {
+    note_publish_failure(e.what());
+    return false;
+  }
+  consecutive_publish_failures_ = 0;
   programs_[fp] = Entry{bytes, next_seq_++};
+  return true;
 }
 
 bool ResultStore::contains_result(std::uint64_t fp) const {
@@ -299,9 +377,20 @@ bool ResultStore::contains_program(std::uint64_t fp) const {
   return programs_.count(fp) != 0;
 }
 
+bool ResultStore::read_only() const {
+  std::lock_guard lock(mu_);
+  return read_only_;
+}
+
+std::string ResultStore::last_publish_error() const {
+  std::lock_guard lock(mu_);
+  return last_publish_error_;
+}
+
 StoreStats ResultStore::stats() const {
   std::lock_guard lock(mu_);
   StoreStats s = stats_;
+  s.read_only = read_only_;
   s.entries = results_.size();
   s.program_entries = programs_.size();
   s.bytes = bytes_;

@@ -9,12 +9,25 @@
 //
 // Layout: one record per file under <dir>/results and <dir>/programs,
 // named by the fingerprint hex. Records carry a versioned header with the
-// payload length and checksum; they are written to <dir>/tmp and
-// published by atomic rename, so readers (and other store instances on
-// the same directory) never observe a half-written record. open()
-// rebuilds the in-memory index by scanning the record directories;
-// torn/truncated/corrupt records are skipped (and removed) rather than
-// trusted — a crash mid-write costs at most the record being written.
+// payload length and checksum; they are written to <dir>/tmp — every
+// write/flush checked, fsync'd before publication — and published by
+// atomic rename, so readers (and other store instances on the same
+// directory) never observe a half-written record and a torn tmp file is
+// never renamed into place. open() rebuilds the in-memory index by
+// scanning the record directories; torn/truncated/corrupt records are
+// skipped (and removed) rather than trusted, and stale tmp files left by
+// a crash mid-publication are cleaned up — a crash at any point costs at
+// most the record being written.
+//
+// Fault tolerance: all file I/O goes through an injectable serve::IoHooks
+// seam (StoreOptions::hooks), so tests can fail or kill any individual
+// step. A failed publication NEVER throws out of put_result/put_program —
+// the put reports failure, and after `read_only_after` consecutive
+// publication failures (a sick disk, not a one-off) the store degrades to
+// read-only: gets keep serving, puts are dropped and counted, and the
+// read_only flag is exported through stats() so operators see it. The
+// attached Session keeps computing either way — serving never dies
+// because the disk did.
 //
 // Eviction: when `max_bytes > 0`, publishing a result evicts
 // least-recently-used result records until the resident payload size is
@@ -32,18 +45,35 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 
 #include "isa/instruction.hpp"
+#include "serve/io_hooks.hpp"
 #include "sim/report.hpp"
 
 namespace sparsetrain::serve {
 
+/// Internal signal that one publication step failed (carries the step and
+/// errno text). Never escapes put_result/put_program — it is what the
+/// degradation path catches. Distinct from InjectedCrash, which simulates
+/// process death and must propagate.
+class StoreIoError : public std::runtime_error {
+ public:
+  explicit StoreIoError(const std::string& what) : std::runtime_error(what) {}
+};
+
 struct StoreOptions {
   /// Cap on the total result-payload bytes resident on disk; 0 = no cap.
   std::uint64_t max_bytes = 0;
+  /// Consecutive publication failures before the store flips read-only
+  /// (0 = never degrade, keep attempting every put).
+  int read_only_after = 3;
+  /// File-I/O seam; nullptr = real file I/O (IoHooks::real()).
+  std::shared_ptr<IoHooks> hooks;
 };
 
 /// Counter snapshot (process-lifetime for this instance, plus the
@@ -54,6 +84,10 @@ struct StoreStats {
   std::size_t puts = 0;          ///< result records published
   std::size_t evictions = 0;     ///< result records evicted by the cap
   std::size_t torn_skipped = 0;  ///< corrupt records skipped at open()
+  std::size_t tmp_cleaned = 0;   ///< stale tmp files removed at open()
+  std::size_t publish_failures = 0;   ///< failed publication attempts
+  std::size_t dropped_publishes = 0;  ///< puts dropped while read-only
+  bool read_only = false;        ///< store degraded: serving gets only
   std::size_t entries = 0;       ///< result records in the index
   std::size_t program_entries = 0;  ///< program-metadata records
   std::uint64_t bytes = 0;       ///< resident result payload bytes
@@ -78,7 +112,8 @@ struct ProgramMeta {
 
 class ResultStore {
  public:
-  /// Opens (creating directories as needed) and rebuilds the index.
+  /// Opens (creating directories as needed), cleans stale tmp files, and
+  /// rebuilds the index.
   explicit ResultStore(std::string dir, StoreOptions opts = {});
 
   ResultStore(const ResultStore&) = delete;
@@ -90,18 +125,29 @@ class ResultStore {
   /// an unreadable/corrupt record degrades to a miss.
   bool get_result(std::uint64_t fp, sim::SimReport& out);
 
-  /// Publishes `report` under `fp` (atomic rename), then applies the
-  /// eviction cap. Overwrites any previous record for `fp`.
-  void put_result(std::uint64_t fp, const sim::SimReport& report);
+  /// Publishes `report` under `fp` (checked write + fsync + atomic
+  /// rename), then applies the eviction cap. Overwrites any previous
+  /// record for `fp`. Returns false — without throwing — when the
+  /// publication failed or the store is read-only; the previous record
+  /// for `fp`, if any, stays intact and readable.
+  bool put_result(std::uint64_t fp, const sim::SimReport& report);
 
   bool get_program(std::uint64_t fp, ProgramMeta& out);
-  void put_program(std::uint64_t fp, const ProgramMeta& meta);
+  /// Same degradation contract as put_result.
+  bool put_program(std::uint64_t fp, const ProgramMeta& meta);
 
   /// True when a result record for `fp` is resident (no stat counted).
   bool contains_result(std::uint64_t fp) const;
 
   /// True when a program-metadata record for `fp` is resident.
   bool contains_program(std::uint64_t fp) const;
+
+  /// True once the store has degraded to read-only (see StoreOptions::
+  /// read_only_after). Reads keep working; puts are dropped.
+  bool read_only() const;
+
+  /// Cause of the most recent publication failure ("" when none).
+  std::string last_publish_error() const;
 
   StoreStats stats() const;
   void reset_stats();  ///< zeroes the counters; the index is untouched
@@ -114,22 +160,31 @@ class ResultStore {
 
   std::string result_path(std::uint64_t fp) const;
   std::string program_path(std::uint64_t fp) const;
-  /// Serialise + tmp-write + rename. Returns the payload size.
+  /// Serialise + tmp-write + fsync + rename. Returns the payload size;
+  /// throws StoreIoError (with the tmp file removed) on any failed step.
   std::uint64_t publish(const std::string& final_path, const char* kind,
                         std::uint64_t fp, const std::string& payload);
-  /// Validates a record file and returns its payload; empty optional when
-  /// the record is torn/corrupt/missing.
+  /// Records one publication failure; flips read-only after
+  /// `read_only_after` consecutive ones.
+  void note_publish_failure(const std::string& cause);
+  /// Validates a record file and returns its payload; false when the
+  /// record is torn/corrupt/missing.
   bool read_record(const std::string& path, const char* kind,
                    std::uint64_t fp, std::string& payload_out) const;
   void scan_dir(const char* subdir, const char* kind);
+  void clean_tmp();
   void evict_over_cap(std::uint64_t keep_fp);
 
   std::string dir_;
   StoreOptions opts_;
+  std::shared_ptr<IoHooks> io_;  ///< never null after construction
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Entry> results_;
   std::unordered_map<std::uint64_t, Entry> programs_;
   StoreStats stats_;
+  int consecutive_publish_failures_ = 0;
+  bool read_only_ = false;
+  std::string last_publish_error_;
   std::uint64_t bytes_ = 0;     ///< resident result payload bytes
   std::uint64_t next_seq_ = 1;  ///< LRU clock
   std::uint64_t tmp_counter_ = 0;

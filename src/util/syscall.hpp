@@ -1,0 +1,32 @@
+// Thin helpers over raw POSIX calls.
+//
+// util::retry_eintr wraps a syscall-shaped callable (returns a signed
+// count, sets errno) and retries it while it fails with EINTR — a signal
+// landing mid-read must never look like a transport failure. Every raw
+// ::read/::write/::accept in the serving stack goes through it.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace sparsetrain::util {
+
+/// Calls `fn` until it returns >= 0 or fails with an errno other than
+/// EINTR. Returns the last result (errno preserved on failure).
+template <typename Fn>
+auto retry_eintr(Fn&& fn) -> decltype(fn()) {
+  decltype(fn()) r;
+  do {
+    r = fn();
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+/// Human-readable errno text ("ENOSPC: No space left on device"-ish).
+inline std::string errno_text(int err) {
+  return std::string(std::strerror(err)) + " (errno " + std::to_string(err) +
+         ")";
+}
+
+}  // namespace sparsetrain::util

@@ -1,0 +1,274 @@
+// Store fault injection: the exhaustive crash matrix (killing publication
+// at every I/O step leaves the store openable with byte-identical replay),
+// checked-write failures (ENOSPC, EIO, short writes, fsync/rename
+// failures) that never corrupt the previous record, graceful degradation
+// to read-only after persistent publish failure, stale tmp cleanup, and a
+// core::Session that keeps computing while its store is sick.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/export.hpp"
+#include "core/session.hpp"
+#include "serve/io_hooks.hpp"
+#include "serve/report_io.hpp"
+#include "serve/store.hpp"
+#include "workload/layer_config.hpp"
+#include "workload/sparsity_profile.hpp"
+
+namespace sparsetrain {
+namespace {
+
+namespace fs = std::filesystem;
+
+using serve::FaultIoHooks;
+using serve::InjectedCrash;
+using serve::ResultStore;
+using serve::StoreOptions;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "sparsetrain_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+sim::SimReport report_with_cycles(std::uint64_t cycles) {
+  sim::SimReport r;
+  r.program_name = "prog";
+  r.arch_name = "sparsetrain-168pe";
+  r.backend = "sparsetrain";
+  r.profile_name = "pruned-p0.9";
+  r.engine = isa::EngineKind::Statistical;
+  r.clock_ghz = 1.0;
+  r.total_pes = 168;
+  r.total_cycles = cycles;
+  r.activity = {1, 2, 3, 4, 5};
+  r.energy = {1.0 / 3.0, 3.14159, 2.0 / 7.0, 1e-17};
+  return r;
+}
+
+StoreOptions with_hooks(const std::shared_ptr<FaultIoHooks>& hooks) {
+  StoreOptions opts;
+  opts.hooks = hooks;
+  return opts;
+}
+
+/// One clean publication's hooked-I/O op count — the crash matrix runs
+/// once per index in [1, N].
+std::uint64_t publication_op_count() {
+  const std::string dir = fresh_dir("faults_opcount");
+  auto hooks = std::make_shared<FaultIoHooks>();
+  ResultStore store(dir, with_hooks(hooks));
+  hooks->arm({});
+  EXPECT_TRUE(store.put_result(1, report_with_cycles(1)));
+  const std::uint64_t n = hooks->ops();
+  fs::remove_all(dir);
+  return n;
+}
+
+TEST(StoreFaults, PublicationOpCountCoversEveryStep) {
+  // open + 2 writes + flush + fsync + close + rename: the matrix below
+  // must cover at least these; if the publication path grows a step the
+  // count (and the matrix) follows automatically.
+  EXPECT_GE(publication_op_count(), 7u);
+}
+
+TEST(StoreFaults, CrashMatrixEveryStepRecoversByteIdentical) {
+  const std::uint64_t n = publication_op_count();
+  ASSERT_GE(n, 7u);
+  const sim::SimReport before = report_with_cycles(100);
+  const sim::SimReport after = report_with_cycles(200);
+  const std::string before_bytes = serve::serialize_report(before);
+  const std::string after_bytes = serve::serialize_report(after);
+
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    SCOPED_TRACE("crash at io op " + std::to_string(k));
+    const std::string dir = fresh_dir("faults_crash_" + std::to_string(k));
+    auto hooks = std::make_shared<FaultIoHooks>();
+    {
+      ResultStore store(dir, with_hooks(hooks));
+      ASSERT_TRUE(store.put_result(7, before));  // the record at risk
+      hooks->arm({.crash_at = k});
+      EXPECT_THROW(store.put_result(7, after), InjectedCrash);
+    }
+    // "Process death" at step k: reopen and the previous record must
+    // replay byte-identically — the torn publication never made it in.
+    hooks->arm({});
+    ResultStore reopened(dir, with_hooks(hooks));
+    EXPECT_EQ(reopened.stats().torn_skipped, 0u);
+    sim::SimReport out;
+    ASSERT_TRUE(reopened.get_result(7, out));
+    EXPECT_EQ(serve::serialize_report(out), before_bytes);
+    // The store stayed fully writable: the interrupted overwrite now
+    // lands.
+    EXPECT_FALSE(reopened.read_only());
+    EXPECT_TRUE(reopened.put_result(7, after));
+    ASSERT_TRUE(reopened.get_result(7, out));
+    EXPECT_EQ(serve::serialize_report(out), after_bytes);
+    fs::remove_all(dir);
+  }
+}
+
+TEST(StoreFaults, CrashOnFirstPublicationLeavesNoRecord) {
+  const std::uint64_t n = publication_op_count();
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    SCOPED_TRACE("crash at io op " + std::to_string(k));
+    const std::string dir = fresh_dir("faults_first_" + std::to_string(k));
+    auto hooks = std::make_shared<FaultIoHooks>();
+    {
+      ResultStore store(dir, with_hooks(hooks));
+      hooks->arm({.crash_at = k});
+      EXPECT_THROW(store.put_result(7, report_with_cycles(1)),
+                   InjectedCrash);
+    }
+    hooks->arm({});
+    ResultStore reopened(dir, with_hooks(hooks));
+    // All-or-nothing: either the crash hit after the rename was issued
+    // (impossible here — the crash replaces the op) or no record exists.
+    sim::SimReport out;
+    EXPECT_FALSE(reopened.get_result(7, out));
+    EXPECT_EQ(reopened.stats().torn_skipped, 0u);
+    fs::remove_all(dir);
+  }
+}
+
+TEST(StoreFaults, FailedStepKeepsOldRecordAndReportsFailure) {
+  const std::uint64_t n = publication_op_count();
+  const sim::SimReport before = report_with_cycles(100);
+  const std::string before_bytes = serve::serialize_report(before);
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    SCOPED_TRACE("fail at io op " + std::to_string(k));
+    const std::string dir = fresh_dir("faults_fail_" + std::to_string(k));
+    auto hooks = std::make_shared<FaultIoHooks>();
+    ResultStore store(dir, with_hooks(hooks));
+    ASSERT_TRUE(store.put_result(7, before));
+    hooks->arm({.fail_at = k, .error = EIO});
+    EXPECT_FALSE(store.put_result(7, report_with_cycles(200)));
+    const serve::StoreStats s = store.stats();
+    EXPECT_EQ(s.publish_failures, 1u);
+    EXPECT_FALSE(s.read_only);  // one failure is not degradation
+    EXPECT_NE(store.last_publish_error(), "");
+    // The old record is still served, and the tmp debris is gone.
+    sim::SimReport out;
+    ASSERT_TRUE(store.get_result(7, out));
+    EXPECT_EQ(serve::serialize_report(out), before_bytes);
+    EXPECT_TRUE(fs::is_empty(fs::path(dir) / "tmp"));
+    // A later healthy put recovers and resets the failure streak.
+    EXPECT_TRUE(store.put_result(7, report_with_cycles(300)));
+    fs::remove_all(dir);
+  }
+}
+
+TEST(StoreFaults, ShortWriteNeverPublishesTornBytes) {
+  const std::string dir = fresh_dir("faults_short");
+  auto hooks = std::make_shared<FaultIoHooks>();
+  ResultStore store(dir, with_hooks(hooks));
+  // Op 3 is the payload write: half the bytes land, then EIO.
+  hooks->arm({.fail_at = 3, .error = EIO, .short_write = true});
+  EXPECT_FALSE(store.put_result(9, report_with_cycles(1)));
+  EXPECT_EQ(store.stats().publish_failures, 1u);
+  sim::SimReport out;
+  EXPECT_FALSE(store.get_result(9, out));
+  // Nothing under results/, nothing under tmp/ — the torn file was
+  // discarded, not renamed into place.
+  EXPECT_TRUE(fs::is_empty(fs::path(dir) / "results"));
+  EXPECT_TRUE(fs::is_empty(fs::path(dir) / "tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(StoreFaults, PersistentEnospcFlipsReadOnlyGetsKeepServing) {
+  const std::string dir = fresh_dir("faults_enospc");
+  auto hooks = std::make_shared<FaultIoHooks>();
+  StoreOptions opts = with_hooks(hooks);
+  opts.read_only_after = 3;
+  ResultStore store(dir, opts);
+  const sim::SimReport kept = report_with_cycles(42);
+  ASSERT_TRUE(store.put_result(1, kept));
+
+  // The disk fills: every subsequent operation reports ENOSPC.
+  hooks->arm({.fail_at = 1, .error = ENOSPC, .sticky = true});
+  EXPECT_FALSE(store.put_result(2, report_with_cycles(2)));
+  EXPECT_FALSE(store.read_only());
+  EXPECT_FALSE(store.put_result(3, report_with_cycles(3)));
+  EXPECT_FALSE(store.read_only());
+  EXPECT_FALSE(store.put_result(4, report_with_cycles(4)));
+  EXPECT_TRUE(store.read_only());  // third consecutive failure degrades
+
+  // Read-only is sticky even after the disk recovers: puts are dropped
+  // without touching the filesystem, gets serve what was published.
+  hooks->arm({});
+  EXPECT_FALSE(store.put_result(5, report_with_cycles(5)));
+  sim::SimReport out;
+  ASSERT_TRUE(store.get_result(1, out));
+  EXPECT_EQ(serve::serialize_report(out), serve::serialize_report(kept));
+
+  const serve::StoreStats s = store.stats();
+  EXPECT_TRUE(s.read_only);
+  EXPECT_EQ(s.publish_failures, 3u);
+  EXPECT_EQ(s.dropped_publishes, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_NE(store.last_publish_error().find("errno"), std::string::npos);
+
+  // A reopen (operator fixed the disk, restarted the daemon) is writable
+  // again — degradation is per-instance, not persisted.
+  ResultStore reopened(dir, opts);
+  EXPECT_FALSE(reopened.read_only());
+  EXPECT_TRUE(reopened.put_result(6, report_with_cycles(6)));
+  fs::remove_all(dir);
+}
+
+TEST(StoreFaults, StaleTmpFilesAreCleanedAtOpen) {
+  const std::string dir = fresh_dir("faults_tmp");
+  { ResultStore store(dir); }  // create the layout
+  std::ofstream(fs::path(dir) / "tmp" / "deadbeef.1.tmp") << "half a rec";
+  std::ofstream(fs::path(dir) / "tmp" / "deadbeef.2.tmp") << "more debris";
+  ResultStore reopened(dir);
+  EXPECT_EQ(reopened.stats().tmp_cleaned, 2u);
+  EXPECT_TRUE(fs::is_empty(fs::path(dir) / "tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(SessionFaults, SessionKeepsComputingWithASickStore) {
+  const std::string dir = fresh_dir("faults_session");
+  auto hooks = std::make_shared<FaultIoHooks>();
+  StoreOptions sopts = with_hooks(hooks);
+  sopts.read_only_after = 1;  // degrade on the first failed publication
+  core::SessionConfig cfg;
+  cfg.workers = 2;
+  cfg.store = std::make_shared<ResultStore>(dir, sopts);
+  core::Session session(cfg);
+
+  const auto net = workload::tiny_workload();
+  const auto profile = workload::SparsityProfile::pruned(net, 0.9);
+
+  // Disk dies before the first evaluation publishes.
+  hooks->arm({.fail_at = 1, .error = ENOSPC, .sticky = true});
+  const core::EvalResult first = session.wait(
+      session.submit(net, profile, {core::Session::kSparseBackend}));
+  EXPECT_FALSE(first.runs[0].from_store);
+  EXPECT_GT(first.runs[0].report.total_cycles, 0u);  // the eval succeeded
+  EXPECT_TRUE(session.result_store()->read_only());
+
+  // Serving continues: the next evaluation computes again (nothing was
+  // persisted) and does not attempt to publish.
+  const core::EvalResult second = session.wait(
+      session.submit(net, profile, {core::Session::kSparseBackend}));
+  EXPECT_FALSE(second.runs[0].from_store);
+  EXPECT_EQ(second.runs[0].report.total_cycles,
+            first.runs[0].report.total_cycles);
+  EXPECT_EQ(session.result_store()->stats().puts, 0u);
+
+  // Operators can see the degradation in the stats export.
+  std::ostringstream os;
+  core::export_stats_json(core::service_stats(session), os);
+  EXPECT_NE(os.str().find("\"read_only\": true"), std::string::npos);
+  EXPECT_NE(os.str().find("\"publish_failures\": 1"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sparsetrain

@@ -150,7 +150,7 @@ TEST(Export, StoreStatsJson) {
   std::ostringstream os;
   core::export_stats_json(core::service_stats(session), os);
   const std::string json = os.str();
-  EXPECT_NE(json.find("\"schema\": \"sparsetrain.store_stats/v1\""),
+  EXPECT_NE(json.find("\"schema\": \"sparsetrain.store_stats/v2\""),
             std::string::npos);
   EXPECT_NE(json.find("\"store_attached\": true"), std::string::npos);
   EXPECT_NE(json.find("\"puts\": 1"), std::string::npos);

@@ -1,14 +1,21 @@
 // The evaluation daemon + its CLI client.
 //
-// Daemon (NDJSON over stdin/stdout, or a unix socket):
+// Daemon (NDJSON over stdin/stdout, a unix socket, or TCP):
 //   sparsetrain_serve --stdio --store serve_store
 //   sparsetrain_serve --socket /tmp/sparsetrain.sock --store serve_store
+//   sparsetrain_serve --listen 127.0.0.1:7117 --store serve_store
 //
 // Client (one request per invocation, response line on stdout):
 //   sparsetrain_serve --connect /tmp/sparsetrain.sock \
 //       --submit '{"type":"eval","id":"r1","workload":"AlexNet/CIFAR"}'
-//   sparsetrain_serve --connect /tmp/sparsetrain.sock --stats
+//   sparsetrain_serve --connect 127.0.0.1:7117 --stats --retries 5
 //   sparsetrain_serve --connect /tmp/sparsetrain.sock --shutdown
+//
+// --connect takes the same endpoint spec as --listen: "host:port" is TCP,
+// anything else a unix-socket path. --retries/--deadline-ms make the
+// client ride out a daemon restart: failed exchanges are retried with
+// exponential backoff and jitter, which is safe because evaluations are
+// idempotent (the daemon coalesces by store fingerprint).
 //
 // The store directory is shared: every daemon (and every bench driver
 // run with --store) pointing at the same directory reuses each other's
@@ -29,26 +36,43 @@ const std::vector<Args::Flag> kFlags = {
     // daemon mode
     {"stdio", "serve NDJSON over stdin/stdout (default mode)", false},
     {"socket", "serve on this unix-socket path", true},
+    {"listen",
+     "serve on this endpoint (host:port for TCP, else a unix-socket path)",
+     true},
     {"store", "persistent result-store directory", true},
     {"max-store-bytes", "store size cap (0 = unbounded)", true},
     {"workers", "simulation threads (0 = hardware concurrency)", true},
     {"request-workers", "concurrent request handlers", true},
     {"max-queue", "max in-flight evaluations before rejecting", true},
+    {"max-connections",
+     "socket serving: connections beyond this are refused (0 = unlimited)",
+     true},
+    {"idle-timeout-ms",
+     "socket serving: close connections idle this long (0 = never)", true},
     {"timeout-ms", "default per-request timeout (0 = none)", true},
     {"seed", "session base seed", true},
     {"batch", "session default batch size", true},
     // client mode
-    {"connect", "act as a client of the daemon at this socket path", true},
+    {"connect",
+     "act as a client of the daemon at this endpoint (host:port or path)",
+     true},
     {"submit",
      "client: send this request (a JSON line, or a bare workload name)",
      true},
     {"stats", "client: request the store/cache stats report", false},
     {"status", "client: request the liveness counters", false},
     {"shutdown", "client: ask the daemon to drain and exit", false},
+    {"retries", "client: retry failed exchanges this many times", true},
+    {"deadline-ms",
+     "client: overall per-request budget incl. retries (0 = none)", true},
 };
 
 int run_client(const Args& args) {
-  sparsetrain::serve::Client client(args.get("connect", std::string{}));
+  sparsetrain::serve::ClientOptions copts;
+  copts.retries = static_cast<int>(args.get("retries", 0L));
+  copts.deadline_ms = args.get("deadline-ms", 0L);
+  sparsetrain::serve::Client client(args.get("connect", std::string{}),
+                                    copts);
   bool did = false;
   if (args.has("submit")) {
     std::string line = args.get("submit", std::string{});
@@ -105,9 +129,15 @@ int main(int argc, char** argv) {
     opts.request_workers =
         static_cast<std::size_t>(args.get("request-workers", 2L));
     opts.max_queue = static_cast<std::size_t>(args.get("max-queue", 64L));
+    opts.max_connections =
+        static_cast<std::size_t>(args.get("max-connections", 64L));
+    opts.idle_timeout_ms = args.get("idle-timeout-ms", 0L);
     opts.default_timeout_ms = args.get("timeout-ms", 0L);
 
     sparsetrain::serve::Server server(opts);
+    if (args.has("listen")) {
+      return server.serve_endpoint(args.get("listen", std::string{}));
+    }
     if (args.has("socket")) {
       return server.serve_unix_socket(args.get("socket", std::string{}));
     }
