@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <thread>
 
@@ -34,6 +35,13 @@ std::string format_request(const Request& r) {
        << ", \"do_density\": " << r.do_density << ", \"engine\": \""
        << json_escape(r.engine) << "\", \"batch\": " << r.batch
        << ", \"timeout_ms\": " << r.timeout_ms;
+    if (r.include_report) os << ", \"include_report\": true";
+  } else if (r.type == "put") {
+    char fp[17];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(r.fingerprint));
+    os << ", \"fingerprint\": \"" << fp << "\", \"report\": \""
+       << r.report_hex << '"';  // hex: no escapes needed
   }
   os << '}';
   return os.str();
@@ -53,9 +61,11 @@ Client::Client(const std::string& endpoint_spec, ClientOptions opts)
 
 Client::~Client() = default;
 
-bool Client::ensure_connected(std::string& error) {
+bool Client::ensure_connected(std::string& error, long budget_ms) {
   if (conn_.valid()) return true;
-  conn_ = connect_endpoint(ep_, &error);
+  conn_ = connect_endpoint(ep_, &error,
+                           budget_ms > 0 ? budget_ms
+                                         : opts_.connect_timeout_ms);
   if (!conn_.valid()) return false;
   ++stats_.connects;
   if (stats_.connects > 1) ++stats_.reconnects;
@@ -65,6 +75,15 @@ bool Client::ensure_connected(std::string& error) {
 long Client::remaining_ms(long elapsed_ms) const {
   if (opts_.deadline_ms <= 0) return 0;  // 0 = wait forever downstream
   return std::max(1L, opts_.deadline_ms - elapsed_ms);
+}
+
+long Client::connect_budget_ms(long elapsed_ms) const {
+  // The tighter of the per-attempt connect timeout and what is left of
+  // the overall deadline — so neither can defeat the other.
+  const long remain = remaining_ms(elapsed_ms);
+  if (opts_.connect_timeout_ms <= 0) return remain;
+  if (remain <= 0) return opts_.connect_timeout_ms;
+  return std::min(opts_.connect_timeout_ms, remain);
 }
 
 std::string Client::request_raw(const std::string& json_line) {
@@ -79,9 +98,16 @@ std::string Client::request_raw(const std::string& json_line) {
     std::string error;
     bool retry_this = false;
 
-    if (!ensure_connected(error)) {
+    if (!ensure_connected(error, connect_budget_ms(ms_since(start)))) {
       last_error = "cannot connect to " + ep_.describe() + ": " + error;
       retry_this = true;
+      if (opts_.deadline_ms > 0 &&
+          ms_since(start) >= opts_.deadline_ms) {
+        ST_REQUIRE(false, "client: deadline of " +
+                              std::to_string(opts_.deadline_ms) +
+                              " ms exceeded connecting to " +
+                              ep_.describe() + " (" + error + ")");
+      }
     } else {
       ++stats_.attempts;
       if (!conn_.write_line(json_line)) {

@@ -35,6 +35,13 @@ struct ClientOptions {
   /// Overall budget in ms for one request() call, covering connects,
   /// backoff sleeps, and the response wait; 0 = no deadline.
   long deadline_ms = 0;
+  /// Per-attempt connect budget (non-blocking connect + poll). Without
+  /// it a TCP connect to a blackholed host blocks for the kernel's SYN
+  /// retry default (~2 minutes), defeating deadline_ms; with it the
+  /// attempt fails after this long and the retry/deadline machinery
+  /// stays in charge. When deadline_ms is also set, each connect is
+  /// additionally capped by the time remaining. 0 = blocking connect.
+  long connect_timeout_ms = 0;
   /// Backoff: sleep_n = min(cap, uniform(base, 3 * sleep_{n-1})) —
   /// exponential growth with decorrelated jitter, so a burst of clients
   /// retrying against a restarting daemon spreads out instead of
@@ -87,8 +94,10 @@ class Client {
   Response shutdown();
 
  private:
-  bool ensure_connected(std::string& error);
+  /// `budget_ms` caps the connect attempt (<= 0 = opts_ default only).
+  bool ensure_connected(std::string& error, long budget_ms = 0);
   long remaining_ms(long elapsed_ms) const;
+  long connect_budget_ms(long elapsed_ms) const;
 
   Endpoint ep_;
   ClientOptions opts_;

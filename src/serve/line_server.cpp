@@ -1,0 +1,122 @@
+#include "serve/line_server.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace sparsetrain::serve {
+
+int run_line_server(Listener& listener, const LineServerOptions& opts,
+                    const LineHandler& handle) {
+  ST_REQUIRE(listener.valid(), "serve: listener is not listening");
+
+  struct ConnSlot {
+    Conn conn;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::mutex conns_mu;
+  std::vector<std::shared_ptr<ConnSlot>> conns;  // guarded by conns_mu
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> active{0};
+
+  const auto reap_finished = [&]() {
+    std::vector<std::shared_ptr<ConnSlot>> finished;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      auto it = conns.begin();
+      while (it != conns.end()) {
+        if ((*it)->done.load()) {
+          finished.push_back(*it);
+          it = conns.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (const auto& slot : finished) {
+      if (slot->thread.joinable()) slot->thread.join();
+    }
+  };
+
+  while (!stop.load()) {
+    Conn conn = listener.accept();
+    // accept() already retried every transient failure; an invalid Conn
+    // means shutdown() fired or the listener itself is broken.
+    if (!conn.valid()) break;
+    reap_finished();  // bound the slot list by the live connection count
+    if (opts.max_connections > 0 && active.load() >= opts.max_connections) {
+      if (opts.on_overloaded) opts.on_overloaded();
+      conn.write_line(opts.overloaded_line);
+      continue;  // conn closes on scope exit — an explicit no, not a hang
+    }
+    auto slot = std::make_shared<ConnSlot>();
+    slot->conn = std::move(conn);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conns.push_back(slot);
+    }
+    ++active;
+    // Raw pointer into the slot: the accept thread keeps the shared_ptr
+    // alive until after join (a shared_ptr capture would make the slot's
+    // own thread keep the slot alive — a cycle that never frees).
+    ConnSlot* s = slot.get();
+    slot->thread = std::thread([&opts, &handle, s, &listener, &stop,
+                                &conns_mu, &conns, &active]() {
+      std::string line;
+      for (;;) {
+        const Conn::ReadStatus st =
+            s->conn.read_line(line, opts.idle_timeout_ms);
+        if (st == Conn::ReadStatus::Timeout) {
+          if (opts.on_idle_closed) opts.on_idle_closed();
+          if (!opts.idle_line.empty()) s->conn.write_line(opts.idle_line);
+          break;
+        }
+        if (st != Conn::ReadStatus::Ok) break;  // Eof / transport error
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        bool stop_serving = false;
+        const std::string resp = handle(line, &stop_serving);
+        if (!s->conn.write_line(resp)) break;
+        if (stop_serving) {
+          // Shutdown: stop accepting and kick every other connection so
+          // their reader loops end and the daemon can drain.
+          stop.store(true);
+          listener.shutdown();
+          std::lock_guard<std::mutex> lock(conns_mu);
+          for (const auto& other : conns) {
+            if (other.get() != s) other->conn.shutdown();
+          }
+          break;
+        }
+      }
+      // Half-close only — the fd is closed by the slot's destructor on
+      // the accept thread after join, so a late shutdown() kick can
+      // never race a concurrent close.
+      s->conn.shutdown();
+      --active;
+      s->done.store(true);
+    });
+  }
+
+  // Kick any connection still blocked in a read (idempotent after the
+  // stop kick), then join everything.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    for (const auto& slot : conns) slot->conn.shutdown();
+  }
+  std::vector<std::shared_ptr<ConnSlot>> remaining;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu);
+    remaining.swap(conns);
+  }
+  for (const auto& slot : remaining) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  return 0;
+}
+
+}  // namespace sparsetrain::serve

@@ -1,0 +1,55 @@
+// Shared NDJSON accept loop for the serving daemons.
+//
+// serve::Server (the evaluation daemon) and serve::Router (the shard
+// router) both speak one-line-in / one-line-out over a serve::Listener;
+// this is the single implementation of that loop: one handler thread per
+// connection, a connection cap answered with an explicit rejection line
+// (never a silent hang), per-connection idle timeouts (a told close, and
+// counted), and a clean stop protocol — when a handler marks its response
+// as the daemon's last (the "bye" of a shutdown request) the listener
+// stops and every other connection is kicked so their reader loops end.
+//
+// Thread discipline (inherited from the original Server loop): all slot
+// bookkeeping — creation, reaping, the final join — happens on the
+// accept thread; a handler thread touches only its own slot's conn and
+// done flag, plus the other conns' thread-safe shutdown() on stop. A
+// handler half-closes its conn; the fd itself is closed on the accept
+// thread after join, so a late shutdown() kick can never race a close.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "serve/transport.hpp"
+
+namespace sparsetrain::serve {
+
+struct LineServerOptions {
+  /// Connections beyond this are answered with `overloaded_line` and
+  /// closed (0 = unlimited).
+  std::size_t max_connections = 0;
+  /// A connection with no complete request line for this long is sent
+  /// `idle_line` and closed (0 = never).
+  long idle_timeout_ms = 0;
+  std::string overloaded_line;  ///< preformatted rejection response
+  std::string idle_line;        ///< preformatted idle-close notice
+  std::function<void()> on_overloaded;   ///< counter hook
+  std::function<void()> on_idle_closed;  ///< counter hook
+};
+
+/// Handles one request line; returns the response line (without the
+/// newline). Setting *stop_serving makes this response the daemon's
+/// last: it is still written, then the listener stops and all other
+/// connections are kicked.
+using LineHandler =
+    std::function<std::string(const std::string& line, bool* stop_serving)>;
+
+/// Runs the accept loop until the listener stops — by a handler's
+/// stop_serving, an external Listener::shutdown() (e.g. from a signal
+/// handler), or an unrecoverable listener error. Every handler thread is
+/// joined before returning. Blank input lines are skipped, not answered.
+int run_line_server(Listener& listener, const LineServerOptions& opts,
+                    const LineHandler& handle);
+
+}  // namespace sparsetrain::serve

@@ -51,6 +51,37 @@ std::size_t non_negative_int(const JsonValue& obj, const std::string& key,
 
 }  // namespace
 
+std::string hex_encode(std::string_view bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string hex_decode(std::string_view hex) {
+  ST_REQUIRE(hex.size() % 2 == 0,
+             "protocol: hex payload has odd length");
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    ST_REQUIRE(false, std::string("protocol: bad hex character '") + c +
+                          "'");
+    return 0;
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<char>((nibble(hex[i]) << 4) |
+                                    nibble(hex[i + 1])));
+  }
+  return out;
+}
+
 Request parse_request(const std::string& line) {
   const JsonValue doc = parse_json(line);
   ST_REQUIRE(doc.is_object(), "protocol: request is not a JSON object");
@@ -58,9 +89,19 @@ Request parse_request(const std::string& line) {
   Request r;
   r.type = doc.get_string("type", "");
   ST_REQUIRE(r.type == "eval" || r.type == "stats" || r.type == "status" ||
-                 r.type == "shutdown",
+                 r.type == "shutdown" || r.type == "put",
              "protocol: unknown request type '" + r.type + "'");
   r.id = doc.get_string("id", "");
+  if (r.type == "put") {
+    const std::string fp = doc.get_string("fingerprint", "");
+    ST_REQUIRE(!fp.empty(), "protocol: put needs a fingerprint");
+    r.fingerprint = parse_hex16(fp);
+    r.report_hex = doc.get_string("report", "");
+    ST_REQUIRE(!r.report_hex.empty(), "protocol: put needs a report");
+    ST_REQUIRE(r.report_hex.size() % 2 == 0,
+               "protocol: put report hex has odd length");
+    return r;
+  }
   if (r.type != "eval") return r;
 
   r.workload = doc.get_string("workload", r.workload);
@@ -78,6 +119,7 @@ Request parse_request(const std::string& line) {
   r.batch = non_negative_int(doc, "batch", 0);
   r.timeout_ms =
       static_cast<long>(non_negative_int(doc, "timeout_ms", 0));
+  r.include_report = doc.get_bool("include_report", false);
   return r;
 }
 
@@ -92,6 +134,9 @@ std::string format_response(const Response& r) {
   if (!r.source.empty()) {
     os << ", \"source\": \"" << json_escape(r.source) << '"';
   }
+  if (!r.shard.empty()) {
+    os << ", \"shard\": \"" << json_escape(r.shard) << '"';
+  }
   if (r.type == "result" && r.status == "ok") {
     os << ", \"workload\": \"" << json_escape(r.workload)
        << "\", \"backend\": \"" << json_escape(r.backend)
@@ -102,6 +147,9 @@ std::string format_response(const Response& r) {
        << ", \"utilization\": " << num(r.utilization)
        << ", \"on_chip_uj\": " << num(r.on_chip_uj)
        << ", \"dram_uj\": " << num(r.dram_uj);
+    if (!r.report_hex.empty()) {
+      os << ", \"report\": \"" << r.report_hex << '"';  // hex: no escapes
+    }
   }
   if (!r.payload_json.empty()) {
     os << ", \"payload\": " << r.payload_json;
@@ -121,6 +169,8 @@ Response parse_response(const std::string& line) {
   ST_REQUIRE(!r.status.empty(), "protocol: response has no status");
   r.error = doc.get_string("error", "");
   r.source = doc.get_string("source", "");
+  r.shard = doc.get_string("shard", "");
+  r.report_hex = doc.get_string("report", "");
   r.workload = doc.get_string("workload", "");
   r.backend = doc.get_string("backend", "");
   r.engine = doc.get_string("engine", "");

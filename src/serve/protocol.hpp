@@ -9,13 +9,24 @@
 //   {"type":"stats","id":"s"}      — store + cache + request counters
 //   {"type":"status","id":"q"}     — liveness: inflight/completed counts
 //   {"type":"shutdown","id":"z"}   — graceful drain, then a "bye" reply
+//   {"type":"put","id":"p","fingerprint":"<hex16>","report":"<hex>"}
+//       — insert a serialized report directly into the daemon's store
+//         (the shard router replicates results this way; idempotent,
+//         keyed by the same fingerprint_v1 the store uses)
+//
+// An eval request may add "include_report": true to receive the full
+// serialized report (serve::report_io, hex-encoded) as "report" in the
+// response — the payload a router forwards to replicas as a put.
 //
 // Every response is one line carrying the request's "id" and a "status"
 // of ok | error | rejected | timeout. Evaluation responses additionally
 // say where the numbers came from: "source" = store (persistent-store
-// hit), computed (freshly simulated) or coalesced (attached to an
+// hit), computed (freshly simulated), coalesced (attached to an
 // identical in-flight request — the single-flight discipline
-// compiler::ProgramCache uses, applied to whole evaluations).
+// compiler::ProgramCache uses, applied to whole evaluations) or
+// replicated (a put accepted into the store). A response that crossed
+// the shard router also carries "shard": the backend endpoint that
+// served it.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +37,7 @@
 namespace sparsetrain::serve {
 
 struct Request {
-  std::string type;  ///< eval | stats | status | shutdown
+  std::string type;  ///< eval | stats | status | shutdown | put
   std::string id;    ///< echoed verbatim in the response ("" when absent)
   // eval fields (defaults mirror the paper's operating point).
   std::string workload = "AlexNet/CIFAR";  ///< zoo name
@@ -38,6 +49,11 @@ struct Request {
   std::string engine = "statistical";  ///< statistical | exact
   std::size_t batch = 0;               ///< 0 = session default
   long timeout_ms = 0;                 ///< 0 = server default / none
+  /// eval: ask for the serialized report ("report" hex) in the response.
+  bool include_report = false;
+  // put fields.
+  std::uint64_t fingerprint = 0;  ///< store key the report belongs under
+  std::string report_hex;         ///< hex-encoded serve::report_io payload
 };
 
 /// Parses one request line. Throws ContractError on malformed JSON, a
@@ -50,7 +66,8 @@ struct Response {
   std::string type = "result";  ///< result | stats | status | bye
   std::string status = "ok";    ///< ok | error | rejected | timeout
   std::string error;            ///< human-readable cause when not ok
-  std::string source;           ///< store | computed | coalesced (evals)
+  std::string source;  ///< store | computed | coalesced | replicated
+  std::string shard;   ///< router only: backend endpoint that served this
   // Evaluation payload.
   std::string workload;
   std::string backend;
@@ -61,9 +78,17 @@ struct Response {
   double utilization = 0.0;
   double on_chip_uj = 0.0;
   double dram_uj = 0.0;
+  /// Hex-encoded serialized report ("" unless the eval asked for it).
+  std::string report_hex;
   /// Raw JSON object appended as "payload" (stats/status responses).
   std::string payload_json;
 };
+
+/// Hex codec for report payloads on the wire (lowercase, two digits per
+/// byte). hex_decode throws ContractError on odd length or a non-hex
+/// character.
+std::string hex_encode(std::string_view bytes);
+std::string hex_decode(std::string_view hex);
 
 /// One response line (no trailing newline).
 std::string format_response(const Response& r);

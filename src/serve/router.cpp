@@ -1,0 +1,546 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "serve/line_server.hpp"
+#include "serve/server.hpp"
+#include "util/hash.hpp"
+#include "util/require.hpp"
+
+#ifndef _WIN32
+#include <csignal>
+#endif
+
+namespace sparsetrain::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+core::SessionConfig placement_session() {
+  // The router never simulates — its session exists only to compute the
+  // same run_fingerprint the shards key their stores on.
+  core::SessionConfig cfg;
+  cfg.workers = 1;
+  return cfg;
+}
+
+const char* health_name(Router::Health h) {
+  switch (h) {
+    case Router::Health::Up:
+      return "up";
+    case Router::Health::Open:
+      return "open";
+    default:
+      return "half_open";
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> split_endpoints(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(begin, end - begin);
+    const std::size_t first = entry.find_first_not_of(" \t");
+    const std::size_t last = entry.find_last_not_of(" \t");
+    entry = first == std::string::npos
+                ? std::string()
+                : entry.substr(first, last - first + 1);
+    ST_REQUIRE(!entry.empty(),
+               "router: empty endpoint in spec '" + spec + "'");
+    out.push_back(std::move(entry));
+    if (end == spec.size()) break;
+    begin = end + 1;
+  }
+  ST_REQUIRE(!out.empty(), "router: empty endpoint spec");
+  return out;
+}
+
+Router::Router(RouterOptions opts)
+    : opts_(std::move(opts)),
+      ring_(opts_.endpoints, opts_.ring),
+      session_(placement_session()) {
+  // R copies need R distinct successors; a pool of N supports at most
+  // N - 1 of them.
+  opts_.replicas = std::min(opts_.replicas, ring_.size() - 1);
+  ST_REQUIRE(opts_.breaker_threshold > 0,
+             "router: breaker_threshold must be positive");
+  shards_.reserve(ring_.size());
+  for (const std::string& ep : ring_.endpoints()) {
+    auto shard = std::make_unique<Shard>();
+    shard->endpoint = ep;
+    shards_.push_back(std::move(shard));
+  }
+  if (opts_.probe_interval_ms > 0) {
+    prober_ = std::thread([this]() { prober_loop(); });
+  }
+}
+
+Router::~Router() {
+  {
+    std::lock_guard<std::mutex> lock(prober_mu_);
+    prober_stop_ = true;
+  }
+  prober_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+}
+
+std::uint64_t Router::placement_key(const Request& req) const {
+  if (req.type == "put") return req.fingerprint;
+  try {
+    const workload::NetworkConfig net = request_network(req);
+    const workload::SparsityProfile profile = request_profile(net, req);
+    return session_.run_fingerprint(net, profile, req.backend,
+                                    request_job_options(req));
+  } catch (const std::exception&) {
+    // Unknown workload/backend: the shard will answer the error — a
+    // deterministic fallback key just has to route it *somewhere*
+    // consistently.
+    const auto bits = [](double v) {
+      std::uint64_t b = 0;
+      std::memcpy(&b, &v, sizeof b);
+      return b;
+    };
+    std::uint64_t h = fnv1a(req.workload + '|' + req.backend + '|' +
+                            req.scenario + '|' + req.engine);
+    h = mix64(h, bits(req.p));
+    h = mix64(h, bits(req.act_density));
+    h = mix64(h, bits(req.do_density));
+    return mix64(h, static_cast<std::uint64_t>(req.batch));
+  }
+}
+
+bool Router::admit_locked(Shard& s, Clock::time_point now) {
+  switch (s.health) {
+    case Health::Up:
+      return true;
+    case Health::HalfOpen:
+      // The shard mutex serializes forwards, so at most one half-open
+      // probe request is ever in flight.
+      return true;
+    case Health::Open:
+      if (now < s.open_until) return false;
+      s.health = Health::HalfOpen;
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void Router::on_success_locked(Shard& s) {
+  s.consecutive_failures = 0;
+  if (s.health != Health::Up) {
+    s.health = Health::Up;
+    ++s.stats.recoveries;
+  }
+}
+
+void Router::on_failure_locked(Shard& s, Clock::time_point now) {
+  ++s.consecutive_failures;
+  if (s.health == Health::HalfOpen ||
+      s.consecutive_failures >= opts_.breaker_threshold) {
+    s.health = Health::Open;
+    s.open_until =
+        now + std::chrono::milliseconds(opts_.breaker_cooldown_ms);
+  }
+}
+
+Router::ForwardResult Router::forward(std::size_t shard,
+                                      const std::string& line,
+                                      Response* resp) {
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  const Clock::time_point now = Clock::now();
+  if (!admit_locked(s, now)) {
+    ++s.stats.skipped;
+    return ForwardResult::Skipped;
+  }
+  try {
+    if (!s.client) {
+      // retries = 0 makes an unreachable endpoint throw here (fail
+      // fast); connect_timeout_ms bounds how long "unreachable" takes.
+      s.client = std::make_unique<Client>(s.endpoint, opts_.client);
+    }
+    ++s.stats.forwards;
+    *resp = s.client->request(line);
+    on_success_locked(s);
+    return ForwardResult::Answered;
+  } catch (const std::exception&) {
+    ++s.stats.failures;
+    s.client.reset();  // the stream may be desynced: reconnect next time
+    on_failure_locked(s, now);
+    return ForwardResult::Failed;
+  }
+}
+
+Response Router::route(const Request& req, std::uint64_t key,
+                       const std::string& line, bool replicate_ok) {
+  // Full preference order: owner first, then every distinct successor —
+  // the first 1 + replicas entries are where replicas live, so failover
+  // lands on warm stores before cold ones.
+  const std::vector<std::size_t> order =
+      ring_.successors(key, ring_.size() - 1);
+  Response rejected;
+  bool saw_rejected = false;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::size_t idx = order[i];
+    Response resp;
+    const ForwardResult fr = forward(idx, line, &resp);
+    if (fr == ForwardResult::Skipped || fr == ForwardResult::Failed) {
+      continue;  // breaker open / transport failure: walk the ring
+    }
+    resp.shard = ring_.endpoint(idx);
+    if (resp.status == "rejected") {
+      // The shard is alive but full — remember its answer, try the next
+      // successor rather than queueing behind it.
+      saw_rejected = true;
+      rejected = resp;
+      continue;
+    }
+    // ok / error / timeout are this shard's authoritative answer.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.routed;
+      if (i > 0) ++stats_.failovers;
+    }
+    {
+      std::lock_guard<std::mutex> lock(shards_[idx]->mu);
+      ++shards_[idx]->stats.served;
+    }
+    if (replicate_ok && resp.status == "ok") replicate(key, idx, resp);
+    return resp;
+  }
+  if (saw_rejected) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+    return rejected;
+  }
+  return all_down_response(req);
+}
+
+void Router::replicate(std::uint64_t key, std::size_t served_by,
+                       const Response& ok_resp) {
+  if (opts_.replicas == 0) return;
+  if (ok_resp.fingerprint == 0 || ok_resp.report_hex.empty()) return;
+  Request put;
+  put.type = "put";
+  put.id = ok_resp.id;
+  put.fingerprint = ok_resp.fingerprint;
+  put.report_hex = ok_resp.report_hex;
+  const std::string line = format_request(put);
+  // Best effort into the key's preference set (minus whoever already has
+  // it): a down replica is skipped and counted, never waited on beyond
+  // the breaker's verdict.
+  for (const std::size_t idx : ring_.successors(key, opts_.replicas)) {
+    if (idx == served_by) continue;
+    Response resp;
+    const ForwardResult fr = forward(idx, line, &resp);
+    std::lock_guard<std::mutex> lock(shards_[idx]->mu);
+    if (fr == ForwardResult::Skipped) {
+      ++shards_[idx]->stats.replication_skipped;
+    } else if (fr == ForwardResult::Answered && resp.status == "ok") {
+      ++shards_[idx]->stats.replications;
+    } else {
+      ++shards_[idx]->stats.replication_failures;
+    }
+  }
+}
+
+Response Router::route_eval(const Request& req, const std::string&) {
+  Request fwd = req;
+  // Replication needs the serialized report riding on the response; the
+  // caller only sees it if they asked.
+  if (opts_.replicas > 0) fwd.include_report = true;
+  const std::uint64_t key = placement_key(req);
+  Response resp = route(req, key, format_request(fwd),
+                        /*replicate_ok=*/opts_.replicas > 0);
+  if (!req.include_report) resp.report_hex.clear();
+  return resp;
+}
+
+Response Router::route_put(const Request& req, const std::string& line) {
+  // A put targets the key's whole replica set, not one shard: ok when
+  // any member accepted it.
+  const std::uint64_t key = placement_key(req);
+  Response first_ok;
+  Response last;
+  bool any_answered = false;
+  bool any_ok = false;
+  for (const std::size_t idx : ring_.successors(key, opts_.replicas)) {
+    Response resp;
+    const ForwardResult fr = forward(idx, line, &resp);
+    if (fr != ForwardResult::Answered) continue;
+    resp.shard = ring_.endpoint(idx);
+    any_answered = true;
+    last = resp;
+    if (resp.status == "ok" && !any_ok) {
+      any_ok = true;
+      first_ok = resp;
+    }
+  }
+  if (any_ok) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.routed;
+    return first_ok;
+  }
+  if (any_answered) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.routed;
+    return last;
+  }
+  return all_down_response(req);
+}
+
+Response Router::all_down_response(const Request& req) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+  }
+  Response resp;
+  resp.id = req.id;
+  resp.status = "rejected";
+  resp.error = "all shards down (" + std::to_string(ring_.size()) +
+               " endpoint(s) unreachable or circuit-open)";
+  return resp;
+}
+
+Response Router::handle(const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.received;
+  }
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.errors;
+    Response resp;
+    resp.status = "error";
+    resp.error = e.what();
+    return resp;
+  }
+  if (req.type == "stats") return stats_response(req);
+  if (req.type == "status") return status_response(req);
+  if (req.type == "shutdown") {
+    // Stops the router's serving loop only — the backend shards keep
+    // running (they belong to their own lifecycles).
+    Response resp;
+    resp.id = req.id;
+    resp.type = "bye";
+    const Stats s = stats();
+    std::ostringstream os;
+    os << "{\"routed\": " << s.routed << ", \"failovers\": " << s.failovers
+       << ", \"rejected\": " << s.rejected << "}";
+    resp.payload_json = os.str();
+    return resp;
+  }
+  if (req.type == "put") return route_put(req, line);
+  return route_eval(req, line);
+}
+
+Router::Stats Router::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+  }
+  out.shards.clear();
+  out.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    ShardStats s = shard->stats;
+    s.endpoint = shard->endpoint;
+    s.health = shard->health;
+    out.shards.push_back(std::move(s));
+  }
+  return out;
+}
+
+Response Router::stats_response(const Request& req) const {
+  const Stats s = stats();
+  Response resp;
+  resp.id = req.id;
+  resp.type = "stats";
+  std::ostringstream os;
+  os << "{\"version\": \"router_stats/v1\", \"received\": " << s.received
+     << ", \"routed\": " << s.routed << ", \"failovers\": " << s.failovers
+     << ", \"rejected\": " << s.rejected << ", \"errors\": " << s.errors
+     << ", \"replicas\": " << opts_.replicas << ", \"shards\": [";
+  for (std::size_t i = 0; i < s.shards.size(); ++i) {
+    const ShardStats& sh = s.shards[i];
+    if (i > 0) os << ", ";
+    os << "{\"endpoint\": \"" << json_escape(sh.endpoint)
+       << "\", \"health\": \"" << health_name(sh.health)
+       << "\", \"forwards\": " << sh.forwards
+       << ", \"served\": " << sh.served
+       << ", \"failures\": " << sh.failures
+       << ", \"skipped\": " << sh.skipped
+       << ", \"replications\": " << sh.replications
+       << ", \"replication_failures\": " << sh.replication_failures
+       << ", \"replication_skipped\": " << sh.replication_skipped
+       << ", \"probes\": " << sh.probes
+       << ", \"recoveries\": " << sh.recoveries << "}";
+  }
+  os << "]}";
+  resp.payload_json = os.str();
+  return resp;
+}
+
+Response Router::status_response(const Request& req) const {
+  const Stats s = stats();
+  std::size_t up = 0;
+  for (const ShardStats& sh : s.shards) {
+    if (sh.health == Health::Up) ++up;
+  }
+  Response resp;
+  resp.id = req.id;
+  resp.type = "status";
+  std::ostringstream os;
+  os << "{\"shards\": " << s.shards.size() << ", \"up\": " << up
+     << ", \"received\": " << s.received << ", \"routed\": " << s.routed
+     << ", \"failovers\": " << s.failovers
+     << ", \"rejected\": " << s.rejected << "}";
+  resp.payload_json = os.str();
+  return resp;
+}
+
+void Router::prober_loop() {
+  std::unique_lock<std::mutex> lock(prober_mu_);
+  for (;;) {
+    prober_cv_.wait_for(
+        lock, std::chrono::milliseconds(opts_.probe_interval_ms),
+        [this]() { return prober_stop_; });
+    if (prober_stop_) return;
+    lock.unlock();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      bool needs_probe = false;
+      {
+        std::lock_guard<std::mutex> shard_lock(shards_[i]->mu);
+        needs_probe = shards_[i]->health != Health::Up;
+      }
+      if (needs_probe) probe(i);
+    }
+    lock.lock();
+  }
+}
+
+void Router::probe(std::size_t shard) {
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  const Clock::time_point now = Clock::now();
+  ++s.stats.probes;
+  // A probe deliberately ignores the breaker cooldown — recovery should
+  // not wait for live traffic to half-open the shard.
+  ClientOptions po = opts_.client;
+  po.retries = 0;
+  po.deadline_ms = opts_.probe_deadline_ms;
+  po.connect_timeout_ms =
+      po.connect_timeout_ms > 0
+          ? std::min(po.connect_timeout_ms, opts_.probe_deadline_ms)
+          : opts_.probe_deadline_ms;
+  try {
+    Client ping(s.endpoint, po);
+    Request r;
+    r.type = "status";
+    r.id = "router-probe";
+    (void)ping.request(format_request(r));
+    on_success_locked(s);
+    s.client.reset();  // traffic reconnects with the real client options
+  } catch (const std::exception&) {
+    on_failure_locked(s, now);
+  }
+}
+
+int Router::serve_listener(Listener& listener) {
+#ifndef _WIN32
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+#endif
+  LineServerOptions lo;
+  lo.max_connections = opts_.max_connections;
+  lo.idle_timeout_ms = opts_.idle_timeout_ms;
+  {
+    Response rej;
+    rej.status = "rejected";
+    rej.error = "overloaded: " + std::to_string(opts_.max_connections) +
+                " connections already open, try again later";
+    lo.overloaded_line = format_response(rej);
+    Response idle;
+    idle.status = "error";
+    idle.error = "idle timeout: no request for " +
+                 std::to_string(opts_.idle_timeout_ms) +
+                 " ms, closing connection";
+    lo.idle_line = format_response(idle);
+  }
+
+  active_listener_.store(&listener);
+  const int rc = run_line_server(
+      listener, lo, [this](const std::string& line, bool* stop_serving) {
+        const Response resp = handle(line);
+        if (resp.type == "bye") *stop_serving = true;
+        return format_response(resp);
+      });
+  active_listener_.store(nullptr);
+  listener.close();
+  if (shutdown_requested_.load()) {
+    Request none;
+    std::fprintf(stderr, "%s\n",
+                 format_response(status_response(none)).c_str());
+  }
+  return rc;
+}
+
+int Router::serve_endpoint(const std::string& spec) {
+  Listener listener = Listener::listen(spec);
+  return serve_listener(listener);
+}
+
+void Router::request_shutdown() {
+  // Called from signal handlers: only async-signal-safe steps — an
+  // atomic store plus Listener::shutdown() (atomic load + shutdown(2)).
+  shutdown_requested_.store(true);
+  Listener* listener = active_listener_.load();
+  if (listener != nullptr) listener->shutdown();
+}
+
+RouterClient::RouterClient(const std::string& endpoints_spec,
+                           RouterOptions opts)
+    : router_([&]() {
+        opts.endpoints = split_endpoints(endpoints_spec);
+        return std::move(opts);
+      }()) {}
+
+Response RouterClient::request(const std::string& json_line) {
+  return router_.handle(json_line);
+}
+
+Response RouterClient::submit(const Request& eval_request) {
+  return router_.handle(format_request(eval_request));
+}
+
+Response RouterClient::stats() {
+  Request r;
+  r.type = "stats";
+  return router_.handle(format_request(r));
+}
+
+Response RouterClient::status() {
+  Request r;
+  r.type = "status";
+  return router_.handle(format_request(r));
+}
+
+Response RouterClient::shutdown() {
+  Request r;
+  r.type = "shutdown";
+  return router_.handle(format_request(r));
+}
+
+}  // namespace sparsetrain::serve

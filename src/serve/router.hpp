@@ -1,0 +1,239 @@
+// Replicated shard router — the serving tier that survives node loss.
+//
+// serve::Router fronts a pool of evaluation daemons (serve::Server
+// behind serve::Listener endpoints). Each eval request is placed on a
+// consistent-hash ring (serve/ring.hpp) by its *store fingerprint* —
+// computed with the same Session::run_fingerprint the daemons key their
+// stores and single-flight coalescing on — so identical requests always
+// land on the same shard and its warm store, no matter which client or
+// router instance sent them.
+//
+// Fault tolerance, in routing order:
+//
+//  * Per-shard circuit breaker — `breaker_threshold` consecutive
+//    transport failures open the breaker: the shard is Down and skipped
+//    instantly (no connect timeout paid per request). After
+//    `breaker_cooldown_ms` the breaker half-opens and admits one probe
+//    request; success closes it, failure re-opens it.
+//  * Failover — a request whose preferred shard is down (or fails) walks
+//    the ring's successor list, so it lands exactly where replicas were
+//    sent. Losing k of N shards loses no requests, only warm-store
+//    locality for the keys the dead shards owned.
+//  * Replication — an "ok" evaluation is re-submitted (best effort, as a
+//    "put" carrying the serialized report) to the next `replicas`
+//    distinct shards after the one that served it, so a later failover
+//    for the same key finds a store hit instead of recomputing. A down
+//    replica is skipped and counted, never waited on.
+//  * Health probing — with `probe_interval_ms > 0` a background thread
+//    pings non-Up shards with "status" requests; a recovered daemon
+//    rejoins the pool without a router restart.
+//
+// Degraded behavior is explicit: when every shard is down the router
+// answers a "rejected" response naming the condition ("all shards
+// down") within the per-forward deadline, never a hang.
+//
+// Requests the router answers itself: "stats" returns the
+// router_stats/v1 payload (per-shard health + forward/failover/
+// replication counters); "status" a liveness summary; "shutdown" stops
+// the serving loop with a "bye". Everything else — eval errors, store
+// semantics — is the backend shard's answer, annotated with "shard":
+// the endpoint that served it.
+//
+// Two front ends: RouterClient embeds a Router behind the Client call
+// surface (submit/stats/status/shutdown) for in-process use with a
+// multi-endpoint spec ("a:1234,b:1235,unix:/tmp/s.sock"); and
+// tools/sparsetrain_route serves the same NDJSON protocol over a
+// listener, so existing serve::Client code talks to the pool unchanged.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/ring.hpp"
+#include "serve/transport.hpp"
+
+namespace sparsetrain::serve {
+
+struct RouterOptions {
+  /// Backend daemon endpoints (unix paths or host:port specs). Must be
+  /// non-empty and distinct.
+  std::vector<std::string> endpoints;
+  RingOptions ring;
+  /// Successor shards each ok evaluation is replicated to (capped at
+  /// pool size - 1). 0 = no replication.
+  std::size_t replicas = 1;
+  /// Consecutive transport failures that open a shard's breaker.
+  int breaker_threshold = 3;
+  /// How long an open breaker rejects before half-opening one probe.
+  long breaker_cooldown_ms = 1000;
+  /// Per-forward client config. retries stays 0 here by default — the
+  /// router's failover IS the retry policy; deadline_ms and
+  /// connect_timeout_ms bound how long one shard may be tried.
+  ClientOptions client = client_defaults();
+  /// Background health-probe period (0 = no prober). Probes target
+  /// non-Up shards only, with `probe_deadline_ms` per ping.
+  long probe_interval_ms = 0;
+  long probe_deadline_ms = 250;
+  /// Socket serving (serve_listener) limits — same semantics as
+  /// ServerOptions.
+  std::size_t max_connections = 64;
+  long idle_timeout_ms = 0;
+
+  static ClientOptions client_defaults() {
+    ClientOptions c;
+    c.retries = 0;
+    c.deadline_ms = 5000;
+    c.connect_timeout_ms = 500;
+    c.retry_rejected = false;  // rejections fail over, not retry in place
+    return c;
+  }
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions opts);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  const Ring& ring() const { return ring_; }
+
+  /// Breaker state of one shard, as exported in router_stats/v1.
+  enum class Health { Up, Open, HalfOpen };
+
+  struct ShardStats {
+    std::string endpoint;
+    Health health = Health::Up;
+    std::uint64_t forwards = 0;       ///< requests sent (incl. probes: no)
+    std::uint64_t served = 0;         ///< responses returned to callers
+    std::uint64_t failures = 0;       ///< transport failures observed
+    std::uint64_t skipped = 0;        ///< times bypassed while down
+    std::uint64_t replications = 0;   ///< puts accepted by this shard
+    std::uint64_t replication_failures = 0;  ///< puts failed or refused
+    std::uint64_t replication_skipped = 0;   ///< puts not tried (down)
+    std::uint64_t probes = 0;         ///< health pings sent
+    std::uint64_t recoveries = 0;     ///< Down -> Up transitions
+  };
+
+  struct Stats {
+    std::uint64_t received = 0;    ///< handle() calls
+    std::uint64_t routed = 0;      ///< evals/puts answered by a shard
+    std::uint64_t failovers = 0;   ///< forwards past the preferred shard
+    std::uint64_t rejected = 0;    ///< all-shards-down (or all-rejecting)
+    std::uint64_t errors = 0;      ///< malformed requests
+    std::vector<ShardStats> shards;
+  };
+  Stats stats() const;
+
+  /// The ring placement key for an eval request: the store fingerprint
+  /// the daemons themselves key on; for requests the fingerprint cannot
+  /// be computed for (unknown workload/backend — the shard will answer
+  /// the error), a deterministic hash of the request's identity fields.
+  std::uint64_t placement_key(const Request& req) const;
+
+  /// Routes one request line; never throws. Same contract as
+  /// Server::handle, with routing semantics documented above.
+  Response handle(const std::string& line);
+
+  /// NDJSON serving over a listener — the counterpart of
+  /// Server::serve_listener, built on the same shared loop.
+  int serve_listener(Listener& listener);
+  int serve_endpoint(const std::string& spec);
+
+  /// Async-signal-safe drain trigger (see Server::request_shutdown).
+  void request_shutdown();
+
+ private:
+  struct Shard {
+    std::string endpoint;
+    mutable std::mutex mu;  ///< guards everything below + the client
+    std::unique_ptr<Client> client;
+    Health health = Health::Up;
+    int consecutive_failures = 0;
+    std::chrono::steady_clock::time_point open_until{};
+    ShardStats stats;  ///< endpoint/health fields unused (kept above)
+  };
+
+  /// One forward to one shard (takes the shard's mu, so per-shard
+  /// traffic — requests, replication puts, probes — fully serializes).
+  enum class ForwardResult {
+    Skipped,   ///< breaker open: not sent
+    Answered,  ///< shard responded (any status) — resp filled
+    Failed,    ///< transport failure — counted against the breaker
+  };
+  ForwardResult forward(std::size_t shard, const std::string& line,
+                        Response* resp);
+
+  /// Breaker admission for shard `s` (mu held by caller): true = send.
+  bool admit_locked(Shard& s, std::chrono::steady_clock::time_point now);
+  void on_success_locked(Shard& s);
+  void on_failure_locked(Shard& s, std::chrono::steady_clock::time_point now);
+
+  Response route_eval(const Request& req, const std::string& line);
+  Response route_put(const Request& req, const std::string& line);
+  Response route(const Request& req, std::uint64_t key,
+                 const std::string& line, bool replicate_ok);
+  void replicate(std::uint64_t key, std::size_t served_by,
+                 const Response& ok_resp);
+  Response stats_response(const Request& req) const;
+  Response status_response(const Request& req) const;
+  Response all_down_response(const Request& req);
+
+  void prober_loop();
+  void probe(std::size_t shard);
+
+  RouterOptions opts_;
+  Ring ring_;
+  /// Placement-only session: fingerprints requests exactly as the shards
+  /// do; never simulates (workers = 1, no store).
+  core::Session session_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;  ///< shards vector unused here (assembled in stats())
+
+  std::atomic<Listener*> active_listener_{nullptr};
+  std::atomic<bool> shutdown_requested_{false};
+
+  std::mutex prober_mu_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+  std::thread prober_;  ///< declared last: joined before members die
+};
+
+/// Client-compatible front end over an embedded Router. The spec is a
+/// comma-separated endpoint list; options default to RouterOptions
+/// (pass one to tune replication/breakers).
+class RouterClient {
+ public:
+  explicit RouterClient(const std::string& endpoints_spec,
+                        RouterOptions opts = {});
+
+  Response request(const std::string& json_line);
+  Response submit(const Request& eval_request);
+  Response stats();
+  Response status();
+  Response shutdown();
+
+  Router& router() { return router_; }
+
+ private:
+  Router router_;
+};
+
+/// Splits "a:1234,b:1235,unix:/tmp/s.sock" into endpoint specs
+/// (whitespace around entries trimmed; empty entries rejected).
+std::vector<std::string> split_endpoints(const std::string& spec);
+
+}  // namespace sparsetrain::serve

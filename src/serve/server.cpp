@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -12,6 +13,8 @@
 
 #include "core/export.hpp"
 #include "isa/instruction.hpp"
+#include "serve/line_server.hpp"
+#include "serve/report_io.hpp"
 #include "util/require.hpp"
 
 #ifndef _WIN32
@@ -35,8 +38,24 @@ core::SessionConfig session_config(const ServerOptions& opts) {
   return cfg;
 }
 
-workload::SparsityProfile profile_for(const workload::NetworkConfig& net,
-                                      const Request& r) {
+/// Collapses a pretty-printed JSON document onto one NDJSON-safe line.
+std::string one_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n') c = ' ';
+  }
+  while (!s.empty() && s.back() == ' ') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+workload::NetworkConfig request_network(const Request& r) {
+  return r.workload == "tiny" ? workload::tiny_workload()
+                              : workload::find_workload(r.workload).net;
+}
+
+workload::SparsityProfile request_profile(const workload::NetworkConfig& net,
+                                          const Request& r) {
   if (r.scenario == "dense") return workload::SparsityProfile::dense(net);
   if (r.scenario == "natural") {
     return workload::SparsityProfile::natural(net, r.act_density);
@@ -48,16 +67,12 @@ workload::SparsityProfile profile_for(const workload::NetworkConfig& net,
                                                r.do_density);
 }
 
-/// Collapses a pretty-printed JSON document onto one NDJSON-safe line.
-std::string one_line(std::string s) {
-  for (char& c : s) {
-    if (c == '\n') c = ' ';
-  }
-  while (!s.empty() && s.back() == ' ') s.pop_back();
-  return s;
+core::Session::JobOptions request_job_options(const Request& r) {
+  core::Session::JobOptions options;
+  options.batch = r.batch;
+  if (r.engine == "exact") options.sim.engine = isa::EngineKind::Exact;
+  return options;
 }
-
-}  // namespace
 
 Server::Server(ServerOptions opts)
     : opts_(std::move(opts)),
@@ -93,6 +108,7 @@ Response Server::handle(const std::string& line) {
 Response Server::process(const Request& req) {
   if (req.type == "stats") return stats_response(req);
   if (req.type == "status") return status_response(req);
+  if (req.type == "put") return put_response(req);
   if (req.type == "shutdown") {
     eval_pool_.wait_idle();  // drain in-flight evaluations
     return bye_response(req);
@@ -119,13 +135,9 @@ Response Server::process_eval(const Request& req) {
   Response resp;
   resp.id = req.id;
   try {
-    const workload::NetworkConfig net =
-        req.workload == "tiny" ? workload::tiny_workload()
-                               : workload::find_workload(req.workload).net;
-    const workload::SparsityProfile profile = profile_for(net, req);
-    core::Session::JobOptions options;
-    options.batch = req.batch;
-    if (req.engine == "exact") options.sim.engine = isa::EngineKind::Exact;
+    const workload::NetworkConfig net = request_network(req);
+    const workload::SparsityProfile profile = request_profile(net, req);
+    const core::Session::JobOptions options = request_job_options(req);
 
     // The single-flight key is the store's own fingerprint, so "identical
     // request" means exactly "would hit the same store record".
@@ -168,6 +180,10 @@ Response Server::process_eval(const Request& req) {
           outcome->utilization = run.report.utilization();
           outcome->on_chip_uj = run.report.energy.on_chip_pj() * 1e-6;
           outcome->dram_uj = run.report.energy.dram_pj * 1e-6;
+          // Serialized unconditionally: any of the coalesced requesters
+          // may have asked for it, and the record is small next to the
+          // simulation that produced it.
+          outcome->report_payload = serialize_report(run.report);
         } catch (const std::exception& e) {
           outcome->error = e.what();
         }
@@ -221,6 +237,9 @@ Response Server::process_eval(const Request& req) {
     resp.utilization = outcome->utilization;
     resp.on_chip_uj = outcome->on_chip_uj;
     resp.dram_uj = outcome->dram_uj;
+    if (req.include_report) {
+      resp.report_hex = hex_encode(outcome->report_payload);
+    }
     {
       std::lock_guard<std::mutex> lock(counters_mu_);
       ++counters_.completed;
@@ -232,6 +251,39 @@ Response Server::process_eval(const Request& req) {
         ++counters_.computed;
       }
     }
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.errors;
+    resp.status = "error";
+    resp.error = e.what();
+  }
+  return resp;
+}
+
+Response Server::put_response(const Request& req) {
+  Response resp;
+  resp.id = req.id;
+  resp.type = "put";
+  try {
+    const std::shared_ptr<ResultStore>& store = session_.result_store();
+    ST_REQUIRE(store != nullptr,
+               "put: this daemon serves without a persistent store");
+    // Decode + parse BEFORE touching the store: a corrupt payload must be
+    // an error response, never a half-written record.
+    const sim::SimReport report = parse_report(hex_decode(req.report_hex));
+    if (!store->put_result(req.fingerprint, report)) {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.errors;
+      resp.status = "error";
+      resp.error = "store did not accept the put (read-only or publish "
+                   "failure)";
+      return resp;
+    }
+    resp.status = "ok";
+    resp.source = "replicated";
+    resp.fingerprint = req.fingerprint;
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.puts;
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(counters_mu_);
     ++counters_.errors;
@@ -266,7 +318,8 @@ Response Server::status_response(const Request& req) const {
      << ", \"errors\": " << c.errors << ", \"rejected\": " << c.rejected
      << ", \"timeouts\": " << c.timeouts
      << ", \"overloaded\": " << c.overloaded
-     << ", \"idle_closed\": " << c.idle_closed << "}";
+     << ", \"idle_closed\": " << c.idle_closed << ", \"puts\": " << c.puts
+     << "}";
   resp.payload_json = os.str();
   return resp;
 }
@@ -354,131 +407,56 @@ int Server::serve_listener(Listener& listener) {
 #ifndef _WIN32
   std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
 #endif
-  ST_REQUIRE(listener.valid(), "serve: listener is not listening");
-
-  // One thread per connection. All bookkeeping below (creation, reaping,
-  // the final join) happens on the accept thread; a handler thread only
-  // touches its own slot's conn and done flag, plus — on shutdown — the
-  // other conns' thread-safe shutdown().
-  struct ConnSlot {
-    Conn conn;
-    std::thread thread;
-    std::atomic<bool> done{false};
+  LineServerOptions lo;
+  lo.max_connections = opts_.max_connections;
+  lo.idle_timeout_ms = opts_.idle_timeout_ms;
+  {
+    Response rej;
+    rej.status = "rejected";
+    rej.error = "overloaded: " + std::to_string(opts_.max_connections) +
+                " connections already open, try again later";
+    lo.overloaded_line = format_response(rej);
+    Response idle;
+    idle.status = "error";
+    idle.error = "idle timeout: no request for " +
+                 std::to_string(opts_.idle_timeout_ms) +
+                 " ms, closing connection";
+    lo.idle_line = format_response(idle);
+  }
+  lo.on_overloaded = [this]() {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.overloaded;
   };
-  std::mutex conns_mu;
-  std::vector<std::shared_ptr<ConnSlot>> conns;  // guarded by conns_mu
-  std::atomic<bool> stop{false};
-  std::atomic<std::size_t> active{0};
-
-  const auto reap_finished = [&]() {
-    std::vector<std::shared_ptr<ConnSlot>> finished;
-    {
-      std::lock_guard<std::mutex> lock(conns_mu);
-      auto it = conns.begin();
-      while (it != conns.end()) {
-        if ((*it)->done.load()) {
-          finished.push_back(*it);
-          it = conns.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    }
-    for (const auto& slot : finished) {
-      if (slot->thread.joinable()) slot->thread.join();
-    }
+  lo.on_idle_closed = [this]() {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.idle_closed;
   };
 
-  while (!stop.load()) {
-    Conn conn = listener.accept();
-    // accept() already retried every transient failure; an invalid Conn
-    // means shutdown() fired or the listener itself is broken.
-    if (!conn.valid()) break;
-    reap_finished();  // bound the slot list by the live connection count
-    if (opts_.max_connections > 0 && active.load() >= opts_.max_connections) {
-      {
-        std::lock_guard<std::mutex> lock(counters_mu_);
-        ++counters_.overloaded;
-      }
-      Response rej;
-      rej.status = "rejected";
-      rej.error = "overloaded: " + std::to_string(opts_.max_connections) +
-                  " connections already open, try again later";
-      conn.write_line(format_response(rej));
-      continue;  // conn closes on scope exit — an explicit no, not a hang
-    }
-    auto slot = std::make_shared<ConnSlot>();
-    slot->conn = std::move(conn);
-    {
-      std::lock_guard<std::mutex> lock(conns_mu);
-      conns.push_back(slot);
-    }
-    ++active;
-    // Raw pointer into the slot: the accept thread keeps the shared_ptr
-    // alive until after join (a shared_ptr capture would make the slot's
-    // own thread keep the slot alive — a cycle that never frees).
-    ConnSlot* s = slot.get();
-    slot->thread = std::thread([this, s, &listener, &stop, &conns_mu,
-                                &conns, &active]() {
-      std::string line;
-      for (;;) {
-        const Conn::ReadStatus st =
-            s->conn.read_line(line, opts_.idle_timeout_ms);
-        if (st == Conn::ReadStatus::Timeout) {
-          {
-            std::lock_guard<std::mutex> lock(counters_mu_);
-            ++counters_.idle_closed;
-          }
-          Response err;
-          err.status = "error";
-          err.error = "idle timeout: no request for " +
-                      std::to_string(opts_.idle_timeout_ms) +
-                      " ms, closing connection";
-          s->conn.write_line(format_response(err));
-          break;
-        }
-        if (st != Conn::ReadStatus::Ok) break;  // Eof / transport error
-        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+  active_listener_.store(&listener);
+  const int rc = run_line_server(
+      listener, lo, [this](const std::string& line, bool* stop_serving) {
         const Response resp = handle(line);
-        if (!s->conn.write_line(format_response(resp))) break;
-        if (resp.type == "bye") {
-          // Shutdown: stop accepting and kick every other connection so
-          // their reader loops end and the daemon can drain.
-          stop.store(true);
-          listener.shutdown();
-          std::lock_guard<std::mutex> lock(conns_mu);
-          for (const auto& other : conns) {
-            if (other.get() != s) other->conn.shutdown();
-          }
-          break;
-        }
-      }
-      // Half-close only — the fd is closed by the slot's destructor on
-      // the accept thread after join, so a late shutdown() kick can
-      // never race a concurrent close.
-      s->conn.shutdown();
-      --active;
-      s->done.store(true);
-    });
-  }
-
-  // Kick any connection still blocked in a read (idempotent after the
-  // bye kick), then join everything.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu);
-    for (const auto& slot : conns) slot->conn.shutdown();
-  }
-  std::vector<std::shared_ptr<ConnSlot>> remaining;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu);
-    remaining.swap(conns);
-  }
-  for (const auto& slot : remaining) {
-    if (slot->thread.joinable()) slot->thread.join();
-  }
+        if (resp.type == "bye") *stop_serving = true;
+        return format_response(resp);
+      });
+  active_listener_.store(nullptr);
   listener.close();
   eval_pool_.wait_idle();
-  return 0;
+  if (shutdown_requested_.load()) {
+    // Signal-initiated drain: no connection carried a shutdown request,
+    // so the final "bye" counters go to stderr instead.
+    std::fprintf(stderr, "%s\n",
+                 format_response(bye_response(Request{})).c_str());
+  }
+  return rc;
+}
+
+void Server::request_shutdown() {
+  // Called from signal handlers: only async-signal-safe steps — an
+  // atomic store plus Listener::shutdown() (atomic load + shutdown(2)).
+  shutdown_requested_.store(true);
+  Listener* listener = active_listener_.load();
+  if (listener != nullptr) listener->shutdown();
 }
 
 int Server::serve_unix_socket(const std::string& path) {

@@ -47,6 +47,14 @@
 
 namespace sparsetrain::serve {
 
+/// Shared request → session translation, used by Server and Router so
+/// both resolve an eval request to exactly the same network / profile /
+/// job options (and therefore the same store fingerprint).
+workload::NetworkConfig request_network(const Request& r);
+workload::SparsityProfile request_profile(const workload::NetworkConfig& net,
+                                          const Request& r);
+core::Session::JobOptions request_job_options(const Request& r);
+
 struct ServerOptions {
   /// Session configuration (arches, batch, sim workers, seed). The
   /// `store` field is overridden when `store_dir` is set.
@@ -96,6 +104,7 @@ class Server {
     std::uint64_t timeouts = 0;   ///< requester gave up waiting
     std::uint64_t overloaded = 0; ///< connections refused at the cap
     std::uint64_t idle_closed = 0;///< connections closed by idle timeout
+    std::uint64_t puts = 0;       ///< replicated reports accepted
   };
   Counters counters() const;
 
@@ -128,6 +137,12 @@ class Server {
   /// unix path (see parse_endpoint). Same contract as serve_unix_socket.
   int serve_endpoint(const std::string& spec);
 
+  /// Async-signal-safe shutdown trigger (atomic store + a shutdown(2)
+  /// kick of the active listener). serve_listener then drains exactly as
+  /// if a "shutdown" request had arrived, writing the final "bye"
+  /// counters to stderr since no connection asked for them.
+  void request_shutdown();
+
  private:
   struct EvalOutcome {
     std::string error;  ///< nonempty = evaluation failed
@@ -140,11 +155,13 @@ class Server {
     double utilization = 0.0;
     double on_chip_uj = 0.0;
     double dram_uj = 0.0;
+    std::string report_payload;  ///< serialized report (report_io v1)
   };
   using OutcomeFuture = std::shared_future<std::shared_ptr<const EvalOutcome>>;
 
   Response process(const Request& req);
   Response process_eval(const Request& req);
+  Response put_response(const Request& req);
   Response stats_response(const Request& req);
   Response status_response(const Request& req) const;
   Response bye_response(const Request& req);
@@ -152,6 +169,8 @@ class Server {
   ServerOptions opts_;
   core::Session session_;
   std::atomic<std::size_t> pending_{0};
+  std::atomic<Listener*> active_listener_{nullptr};
+  std::atomic<bool> shutdown_requested_{false};
 
   mutable std::mutex counters_mu_;
   Counters counters_;

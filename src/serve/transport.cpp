@@ -11,6 +11,7 @@
 #include "util/syscall.hpp"
 
 #ifndef _WIN32
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -118,6 +119,51 @@ sockaddr_un unix_addr(const std::string& path) {
   return addr;
 }
 
+/// connect() bounded by `timeout_ms`: the socket goes non-blocking for
+/// the connect, a poll(POLLOUT) waits for completion, SO_ERROR reports
+/// the outcome, and blocking mode is restored for the Conn. With
+/// timeout_ms <= 0 this is a plain blocking connect. Returns 0 on
+/// success; otherwise -1 with errno set (ETIMEDOUT for a poll timeout).
+int timed_connect(int fd, const sockaddr* addr, socklen_t len,
+                  long timeout_ms) {
+  if (timeout_ms <= 0) {
+    return static_cast<int>(
+        util::retry_eintr([&] { return ::connect(fd, addr, len); }));
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return -1;
+  int rc = static_cast<int>(
+      util::retry_eintr([&] { return ::connect(fd, addr, len); }));
+  if (rc != 0 && (errno == EINPROGRESS || errno == EAGAIN)) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    const int pr = static_cast<int>(util::retry_eintr(
+        [&] { return ::poll(&p, 1, static_cast<int>(timeout_ms)); }));
+    if (pr == 0) {
+      errno = ETIMEDOUT;
+      rc = -1;
+    } else if (pr < 0) {
+      rc = -1;
+    } else {
+      int soerr = 0;
+      socklen_t slen = sizeof soerr;
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &slen) != 0) {
+        rc = -1;
+      } else if (soerr != 0) {
+        errno = soerr;
+        rc = -1;
+      } else {
+        rc = 0;
+      }
+    }
+  }
+  const int saved = errno;
+  ::fcntl(fd, F_SETFL, flags);  // the Conn reads/writes in blocking mode
+  errno = saved;
+  return rc;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------------ Conn
@@ -218,7 +264,8 @@ void Conn::close() {
   }
 }
 
-Conn connect_endpoint(const Endpoint& ep, std::string* error) {
+Conn connect_endpoint(const Endpoint& ep, std::string* error,
+                      long connect_timeout_ms) {
   std::string err;
   if (ep.kind == Endpoint::Kind::Unix) {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -226,20 +273,19 @@ Conn connect_endpoint(const Endpoint& ep, std::string* error) {
       err = "socket: " + util::errno_text(errno);
     } else {
       const sockaddr_un addr = unix_addr(ep.path);
-      if (util::retry_eintr([&] {
-            return ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                             sizeof(addr));
-          }) == 0) {
+      if (timed_connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr), connect_timeout_ms) == 0) {
         return Conn(fd);
       }
       err = "connect " + ep.path + ": " + util::errno_text(errno);
       ::close(fd);
     }
   } else {
-    const int fd = each_tcp_addr(ep, err, [](int s, sockaddr* a,
-                                             socklen_t len) {
-      return util::retry_eintr([&] { return ::connect(s, a, len); }) == 0;
-    });
+    const int fd =
+        each_tcp_addr(ep, err, [connect_timeout_ms](int s, sockaddr* a,
+                                                    socklen_t len) {
+          return timed_connect(s, a, len, connect_timeout_ms) == 0;
+        });
     if (fd >= 0) return Conn(fd);
     err = "connect " + ep.describe() + ": " + err;
   }
@@ -387,7 +433,7 @@ bool Conn::write_line(const std::string&) { return false; }
 void Conn::shutdown() {}
 void Conn::close() { fd_ = -1; }
 
-Conn connect_endpoint(const Endpoint& ep, std::string* error) {
+Conn connect_endpoint(const Endpoint& ep, std::string* error, long) {
   if (error != nullptr) {
     *error = "sockets are unavailable on this platform (" + ep.describe() +
              ")";

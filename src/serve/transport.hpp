@@ -86,8 +86,12 @@ class Conn {
 };
 
 /// Connects to `ep`. Returns an invalid Conn on failure, with the cause
-/// in `*error` when given.
-Conn connect_endpoint(const Endpoint& ep, std::string* error = nullptr);
+/// in `*error` when given. `connect_timeout_ms > 0` bounds the connect
+/// itself (non-blocking connect + poll, so a blackholed host fails after
+/// the timeout instead of the kernel's multi-minute SYN retry default);
+/// <= 0 keeps the blocking connect.
+Conn connect_endpoint(const Endpoint& ep, std::string* error = nullptr,
+                      long connect_timeout_ms = 0);
 
 /// A listening socket (AF_UNIX or TCP). Move-only; unix paths are
 /// unlinked on close.

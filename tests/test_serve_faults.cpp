@@ -270,5 +270,109 @@ TEST(SessionFaults, SessionKeepsComputingWithASickStore) {
   fs::remove_all(dir);
 }
 
+TEST(StoreFaults, EvictingPutIsNeverAPublishFailure) {
+  // Eviction runs inside the successful-put path; even at the harshest
+  // degradation threshold (one failure flips read-only) a store that
+  // evicts on every put must stay healthy and writable.
+  const std::string dir = fresh_dir("faults_evict_ok");
+  const std::uint64_t record =
+      serve::serialize_report(report_with_cycles(100)).size();
+  StoreOptions opts;
+  opts.max_bytes = record + record / 2;  // room for one record, not two
+  opts.read_only_after = 1;
+  ResultStore store(dir, opts);
+
+  for (std::uint64_t fp = 1; fp <= 5; ++fp) {
+    ASSERT_TRUE(store.put_result(fp, report_with_cycles(100 + fp)));
+  }
+  const serve::StoreStats s = store.stats();
+  EXPECT_FALSE(s.read_only);
+  EXPECT_EQ(s.publish_failures, 0u);
+  EXPECT_EQ(s.evictions, 4u);  // each put past the first evicted one
+  EXPECT_EQ(s.entries, 1u);
+  sim::SimReport out;
+  EXPECT_TRUE(store.get_result(5, out));  // newest survived
+  EXPECT_FALSE(store.get_result(1, out));
+  fs::remove_all(dir);
+}
+
+TEST(StoreFaults, EvictRemoveFailureDoesNotFailThePut) {
+  const std::string dir = fresh_dir("faults_evict_remove");
+  auto hooks = std::make_shared<FaultIoHooks>();
+  const std::uint64_t record =
+      serve::serialize_report(report_with_cycles(100)).size();
+  StoreOptions opts = with_hooks(hooks);
+  opts.max_bytes = record + record / 2;
+  opts.read_only_after = 1;
+  ResultStore store(dir, opts);
+  ASSERT_TRUE(store.put_result(1, report_with_cycles(100)));
+
+  // The publication itself is 7 hooked ops; the eviction's remove is the
+  // 8th. Failing it must not fail the put, mark the store degraded, or
+  // leave the victim in the index (the orphan file is reindexed only by
+  // a reopen).
+  hooks->arm({.fail_at = 8, .error = EIO});
+  ASSERT_TRUE(store.put_result(2, report_with_cycles(200)));
+  const serve::StoreStats s = store.stats();
+  EXPECT_FALSE(s.read_only);
+  EXPECT_EQ(s.publish_failures, 0u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  sim::SimReport out;
+  EXPECT_TRUE(store.get_result(2, out));
+  EXPECT_FALSE(store.get_result(1, out));
+  fs::remove_all(dir);
+}
+
+TEST(StoreFaults, ReadOnlyStoreNeverEvictsAndDropsStayDropped) {
+  // A degraded (read-only) store under a size cap: dropped puts must not
+  // trigger eviction of healthy records, must not count as publish
+  // failures, and must not resurrect after a reopen.
+  const std::string dir = fresh_dir("faults_ro_lru");
+  auto hooks = std::make_shared<FaultIoHooks>();
+  const std::uint64_t record =
+      serve::serialize_report(report_with_cycles(100)).size();
+  StoreOptions opts = with_hooks(hooks);
+  opts.max_bytes = 3 * record;  // fits the two survivors comfortably
+  opts.read_only_after = 2;
+  ResultStore store(dir, opts);
+  ASSERT_TRUE(store.put_result(1, report_with_cycles(100)));
+  ASSERT_TRUE(store.put_result(2, report_with_cycles(200)));
+
+  hooks->arm({.fail_at = 1, .error = ENOSPC, .sticky = true});
+  EXPECT_FALSE(store.put_result(3, report_with_cycles(300)));
+  EXPECT_FALSE(store.put_result(4, report_with_cycles(400)));
+  ASSERT_TRUE(store.read_only());
+  const serve::StoreStats degraded = store.stats();
+
+  // The disk heals, but this instance stays read-only: a burst of puts
+  // (enough to overflow the cap, were they admitted) is dropped without
+  // evicting anything or touching the failure counters.
+  hooks->arm({});
+  for (std::uint64_t fp = 10; fp < 16; ++fp) {
+    EXPECT_FALSE(store.put_result(fp, report_with_cycles(fp)));
+  }
+  const serve::StoreStats s = store.stats();
+  EXPECT_EQ(s.evictions, degraded.evictions);
+  EXPECT_EQ(s.publish_failures, degraded.publish_failures);
+  EXPECT_EQ(s.dropped_publishes, degraded.dropped_publishes + 6);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes, degraded.bytes);
+  sim::SimReport out;
+  EXPECT_TRUE(store.get_result(1, out));
+  EXPECT_TRUE(store.get_result(2, out));
+
+  // Reopen: the survivors are there, the dropped puts are gone for good
+  // (dropping never left half-written records to resurrect).
+  ResultStore reopened(dir, opts);
+  EXPECT_FALSE(reopened.read_only());
+  EXPECT_TRUE(reopened.get_result(1, out));
+  EXPECT_TRUE(reopened.get_result(2, out));
+  for (std::uint64_t fp = 3; fp < 16; ++fp) {
+    EXPECT_FALSE(reopened.get_result(fp, out));
+  }
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace sparsetrain

@@ -1,0 +1,565 @@
+// Replicated shard router: deterministic consistent-hash placement
+// (order-insensitive, minimal movement on pool resize), zero-loss
+// failover with a shard down, replication into ring successors, the
+// per-shard circuit breaker's open → half-open → closed cycle, the
+// background health prober, and the explicit all-shards-down rejection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/ring.hpp"
+#include "serve/router.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+#include "util/require.hpp"
+
+namespace sparsetrain {
+namespace {
+
+namespace fs = std::filesystem;
+
+using serve::Client;
+using serve::ClientOptions;
+using serve::Listener;
+using serve::Request;
+using serve::Response;
+using serve::Ring;
+using serve::RingOptions;
+using serve::Router;
+using serve::RouterClient;
+using serve::RouterOptions;
+using serve::Server;
+using serve::ServerOptions;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "sparsetrain_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string fresh_socket(const std::string& name) {
+  const std::string path =
+      ::testing::TempDir() + "sparsetrain_" + name + ".sock";
+  fs::remove(path);
+  return path;
+}
+
+Request tiny_eval(const std::string& id) {
+  Request r;
+  r.type = "eval";
+  r.id = id;
+  r.workload = "tiny";
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Ring placement
+
+TEST(Ring, PlacementIgnoresEndpointOrder) {
+  const Ring a({"alpha:1", "beta:2", "gamma:3"});
+  const Ring b({"gamma:3", "alpha:1", "beta:2"});
+  for (std::uint64_t key = 0; key < 5000; ++key) {
+    const std::uint64_t k = key * 0x9e3779b97f4a7c15ULL;
+    EXPECT_EQ(a.endpoint(a.owner(k)), b.endpoint(b.owner(k)));
+  }
+}
+
+TEST(Ring, SamePoolTwoInstancesAgreeEverywhere) {
+  // Placement is a pure function of the endpoint strings: a second
+  // router (or a restarted one) computes identical ownership.
+  const std::vector<std::string> pool = {"s0", "s1", "s2", "s3"};
+  const Ring a(pool);
+  const Ring b(pool);
+  for (std::uint64_t key = 1; key < 5000; ++key) {
+    EXPECT_EQ(a.owner(key * 0xc2b2ae3d27d4eb4fULL),
+              b.owner(key * 0xc2b2ae3d27d4eb4fULL));
+  }
+}
+
+TEST(Ring, AddingShardMovesOnlyKeysItNowOwns) {
+  const Ring three({"s0", "s1", "s2"});
+  const Ring four({"s0", "s1", "s2", "s3"});
+  int moved = 0;
+  const int kKeys = 10000;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::uint64_t k =
+        static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL + 17;
+    const std::string& before = three.endpoint(three.owner(k));
+    const std::string& after = four.endpoint(four.owner(k));
+    if (before != after) {
+      // The only legal destination for a moved key is the new shard.
+      EXPECT_EQ(after, "s3");
+      ++moved;
+    }
+  }
+  // ~1/4 of the space belongs to the new shard; allow generous slack for
+  // virtual-node variance but pin that the vast majority stayed put.
+  EXPECT_GT(moved, kKeys / 20);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+TEST(Ring, RemovingShardStrandsOnlyItsOwnKeys) {
+  const Ring three({"s0", "s1", "s2"});
+  const Ring two({"s0", "s1"});
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t k =
+        static_cast<std::uint64_t>(i) * 0x2545f4914f6cdd1dULL + 3;
+    const std::string& before = three.endpoint(three.owner(k));
+    const std::string& after = two.endpoint(two.owner(k));
+    if (before != "s2") {
+      EXPECT_EQ(before, after);  // survivors keep everything they had
+    }
+  }
+}
+
+TEST(Ring, SuccessorsAreDistinctAndStartAtOwner) {
+  const Ring ring({"s0", "s1", "s2"});
+  for (std::uint64_t key = 1; key < 2000; ++key) {
+    const std::uint64_t k = key * 0x9e3779b97f4a7c15ULL;
+    const std::vector<std::size_t> order = ring.successors(k, 2);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], ring.owner(k));
+    std::vector<std::size_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<std::size_t>{0, 1, 2}));
+  }
+}
+
+TEST(Ring, RejectsEmptyAndDuplicateEndpoints) {
+  EXPECT_THROW(Ring({}), ContractError);
+  EXPECT_THROW(Ring({"a", ""}), ContractError);
+  EXPECT_THROW(Ring({"a", "b", "a"}), ContractError);
+}
+
+TEST(Router, SplitEndpointsTrimsAndRejectsEmpties) {
+  EXPECT_EQ(serve::split_endpoints("a:1, b:2 ,unix.sock"),
+            (std::vector<std::string>{"a:1", "b:2", "unix.sock"}));
+  EXPECT_THROW(serve::split_endpoints("a:1,,b:2"), ContractError);
+  EXPECT_THROW(serve::split_endpoints(""), ContractError);
+}
+
+// ---------------------------------------------------------------------------
+// A pool of real daemons behind the router.
+
+struct ShardDaemon {
+  std::string socket;
+  std::string store_dir;
+  std::unique_ptr<Server> server;
+  std::thread thread;
+
+  void start() {
+    ServerOptions opts;
+    opts.store_dir = store_dir;
+    server = std::make_unique<Server>(opts);
+    Listener listener = Listener::listen(socket);
+    thread = std::thread(
+        [this, l = std::move(listener)]() mutable {
+          server->serve_listener(l);
+        });
+  }
+
+  void stop() {
+    if (!server) return;
+    Client killer(socket, ClientOptions{});
+    EXPECT_EQ(killer.shutdown().type, "bye");
+    thread.join();
+    server.reset();
+  }
+};
+
+struct Pool {
+  std::vector<ShardDaemon> shards;
+
+  explicit Pool(const std::string& name, std::size_t n) {
+    shards.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shards[i].socket =
+          fresh_socket(name + "_shard" + std::to_string(i));
+      shards[i].store_dir =
+          fresh_dir(name + "_store" + std::to_string(i));
+      shards[i].start();
+    }
+  }
+
+  ~Pool() {
+    for (ShardDaemon& s : shards) s.stop();
+    for (ShardDaemon& s : shards) fs::remove_all(s.store_dir);
+  }
+
+  std::vector<std::string> endpoints() const {
+    std::vector<std::string> out;
+    for (const ShardDaemon& s : shards) out.push_back(s.socket);
+    return out;
+  }
+
+  std::size_t index_of(const std::string& endpoint) const {
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i].socket == endpoint) return i;
+    }
+    ADD_FAILURE() << "unknown endpoint " << endpoint;
+    return 0;
+  }
+};
+
+RouterOptions pool_router_options(const Pool& pool) {
+  RouterOptions opts;
+  opts.endpoints = pool.endpoints();
+  opts.client.deadline_ms = 30000;  // evals on a loaded CI box take time
+  opts.client.connect_timeout_ms = 500;
+  return opts;
+}
+
+/// A tiny-workload eval whose placement key lands on shard `target`
+/// (found by scanning pruning rates — each p is a distinct fingerprint).
+Request eval_owned_by(const Router& router, std::size_t target,
+                      const std::string& id) {
+  for (int i = 0; i < 500; ++i) {
+    Request r = tiny_eval(id);
+    r.p = 0.30 + 0.001 * i;
+    if (router.ring().owner(router.placement_key(r)) == target) return r;
+  }
+  ADD_FAILURE() << "no tiny eval maps to shard " << target;
+  return tiny_eval(id);
+}
+
+TEST(Router, RoutesEvalsAndAnnotatesTheServingShard) {
+  Pool pool("route_basic", 3);
+  RouterClient client(pool.shards[0].socket + "," + pool.shards[1].socket +
+                          "," + pool.shards[2].socket,
+                      pool_router_options(pool));
+
+  const Request req = tiny_eval("r1");
+  const Response resp = client.submit(req);
+  ASSERT_EQ(resp.status, "ok") << resp.error;
+  const std::string owner = client.router().ring().endpoint(
+      client.router().ring().owner(client.router().placement_key(req)));
+  EXPECT_EQ(resp.shard, owner);
+  EXPECT_EQ(resp.source, "computed");
+  EXPECT_TRUE(resp.report_hex.empty());  // not asked for → not leaked
+
+  // Identical request again: same shard, now a warm hit (store or the
+  // session-level store path).
+  const Response again = client.submit(tiny_eval("r2"));
+  ASSERT_EQ(again.status, "ok") << again.error;
+  EXPECT_EQ(again.shard, owner);
+  EXPECT_EQ(again.fingerprint, resp.fingerprint);
+
+  const Response stats = client.stats();
+  EXPECT_EQ(stats.type, "stats");
+  EXPECT_NE(stats.payload_json.find("router_stats/v1"), std::string::npos);
+  EXPECT_NE(stats.payload_json.find("\"health\": \"up\""),
+            std::string::npos);
+
+  const Router::Stats s = client.router().stats();
+  EXPECT_EQ(s.routed, 2u);
+  EXPECT_EQ(s.failovers, 0u);
+  EXPECT_EQ(s.rejected, 0u);
+}
+
+TEST(Router, MalformedLinesAnswerErrorWithoutTouchingShards) {
+  Pool pool("route_bad", 1);
+  RouterOptions opts = pool_router_options(pool);
+  Router router(opts);
+  const Response resp = router.handle("this is not json");
+  EXPECT_EQ(resp.status, "error");
+  const Router::Stats s = router.stats();
+  EXPECT_EQ(s.errors, 1u);
+  EXPECT_EQ(s.shards[0].forwards, 0u);
+}
+
+TEST(Router, ReplicationMakesTheKeyReadableFromTheSuccessor) {
+  Pool pool("route_repl", 3);
+  RouterOptions opts = pool_router_options(pool);
+  opts.replicas = 1;
+  Router router(opts);
+
+  const Request req = eval_owned_by(router, 0, "repl");
+  const std::uint64_t key = router.placement_key(req);
+  const std::size_t successor = router.ring().successors(key, 1)[1];
+
+  const Response first = router.handle(serve::format_request(req));
+  ASSERT_EQ(first.status, "ok") << first.error;
+  EXPECT_EQ(first.shard, pool.shards[0].socket);
+  EXPECT_EQ(first.source, "computed");
+
+  // Replication is synchronous with the response: the successor's
+  // counters already show the accepted put...
+  const Router::Stats s = router.stats();
+  EXPECT_EQ(s.shards[successor].replications, 1u);
+  EXPECT_EQ(s.shards[successor].replication_failures, 0u);
+
+  // ...and the successor can serve the fingerprint from its own store:
+  // ask it directly, bypassing the router.
+  Client direct(pool.shards[successor].socket, ClientOptions{});
+  Request same = req;
+  same.id = "direct";
+  const Response from_replica = direct.submit(same);
+  ASSERT_EQ(from_replica.status, "ok") << from_replica.error;
+  EXPECT_EQ(from_replica.fingerprint, first.fingerprint);
+  EXPECT_EQ(from_replica.source, "store");
+}
+
+TEST(Router, FailoverWithOneShardDownLosesZeroRequests) {
+  Pool pool("route_failover", 3);
+  RouterOptions opts = pool_router_options(pool);
+  opts.replicas = 1;
+  opts.breaker_threshold = 2;
+  opts.breaker_cooldown_ms = 60000;  // stays down for the whole test
+  Router router(opts);
+
+  // Warm every shard with a key it owns (and replicate to successors).
+  std::vector<Request> owned;
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    owned.push_back(
+        eval_owned_by(router, shard, "warm" + std::to_string(shard)));
+    const Response resp =
+        router.handle(serve::format_request(owned.back()));
+    ASSERT_EQ(resp.status, "ok") << resp.error;
+  }
+
+  // Kill shard 0. Its keys must fail over to the ring successor — which
+  // replication already warmed — and every request still succeeds.
+  pool.shards[0].stop();
+  const std::uint64_t dead_key = router.placement_key(owned[0]);
+  const std::string successor_ep =
+      router.ring().endpoint(router.ring().successors(dead_key, 1)[1]);
+
+  for (int i = 0; i < 4; ++i) {
+    Request again = owned[i % 3];
+    again.id = "after" + std::to_string(i);
+    const Response resp = router.handle(serve::format_request(again));
+    ASSERT_EQ(resp.status, "ok")
+        << "request " << i << " lost: " << resp.error;
+  }
+  // The dead shard's key specifically: served by its successor, from the
+  // replicated store record (no recompute).
+  Request dead_again = owned[0];
+  dead_again.id = "dead_key";
+  const Response failed_over =
+      router.handle(serve::format_request(dead_again));
+  ASSERT_EQ(failed_over.status, "ok") << failed_over.error;
+  EXPECT_EQ(failed_over.shard, successor_ep);
+  EXPECT_EQ(failed_over.source, "store");
+
+  const Router::Stats s = router.stats();
+  EXPECT_GE(s.failovers, 1u);
+  EXPECT_EQ(s.rejected, 0u);
+  const std::size_t dead = pool.index_of(pool.shards[0].socket);
+  EXPECT_GE(s.shards[dead].failures, 1u);
+}
+
+TEST(Router, BreakerOpensHalfOpensAndClosesAgain) {
+  // One endpoint, nothing listening: connects fail instantly (ENOENT).
+  const std::string socket = fresh_socket("route_breaker");
+  RouterOptions opts;
+  opts.endpoints = {socket};
+  opts.replicas = 0;
+  opts.breaker_threshold = 2;
+  opts.breaker_cooldown_ms = 150;
+  opts.client.deadline_ms = 2000;
+  opts.client.connect_timeout_ms = 200;
+  Router router(opts);
+
+  // Two transport failures open the breaker...
+  for (int i = 0; i < 2; ++i) {
+    const Response resp =
+        router.handle(serve::format_request(tiny_eval("f")));
+    EXPECT_EQ(resp.status, "rejected");
+    EXPECT_NE(resp.error.find("all shards down"), std::string::npos);
+  }
+  Router::Stats s = router.stats();
+  EXPECT_EQ(s.shards[0].health, Router::Health::Open);
+  EXPECT_EQ(s.shards[0].failures, 2u);
+
+  // ...and while open the shard is skipped without paying a connect.
+  const Response skipped =
+      router.handle(serve::format_request(tiny_eval("s")));
+  EXPECT_EQ(skipped.status, "rejected");
+  s = router.stats();
+  EXPECT_GE(s.shards[0].skipped, 1u);
+  EXPECT_EQ(s.shards[0].failures, 2u);  // no new connect attempt
+
+  // Recovery: bring a real daemon up on the endpoint, wait out the
+  // cooldown, and the next request is the half-open probe that closes
+  // the breaker.
+  ShardDaemon daemon;
+  daemon.socket = socket;
+  daemon.store_dir = fresh_dir("route_breaker_store");
+  daemon.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const Response recovered =
+      router.handle(serve::format_request(tiny_eval("r")));
+  EXPECT_EQ(recovered.status, "ok") << recovered.error;
+  s = router.stats();
+  EXPECT_EQ(s.shards[0].health, Router::Health::Up);
+  EXPECT_EQ(s.shards[0].recoveries, 1u);
+
+  daemon.stop();
+  fs::remove_all(daemon.store_dir);
+}
+
+TEST(Router, AllShardsDownRejectsExplicitlyWithinTheDeadline) {
+  RouterOptions opts;
+  opts.endpoints = {fresh_socket("down_a"), fresh_socket("down_b"),
+                    fresh_socket("down_c")};
+  opts.breaker_threshold = 1;
+  opts.client.deadline_ms = 500;
+  opts.client.connect_timeout_ms = 100;
+  Router router(opts);
+
+  const auto start = std::chrono::steady_clock::now();
+  const Response resp =
+      router.handle(serve::format_request(tiny_eval("doomed")));
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+
+  EXPECT_EQ(resp.status, "rejected");
+  EXPECT_NE(resp.error.find("all shards down"), std::string::npos)
+      << resp.error;
+  // Three failed unix connects are near-instant; the bound just pins
+  // "explicit answer, not a hang".
+  EXPECT_LT(elapsed.count(), 3000);
+
+  const Router::Stats s = router.stats();
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.routed, 0u);
+}
+
+TEST(Router, ProberRecoversADownShardWithoutTraffic) {
+  const std::string socket = fresh_socket("route_probe");
+  RouterOptions opts;
+  opts.endpoints = {socket};
+  opts.replicas = 0;
+  opts.breaker_threshold = 1;
+  opts.breaker_cooldown_ms = 60000;  // traffic alone would never retry
+  opts.probe_interval_ms = 50;
+  opts.probe_deadline_ms = 500;
+  opts.client.deadline_ms = 2000;
+  opts.client.connect_timeout_ms = 200;
+  Router router(opts);
+
+  // One failure marks the shard down.
+  EXPECT_EQ(router.handle(serve::format_request(tiny_eval("x"))).status,
+            "rejected");
+  ASSERT_EQ(router.stats().shards[0].health, Router::Health::Open);
+
+  // The daemon comes back; the prober must rejoin it with NO request
+  // traffic, despite the one-minute breaker cooldown.
+  ShardDaemon daemon;
+  daemon.socket = socket;
+  daemon.store_dir = fresh_dir("route_probe_store");
+  daemon.start();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (router.stats().shards[0].health != Router::Health::Up &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const Router::Stats s = router.stats();
+  EXPECT_EQ(s.shards[0].health, Router::Health::Up);
+  EXPECT_GE(s.shards[0].probes, 1u);
+  EXPECT_GE(s.shards[0].recoveries, 1u);
+
+  // And real traffic flows again immediately.
+  EXPECT_EQ(router.handle(serve::format_request(tiny_eval("y"))).status,
+            "ok");
+
+  daemon.stop();
+  fs::remove_all(daemon.store_dir);
+}
+
+TEST(Router, ServesTheWireProtocolOverAListener) {
+  Pool pool("route_wire", 2);
+  RouterOptions opts = pool_router_options(pool);
+  Router router(opts);
+
+  Listener listener = Listener::listen(fresh_socket("route_front"));
+  const std::string front = listener.endpoint().path;
+  std::thread serving([&]() { router.serve_listener(listener); });
+
+  Client client(front, ClientOptions{});
+  const Response resp = client.submit(tiny_eval("wire"));
+  EXPECT_EQ(resp.status, "ok") << resp.error;
+  EXPECT_FALSE(resp.shard.empty());
+
+  // parse_response drops the payload object: check the raw stats line.
+  const std::string stats_line =
+      client.request_raw("{\"type\":\"stats\"}");
+  EXPECT_NE(stats_line.find("router_stats/v1"), std::string::npos);
+
+  EXPECT_EQ(client.shutdown().type, "bye");
+  serving.join();
+}
+
+// ---------------------------------------------------------------------------
+// Protocol additions the router rides on.
+
+TEST(RouterProtocol, HexCodecRoundTripsAndRejectsGarbage) {
+  const std::string bytes = std::string("\x00\x7f\xff\x10az", 6);
+  EXPECT_EQ(serve::hex_decode(serve::hex_encode(bytes)), bytes);
+  EXPECT_EQ(serve::hex_encode(""), "");
+  EXPECT_THROW(serve::hex_decode("abc"), ContractError);   // odd length
+  EXPECT_THROW(serve::hex_decode("zz"), ContractError);    // non-hex
+}
+
+TEST(RouterProtocol, PutRoundTripsThroughServerStore) {
+  // include_report hands back the byte-exact payload; a put of that
+  // payload into a second daemon's store serves the fingerprint as a
+  // store hit — the replication mechanism, exercised daemon-to-daemon.
+  ServerOptions aopts;
+  aopts.store_dir = fresh_dir("put_src");
+  Server a(aopts);
+  Request eval = tiny_eval("src");
+  eval.include_report = true;
+  const Response got = a.handle(serve::format_request(eval));
+  ASSERT_EQ(got.status, "ok") << got.error;
+  ASSERT_FALSE(got.report_hex.empty());
+
+  ServerOptions bopts;
+  bopts.store_dir = fresh_dir("put_dst");
+  Server b(bopts);
+  Request put;
+  put.type = "put";
+  put.id = "copy";
+  put.fingerprint = got.fingerprint;
+  put.report_hex = got.report_hex;
+  const Response accepted = b.handle(serve::format_request(put));
+  ASSERT_EQ(accepted.status, "ok") << accepted.error;
+  EXPECT_EQ(accepted.type, "put");
+  EXPECT_EQ(accepted.source, "replicated");
+
+  Request replay = tiny_eval("replay");
+  const Response hit = b.handle(serve::format_request(replay));
+  ASSERT_EQ(hit.status, "ok") << hit.error;
+  EXPECT_EQ(hit.source, "store");
+  EXPECT_EQ(hit.fingerprint, got.fingerprint);
+  EXPECT_EQ(hit.cycles, got.cycles);
+
+  EXPECT_EQ(b.counters().puts, 1u);
+  fs::remove_all(aopts.store_dir);
+  fs::remove_all(bopts.store_dir);
+}
+
+TEST(RouterProtocol, PutWithoutAStoreIsAnExplicitError) {
+  Server storeless;  // no store_dir
+  Request put;
+  put.type = "put";
+  put.fingerprint = 0x1234;
+  put.report_hex = "00";
+  const Response resp = storeless.handle(serve::format_request(put));
+  EXPECT_EQ(resp.status, "error");
+  EXPECT_NE(resp.error.find("store"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sparsetrain

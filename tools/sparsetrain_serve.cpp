@@ -24,6 +24,10 @@
 #include <iostream>
 #include <string>
 
+#ifndef _WIN32
+#include <csignal>
+#endif
+
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "util/args.hpp"
@@ -31,6 +35,30 @@
 namespace {
 
 using sparsetrain::Args;
+
+// SIGTERM/SIGINT ride the graceful drain path: the handler only flips
+// the server's shutdown flag and kicks its listener (both async-signal-
+// safe), then the serving loop drains in-flight evaluations and exits —
+// the same path a "shutdown" request takes, so the store is never left
+// mid-publication.
+sparsetrain::serve::Server* g_server = nullptr;
+
+#ifndef _WIN32
+extern "C" void handle_terminate_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_terminate_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocked reads fail with EINTR
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+#else
+void install_signal_handlers() {}
+#endif
 
 const std::vector<Args::Flag> kFlags = {
     // daemon mode
@@ -65,12 +93,15 @@ const std::vector<Args::Flag> kFlags = {
     {"retries", "client: retry failed exchanges this many times", true},
     {"deadline-ms",
      "client: overall per-request budget incl. retries (0 = none)", true},
+    {"connect-timeout-ms",
+     "client: per-attempt TCP/unix connect budget (0 = blocking)", true},
 };
 
 int run_client(const Args& args) {
   sparsetrain::serve::ClientOptions copts;
   copts.retries = static_cast<int>(args.get("retries", 0L));
   copts.deadline_ms = args.get("deadline-ms", 0L);
+  copts.connect_timeout_ms = args.get("connect-timeout-ms", 0L);
   sparsetrain::serve::Client client(args.get("connect", std::string{}),
                                     copts);
   bool did = false;
@@ -135,14 +166,18 @@ int main(int argc, char** argv) {
     opts.default_timeout_ms = args.get("timeout-ms", 0L);
 
     sparsetrain::serve::Server server(opts);
+    g_server = &server;
+    install_signal_handlers();
+    int rc = 0;
     if (args.has("listen")) {
-      return server.serve_endpoint(args.get("listen", std::string{}));
+      rc = server.serve_endpoint(args.get("listen", std::string{}));
+    } else if (args.has("socket")) {
+      rc = server.serve_unix_socket(args.get("socket", std::string{}));
+    } else {
+      server.serve(std::cin, std::cout);
     }
-    if (args.has("socket")) {
-      return server.serve_unix_socket(args.get("socket", std::string{}));
-    }
-    server.serve(std::cin, std::cout);
-    return 0;
+    g_server = nullptr;
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "sparsetrain_serve: " << e.what() << '\n';
     return 1;
