@@ -68,10 +68,10 @@ ProgramCache::ProgramPtr ProgramCache::get(
     std::lock_guard lock(mu_);
     const auto it = cache_.find(k);
     if (it != cache_.end()) {
-      ++stats_.hits;
+      hits_->inc();
       hit = it->second;
     } else {
-      ++stats_.misses;
+      misses_->inc();
       cache_.emplace(k, promise.get_future().share());
     }
   }
@@ -93,9 +93,18 @@ ProgramCache::ProgramPtr ProgramCache::get(
   }
 }
 
+void ProgramCache::bind_metrics(obs::Registry& registry) {
+  std::lock_guard lock(mu_);
+  hits_ = &registry.counter("program_cache_hits_total");
+  misses_ = &registry.counter("program_cache_misses_total");
+}
+
 ProgramCache::Stats ProgramCache::stats() const {
   std::lock_guard lock(mu_);
-  return stats_;
+  Stats s;
+  s.hits = hits_->value();
+  s.misses = misses_->value();
+  return s;
 }
 
 std::size_t ProgramCache::size() const {
@@ -105,13 +114,15 @@ std::size_t ProgramCache::size() const {
 
 void ProgramCache::reset_stats() {
   std::lock_guard lock(mu_);
-  stats_ = Stats{};
+  hits_->reset();
+  misses_->reset();
 }
 
 void ProgramCache::clear() {
   std::lock_guard lock(mu_);
   cache_.clear();
-  stats_ = Stats{};
+  hits_->reset();
+  misses_->reset();
 }
 
 }  // namespace sparsetrain::compiler

@@ -1,5 +1,6 @@
 #include "core/session.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "baseline/eyeriss_like.hpp"
@@ -10,6 +11,33 @@
 namespace sparsetrain::core {
 
 namespace {
+
+/// Times one evaluation phase into a histogram (when instrumented) and a
+/// trace span (when the request is sampled); both off = no clock reads
+/// beyond the Span no-op check.
+class Phase {
+ public:
+  Phase(obs::Histogram* h, const obs::SpanContext& trace, const char* name)
+      : h_(h), span_(trace, name) {
+    if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~Phase() {
+    if (h_ != nullptr) {
+      h_->record(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+    }
+  }
+  Phase(const Phase&) = delete;
+  Phase& operator=(const Phase&) = delete;
+
+  obs::Span& span() { return span_; }
+
+ private:
+  obs::Histogram* h_;
+  obs::Span span_;
+  std::chrono::steady_clock::time_point start_{};
+};
 
 /// The per-run content seed: mix(session seed, compiler fingerprint) per
 /// profile kind, then mix in the backend name. Kept in one place so
@@ -92,6 +120,19 @@ Session::Session(SessionConfig cfg)
              "the baseline must run in dense mode");
   registry_.register_arch(kSparseBackend, cfg_.sparse_arch);
   registry_.register_arch(kDenseBackend, cfg_.baseline_arch);
+  if (cfg_.metrics != nullptr) {
+    cache_.bind_metrics(*cfg_.metrics);
+    hist_.store_lookup =
+        &cfg_.metrics->histogram("session_store_lookup_seconds");
+    hist_.compile = &cfg_.metrics->histogram("session_compile_seconds");
+    hist_.simulate = &cfg_.metrics->histogram("session_simulate_seconds");
+    hist_.store_publish =
+        &cfg_.metrics->histogram("session_store_publish_seconds");
+    if (cfg_.profile_engine) {
+      engine_profiler_ =
+          std::make_unique<obs::EngineProfiler>(*cfg_.metrics);
+    }
+  }
 }
 
 Session::~Session() {
@@ -201,6 +242,9 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
   if (exact_opts.shared_pool == nullptr && exact_opts.workers != 1) {
     exact_opts.shared_pool = &pool_;
   }
+  if (exact_opts.profiler == nullptr && engine_profiler_ != nullptr) {
+    exact_opts.profiler = engine_profiler_.get();
+  }
 
   try {
     for (std::size_t i = 0; i < backends.size(); ++i) {
@@ -217,7 +261,7 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
       job.pending.push_back(pool_.submit(
           [this, backend = std::move(backend), shared_net,
            run_profile = std::move(run_profile), run_copts, seed, prog_fp,
-           exact = exact_opts, store = store_,
+           exact = exact_opts, store = store_, trace = options.trace,
            out = &job.result.runs[i]] {
             // Persistent store first: a hit costs one record read — no
             // compile, no simulation — and is byte-identical to the run
@@ -225,6 +269,8 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
             // numbers depend on).
             std::uint64_t fp = 0;
             if (store) {
+              Phase phase(hist_.store_lookup, trace, "store.lookup");
+              phase.span().attr("backend", backend->name());
               fp = serve::fingerprint_v1(*shared_net, *run_profile,
                                          run_copts, backend->name(),
                                          backend->kind(), backend->arch(),
@@ -232,19 +278,31 @@ void Session::start_job(Job& job, const workload::NetworkConfig& net,
               out->fingerprint = fp;
               sim::SimReport stored;
               if (store->get_result(fp, stored)) {
+                phase.span().attr("hit", "true");
                 out->report = std::move(stored);
                 out->from_store = true;
                 return;
               }
+              phase.span().attr("hit", "false");
             }
-            const auto program =
-                cache_.get(*shared_net, *run_profile, run_copts);
-            out->report = backend->run(*program, *shared_net, *run_profile,
-                                       seed, exact);
+            compiler::ProgramCache::ProgramPtr program;
+            {
+              Phase phase(hist_.compile, trace, "compile");
+              phase.span().attr("backend", backend->name());
+              program = cache_.get(*shared_net, *run_profile, run_copts);
+            }
+            {
+              Phase phase(hist_.simulate, trace, "simulate");
+              phase.span().attr("backend", backend->name());
+              out->report = backend->run(*program, *shared_net,
+                                         *run_profile, seed, exact);
+            }
             // Publication is strictly best-effort: a store that degraded
             // to read-only (sick disk) drops the put and the session
             // keeps computing — serving never depends on persistence.
             if (store && !store->read_only()) {
+              Phase phase(hist_.store_publish, trace, "store.publish");
+              phase.span().attr("backend", backend->name());
               store->put_result(fp, out->report);
               if (!store->contains_program(prog_fp)) {
                 store->put_program(

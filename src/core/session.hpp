@@ -40,6 +40,9 @@
 #include <vector>
 
 #include "compiler/program_cache.hpp"
+#include "obs/engine_profiler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/store.hpp"
 #include "sim/backend.hpp"
 #include "util/thread_pool.hpp"
@@ -63,6 +66,15 @@ struct SessionConfig {
   /// disk) drops the put and the evaluation still completes normally.
   /// Shared ownership: several sessions may point at one store.
   std::shared_ptr<serve::ResultStore> store;
+  /// Metrics registry the session instruments itself on (program-cache
+  /// counters plus per-phase latency histograms session_*_seconds); must
+  /// outlive the session. nullptr = no instrumentation, no timestamps.
+  obs::Registry* metrics = nullptr;
+  /// Record per-stage engine profiles (engine_stage_* on `metrics`) for
+  /// every exact run. Requires `metrics`; simulated numbers are
+  /// byte-identical either way, and with this off the engine reads no
+  /// clocks at all.
+  bool profile_engine = false;
 
   SessionConfig();
 };
@@ -145,6 +157,10 @@ class Session {
     /// and stage tiles interleave with other jobs' tasks in one
     /// two-level schedule.
     sim::SimOptions sim;
+    /// Tracing context of the request this job serves (inactive by
+    /// default). When active, the job's phase spans (store.lookup,
+    /// compile, simulate, store.publish) parent under it.
+    obs::SpanContext trace;
   };
 
   explicit Session(SessionConfig cfg = SessionConfig{});
@@ -275,6 +291,16 @@ class Session {
   sim::BackendRegistry registry_;
   compiler::ProgramCache cache_;
   std::shared_ptr<serve::ResultStore> store_;  ///< may be nullptr
+  /// Per-phase latency histograms (null without SessionConfig::metrics —
+  /// and with them null the task path reads no clocks).
+  struct PhaseHist {
+    obs::Histogram* store_lookup = nullptr;
+    obs::Histogram* compile = nullptr;
+    obs::Histogram* simulate = nullptr;
+    obs::Histogram* store_publish = nullptr;
+  };
+  PhaseHist hist_;
+  std::unique_ptr<obs::EngineProfiler> engine_profiler_;  ///< may be null
   std::mutex jobs_mu_;  ///< guards jobs_ growth (submit vs. wait)
   std::vector<std::unique_ptr<Job>> jobs_;
   util::ThreadPool pool_;  ///< last member: joins before jobs_/cache_ die

@@ -1,0 +1,167 @@
+// Request tracing across the serving tier.
+//
+// A trace is born at the edge (the router, the daemon when spoken to
+// directly, or a client) as a 64-bit trace id plus a sampling decision,
+// and rides the NDJSON protocol as optional "trace"/"span" hex fields.
+// Every hop and phase a request crosses — router forward / failover /
+// replicate, daemon queue wait, store lookup, compile, simulate, store
+// publish — records a Span; finished spans append one JSON line to the
+// process's trace log, so one slow request is reconstructable by
+// grepping three processes' logs for its trace id and stitching the
+// span tree by parent ids.
+//
+// Sampling is decided once, at the edge, deterministically:
+// mix64(seed, trace_id) against a threshold derived from the sample
+// rate — two tracers with the same seed sample the same traces. A
+// downstream process never re-rolls the dice: the presence of a trace
+// id on the wire *is* the decision (the edge only propagates ids for
+// sampled traces), so a span chain is always complete or absent, never
+// partial.
+//
+// Cost discipline: a Span built from an inactive context (no tracer,
+// unsampled, or zero trace id) does nothing — no clock reads, no
+// allocation — so tracing compiled in but disabled is free on the
+// request path and invisible to the engine's zero-allocation hot path
+// (which is never instrumented with spans at all; see
+// sim/profile_hook.hpp for the engine's separate registry-only hooks).
+//
+// Log record (one line per finished span):
+//   {"trace":"<hex16>","span":"<hex16>","parent":"<hex16>",
+//    "name":"daemon.simulate","process":"serve","pid":1234,
+//    "start_us":<unix micros>,"dur_us":<int>,"attrs":{"k":"v",...}}
+// "parent" is omitted for root spans; durations come from the steady
+// clock (non-negative), start stamps from the system clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sparsetrain::obs {
+
+class Tracer;
+
+/// Where a new span attaches: the trace it belongs to and the span that
+/// becomes its parent (0 = root). Cheap to copy; inert when
+/// !active().
+struct SpanContext {
+  Tracer* tracer = nullptr;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;  ///< parent for spans built from this context
+  bool sampled = false;
+
+  bool active() const {
+    return tracer != nullptr && sampled && trace_id != 0;
+  }
+};
+
+struct TracerOptions {
+  /// JSONL output path (appended; shared across restarts). Empty =
+  /// tracing disabled: every context is inactive.
+  std::string path;
+  /// Fraction of edge-started traces that are sampled, in [0, 1].
+  double sample_rate = 0.0;
+  /// Seed of both the trace-id sequence and the sampling decision —
+  /// fixed seed + fixed request order = identical ids and decisions.
+  std::uint64_t seed = 1;
+  /// Recorded in every span ("router", "serve", ...), so merged logs
+  /// say which process emitted what.
+  std::string process = "sparsetrain";
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions opts);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// False when no log could be opened (tracing off).
+  bool enabled() const { return out_ != nullptr; }
+
+  /// The deterministic sampling decision for a trace id.
+  bool sample(std::uint64_t trace_id) const;
+
+  /// Edge entry point: mints the next trace id and decides sampling.
+  SpanContext start_trace();
+
+  /// Wire entry point: adopts an incoming (trace, parent span) pair. A
+  /// zero trace id yields an inactive context; a nonzero one is sampled
+  /// by definition (the edge only propagates sampled traces).
+  SpanContext join(std::uint64_t trace_id, std::uint64_t parent_span);
+
+  /// Fresh span id within `trace_id` (never 0). Salted per tracer
+  /// instance (pid + an instance counter), so spans minted by different
+  /// processes — or different tracers in one test binary — for the same
+  /// trace cannot collide. Trace ids and sampling stay seed-
+  /// deterministic; span ids only promise uniqueness.
+  std::uint64_t next_id(std::uint64_t trace_id);
+
+  /// Appends one span line (thread-safe, flushed per line so concurrent
+  /// processes' logs are complete whenever read).
+  void emit(std::uint64_t trace_id, std::uint64_t span_id,
+            std::uint64_t parent_id, const char* name,
+            std::int64_t start_us, std::int64_t dur_us,
+            const std::vector<std::pair<std::string, std::string>>& attrs);
+
+ private:
+  TracerOptions opts_;
+  std::uint64_t threshold_ = 0;  ///< sample iff mix < threshold_ (or rate>=1)
+  bool always_ = false;
+  std::FILE* out_ = nullptr;
+  int pid_ = 0;
+  std::uint64_t span_salt_ = 0;  ///< per-instance span-id discriminator
+  std::mutex mu_;
+  std::atomic<std::uint64_t> next_{1};
+};
+
+/// Scoped span: stamps the clocks at construction, emits at finish() or
+/// destruction. Built from an inactive context it is a complete no-op.
+class Span {
+ public:
+  Span() = default;
+  /// Starts now.
+  Span(const SpanContext& parent, const char* name);
+  /// Starts retroactively at `start` (steady clock) — for phases that
+  /// began before the span could be constructed, e.g. queue wait
+  /// measured from admission.
+  Span(const SpanContext& parent, const char* name,
+       std::chrono::steady_clock::time_point start);
+  ~Span() { finish(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Attaches a key/value to the emitted record (no-op when inactive).
+  void attr(const char* key, std::string value);
+
+  /// Context for child spans (parent = this span). Inactive spans hand
+  /// out inactive contexts, so whole subtrees switch off together.
+  SpanContext context() const;
+
+  /// Emits the record; idempotent.
+  void finish();
+
+ private:
+  void start(const SpanContext& parent, const char* name,
+             std::chrono::steady_clock::time_point steady_start);
+
+  Tracer* tracer_ = nullptr;
+  std::uint64_t trace_ = 0;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  const char* name_ = "";
+  std::int64_t start_us_ = 0;
+  std::chrono::steady_clock::time_point steady_start_{};
+  std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+}  // namespace sparsetrain::obs

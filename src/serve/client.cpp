@@ -27,6 +27,20 @@ std::string format_request(const Request& r) {
   os.precision(10);
   os << "{\"type\": \"" << json_escape(r.type) << '"';
   if (!r.id.empty()) os << ", \"id\": \"" << json_escape(r.id) << '"';
+  if (r.trace != 0) {
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(r.trace));
+    os << ", \"trace\": \"" << hex << '"';
+    if (r.parent_span != 0) {
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(r.parent_span));
+      os << ", \"span\": \"" << hex << '"';
+    }
+  }
+  if (r.type == "metrics" && r.format != "json") {
+    os << ", \"format\": \"" << json_escape(r.format) << '"';
+  }
   if (r.type == "eval") {
     os << ", \"workload\": \"" << json_escape(r.workload)
        << "\", \"backend\": \"" << json_escape(r.backend)
@@ -50,6 +64,22 @@ std::string format_request(const Request& r) {
 Client::Client(const std::string& endpoint_spec, ClientOptions opts)
     : ep_(parse_endpoint(endpoint_spec)), opts_(opts),
       rng_(opts.backoff_seed) {
+  if (opts_.metrics != nullptr) {
+    const obs::Labels labels = {{"endpoint", endpoint_spec}};
+    c_.attempts = &opts_.metrics->counter("client_attempts_total", labels);
+    c_.connects = &opts_.metrics->counter("client_connects_total", labels);
+    c_.reconnects =
+        &opts_.metrics->counter("client_reconnects_total", labels);
+    c_.retries = &opts_.metrics->counter("client_retries_total", labels);
+    c_.rejected_retries =
+        &opts_.metrics->counter("client_rejected_retries_total", labels);
+  } else {
+    c_.attempts = &own_[0];
+    c_.connects = &own_[1];
+    c_.reconnects = &own_[2];
+    c_.retries = &own_[3];
+    c_.rejected_retries = &own_[4];
+  }
   std::string error;
   if (!ensure_connected(error) && opts_.retries <= 0) {
     ST_REQUIRE(false, "client: cannot connect to " + ep_.describe() + ": " +
@@ -67,9 +97,19 @@ bool Client::ensure_connected(std::string& error, long budget_ms) {
                            budget_ms > 0 ? budget_ms
                                          : opts_.connect_timeout_ms);
   if (!conn_.valid()) return false;
-  ++stats_.connects;
-  if (stats_.connects > 1) ++stats_.reconnects;
+  c_.connects->inc();
+  if (c_.connects->value() > 1) c_.reconnects->inc();
   return true;
+}
+
+Client::Stats Client::retry_stats() const {
+  Stats s;
+  s.attempts = c_.attempts->value();
+  s.connects = c_.connects->value();
+  s.reconnects = c_.reconnects->value();
+  s.retries = c_.retries->value();
+  s.rejected_retries = c_.rejected_retries->value();
+  return s;
 }
 
 long Client::remaining_ms(long elapsed_ms) const {
@@ -109,7 +149,7 @@ std::string Client::request_raw(const std::string& json_line) {
                               ep_.describe() + " (" + error + ")");
       }
     } else {
-      ++stats_.attempts;
+      c_.attempts->inc();
       if (!conn_.write_line(json_line)) {
         last_error = "connection lost while sending";
         conn_.close();
@@ -143,7 +183,7 @@ std::string Client::request_raw(const std::string& json_line) {
           if (!rejected) return line;
           rejected_line = line;
           last_error = "request rejected (server overloaded)";
-          ++stats_.rejected_retries;
+          c_.rejected_retries->inc();
           // Reconnect on the retry: a connection-cap rejection closed the
           // socket server-side (a queue-full one didn't, but a fresh
           // connect is correct for both).
@@ -173,7 +213,7 @@ std::string Client::request_raw(const std::string& json_line) {
                             " ms exceeded retrying " + ep_.describe() +
                             " (last failure: " + last_error + ")");
     }
-    ++stats_.retries;
+    c_.retries->inc();
     if (opts_.sleeper) {
       opts_.sleeper(sleep_ms);
     } else {

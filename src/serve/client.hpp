@@ -23,6 +23,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
 #include "util/rng.hpp"
@@ -54,6 +55,12 @@ struct ClientOptions {
   bool retry_rejected = true;
   /// Test seam: called with each backoff duration instead of sleeping.
   std::function<void(long)> sleeper;
+  /// Registry the client's counters live on (client_attempts_total, ...),
+  /// labeled {endpoint=<the endpoint spec>}; must outlive the client.
+  /// Handy for a process holding many clients (the router labels one
+  /// counter family per shard; counts survive client recreation because
+  /// the registry deduplicates instruments). nullptr = private counters.
+  obs::Registry* metrics = nullptr;
 };
 
 class Client {
@@ -67,7 +74,9 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// What the retry machinery actually did, for tests and diagnostics.
+  /// What the retry machinery actually did, for tests and diagnostics —
+  /// a view assembled from the counter handles (which may live on an
+  /// injected registry shared with other clients of the same endpoint).
   struct Stats {
     std::uint64_t attempts = 0;          ///< request transmissions tried
     std::uint64_t connects = 0;          ///< successful connects
@@ -75,7 +84,7 @@ class Client {
     std::uint64_t retries = 0;           ///< backoff sleeps taken
     std::uint64_t rejected_retries = 0;  ///< retries caused by "rejected"
   };
-  const Stats& retry_stats() const { return stats_; }
+  Stats retry_stats() const;
 
   bool connected() const { return conn_.valid(); }
 
@@ -102,7 +111,17 @@ class Client {
   Endpoint ep_;
   ClientOptions opts_;
   Conn conn_;
-  Stats stats_;
+  /// Counter handles (registry instruments when ClientOptions::metrics is
+  /// set, the private fallbacks below otherwise).
+  struct Counters {
+    obs::Counter* attempts = nullptr;
+    obs::Counter* connects = nullptr;
+    obs::Counter* reconnects = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* rejected_retries = nullptr;
+  };
+  obs::Counter own_[5];
+  Counters c_;
   Rng rng_;
 };
 

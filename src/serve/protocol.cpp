@@ -89,9 +89,22 @@ Request parse_request(const std::string& line) {
   Request r;
   r.type = doc.get_string("type", "");
   ST_REQUIRE(r.type == "eval" || r.type == "stats" || r.type == "status" ||
-                 r.type == "shutdown" || r.type == "put",
+                 r.type == "metrics" || r.type == "shutdown" ||
+                 r.type == "put",
              "protocol: unknown request type '" + r.type + "'");
   r.id = doc.get_string("id", "");
+  const std::string trace = doc.get_string("trace", "");
+  if (!trace.empty()) {
+    r.trace = parse_hex16(trace);
+    const std::string span = doc.get_string("span", "");
+    if (!span.empty()) r.parent_span = parse_hex16(span);
+  }
+  if (r.type == "metrics") {
+    r.format = doc.get_string("format", "json");
+    ST_REQUIRE(r.format == "json" || r.format == "prometheus",
+               "protocol: unknown metrics format '" + r.format + "'");
+    return r;
+  }
   if (r.type == "put") {
     const std::string fp = doc.get_string("fingerprint", "");
     ST_REQUIRE(!fp.empty(), "protocol: put needs a fingerprint");
@@ -137,6 +150,9 @@ std::string format_response(const Response& r) {
   if (!r.shard.empty()) {
     os << ", \"shard\": \"" << json_escape(r.shard) << '"';
   }
+  if (r.elapsed_ms >= 0.0) {
+    os << ", \"elapsed_ms\": " << num(r.elapsed_ms);
+  }
   if (r.type == "result" && r.status == "ok") {
     os << ", \"workload\": \"" << json_escape(r.workload)
        << "\", \"backend\": \"" << json_escape(r.backend)
@@ -176,6 +192,7 @@ Response parse_response(const std::string& line) {
   r.engine = doc.get_string("engine", "");
   const std::string fp = doc.get_string("fingerprint", "");
   if (!fp.empty()) r.fingerprint = parse_hex16(fp);
+  r.elapsed_ms = doc.get_number("elapsed_ms", -1.0);
   r.cycles = static_cast<std::uint64_t>(doc.get_number("cycles", 0));
   r.latency_ms = doc.get_number("latency_ms", 0.0);
   r.utilization = doc.get_number("utilization", 0.0);

@@ -7,12 +7,25 @@
 //    "backend":"sparsetrain","scenario":"pruned","p":0.9,
 //    "engine":"statistical","batch":1,"timeout_ms":5000}
 //   {"type":"stats","id":"s"}      — store + cache + request counters
-//   {"type":"status","id":"q"}     — liveness: inflight/completed counts
+//   {"type":"status","id":"q"}     — liveness + provenance (pid, uptime,
+//                                    SIMD mode, schema versions)
+//   {"type":"metrics","id":"m","format":"json"}
+//       — full metrics-registry snapshot: "json" answers the
+//         sparsetrain.metrics/v1 document, "prometheus" answers the text
+//         exposition wrapped as {"format":"prometheus","text":...}
 //   {"type":"shutdown","id":"z"}   — graceful drain, then a "bye" reply
 //   {"type":"put","id":"p","fingerprint":"<hex16>","report":"<hex>"}
 //       — insert a serialized report directly into the daemon's store
 //         (the shard router replicates results this way; idempotent,
 //         keyed by the same fingerprint_v1 the store uses)
+//
+// Any request may carry tracing context as optional "trace" (16-hex
+// trace id) and "span" (16-hex parent span id) fields. The edge process
+// mints the trace id; a daemon that receives one parents its spans under
+// the given span id and propagates the pair on every forwarded or
+// replicated request. Absence of "trace" means the request is unsampled
+// (the edge strips the fields for unsampled traces), so the fields never
+// appear on a fraction of a trace.
 //
 // An eval request may add "include_report": true to receive the full
 // serialized report (serve::report_io, hex-encoded) as "report" in the
@@ -37,8 +50,13 @@
 namespace sparsetrain::serve {
 
 struct Request {
-  std::string type;  ///< eval | stats | status | shutdown | put
+  std::string type;  ///< eval | stats | status | metrics | shutdown | put
   std::string id;    ///< echoed verbatim in the response ("" when absent)
+  /// Tracing context (0 = absent/unsampled; see the header comment).
+  std::uint64_t trace = 0;
+  std::uint64_t parent_span = 0;
+  /// metrics requests only: "json" | "prometheus".
+  std::string format = "json";
   // eval fields (defaults mirror the paper's operating point).
   std::string workload = "AlexNet/CIFAR";  ///< zoo name
   std::string backend = "sparsetrain";     ///< registered backend name
@@ -63,11 +81,16 @@ Request parse_request(const std::string& line);
 
 struct Response {
   std::string id;
-  std::string type = "result";  ///< result | stats | status | bye
+  std::string type = "result";  ///< result | stats | status | metrics | bye
   std::string status = "ok";    ///< ok | error | rejected | timeout
   std::string error;            ///< human-readable cause when not ok
   std::string source;  ///< store | computed | coalesced | replicated
   std::string shard;   ///< router only: backend endpoint that served this
+  /// Server-side wall time spent on this request, measured from intake
+  /// to response assembly; < 0 = not measured (parse keeps -1 when the
+  /// field is absent). Emitted on every daemon response so clients see
+  /// server-side latency without tracing enabled.
+  double elapsed_ms = -1.0;
   // Evaluation payload.
   std::string workload;
   std::string backend;

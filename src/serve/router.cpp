@@ -6,13 +6,17 @@
 #include <sstream>
 #include <utility>
 
+#include "dataflow/row_ops.hpp"
 #include "serve/line_server.hpp"
 #include "serve/server.hpp"
 #include "util/hash.hpp"
 #include "util/require.hpp"
 
-#ifndef _WIN32
+#ifdef _WIN32
+#include <process.h>
+#else
 #include <csignal>
+#include <unistd.h>
 #endif
 
 namespace sparsetrain::serve {
@@ -27,6 +31,36 @@ core::SessionConfig placement_session() {
   core::SessionConfig cfg;
   cfg.workers = 1;
   return cfg;
+}
+
+std::unique_ptr<obs::Tracer> make_tracer(const RouterOptions& opts) {
+  if (opts.trace_path.empty()) return nullptr;
+  obs::TracerOptions to;
+  to.path = opts.trace_path;
+  to.sample_rate = opts.trace_sample_rate;
+  to.seed = opts.trace_seed;
+  to.process = "router";
+  return std::make_unique<obs::Tracer>(std::move(to));
+}
+
+int process_id() {
+#ifdef _WIN32
+  return _getpid();
+#else
+  return static_cast<int>(getpid());
+#endif
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Stamps one hop's span ids onto the request about to cross the wire,
+/// so the shard's spans parent under this hop.
+void stamp_trace(Request& r, const obs::SpanContext& hop) {
+  if (!hop.active()) return;
+  r.trace = hop.trace_id;
+  r.parent_span = hop.span_id;
 }
 
 const char* health_name(Router::Health h) {
@@ -67,16 +101,38 @@ std::vector<std::string> split_endpoints(const std::string& spec) {
 Router::Router(RouterOptions opts)
     : opts_(std::move(opts)),
       ring_(opts_.endpoints, opts_.ring),
+      tracer_(make_tracer(opts_)),
       session_(placement_session()) {
   // R copies need R distinct successors; a pool of N supports at most
   // N - 1 of them.
   opts_.replicas = std::min(opts_.replicas, ring_.size() - 1);
   ST_REQUIRE(opts_.breaker_threshold > 0,
              "router: breaker_threshold must be positive");
+  c_.received = &metrics_.counter("router_requests_received_total");
+  c_.routed = &metrics_.counter("router_routed_total");
+  c_.failovers = &metrics_.counter("router_failovers_total");
+  c_.rejected = &metrics_.counter("router_rejected_total");
+  c_.errors = &metrics_.counter("router_errors_total");
   shards_.reserve(ring_.size());
   for (const std::string& ep : ring_.endpoints()) {
     auto shard = std::make_unique<Shard>();
     shard->endpoint = ep;
+    const obs::Labels labels = {{"shard", ep}};
+    Shard::Handles& h = shard->c;
+    h.forwards = &metrics_.counter("router_shard_forwards_total", labels);
+    h.served = &metrics_.counter("router_shard_served_total", labels);
+    h.failures = &metrics_.counter("router_shard_failures_total", labels);
+    h.skipped = &metrics_.counter("router_shard_skipped_total", labels);
+    h.replications =
+        &metrics_.counter("router_shard_replications_total", labels);
+    h.replication_failures =
+        &metrics_.counter("router_shard_replication_failures_total", labels);
+    h.replication_skipped =
+        &metrics_.counter("router_shard_replication_skipped_total", labels);
+    h.probes = &metrics_.counter("router_shard_probes_total", labels);
+    h.recoveries = &metrics_.counter("router_shard_recoveries_total", labels);
+    h.forward_seconds =
+        &metrics_.histogram("router_forward_seconds", labels);
     shards_.push_back(std::move(shard));
   }
   if (opts_.probe_interval_ms > 0) {
@@ -138,7 +194,7 @@ void Router::on_success_locked(Shard& s) {
   s.consecutive_failures = 0;
   if (s.health != Health::Up) {
     s.health = Health::Up;
-    ++s.stats.recoveries;
+    s.c.recoveries->inc();
   }
 }
 
@@ -159,21 +215,27 @@ Router::ForwardResult Router::forward(std::size_t shard,
   std::lock_guard<std::mutex> lock(s.mu);
   const Clock::time_point now = Clock::now();
   if (!admit_locked(s, now)) {
-    ++s.stats.skipped;
+    s.c.skipped->inc();
     return ForwardResult::Skipped;
   }
   try {
     if (!s.client) {
       // retries = 0 makes an unreachable endpoint throw here (fail
       // fast); connect_timeout_ms bounds how long "unreachable" takes.
-      s.client = std::make_unique<Client>(s.endpoint, opts_.client);
+      // The client's own attempt/connect counters land in the router
+      // registry, labeled by endpoint — they survive this reset/remake
+      // cycle because the registry dedupes by (name, labels).
+      ClientOptions co = opts_.client;
+      co.metrics = &metrics_;
+      s.client = std::make_unique<Client>(s.endpoint, co);
     }
-    ++s.stats.forwards;
+    s.c.forwards->inc();
     *resp = s.client->request(line);
+    s.c.forward_seconds->record(seconds_since(now));
     on_success_locked(s);
     return ForwardResult::Answered;
   } catch (const std::exception&) {
-    ++s.stats.failures;
+    s.c.failures->inc();
     s.client.reset();  // the stream may be desynced: reconnect next time
     on_failure_locked(s, now);
     return ForwardResult::Failed;
@@ -181,7 +243,8 @@ Router::ForwardResult Router::forward(std::size_t shard,
 }
 
 Response Router::route(const Request& req, std::uint64_t key,
-                       const std::string& line, bool replicate_ok) {
+                       const Request& fwd, const obs::SpanContext& trace,
+                       bool replicate_ok) {
   // Full preference order: owner first, then every distinct successor —
   // the first 1 + replicas entries are where replicas live, so failover
   // lands on warm stores before cold ones.
@@ -191,42 +254,53 @@ Response Router::route(const Request& req, std::uint64_t key,
   bool saw_rejected = false;
   for (std::size_t i = 0; i < order.size(); ++i) {
     const std::size_t idx = order[i];
+    // One span per attempt: a failover chain shows up as sibling hops
+    // under the request span, each naming its shard and outcome.
+    obs::Span hop(trace, i == 0 ? "router.forward" : "router.failover");
+    Request attempt = fwd;
+    if (hop.active()) {
+      hop.attr("shard", ring_.endpoint(idx));
+      stamp_trace(attempt, hop.context());
+    }
     Response resp;
-    const ForwardResult fr = forward(idx, line, &resp);
+    const ForwardResult fr = forward(idx, format_request(attempt), &resp);
     if (fr == ForwardResult::Skipped || fr == ForwardResult::Failed) {
+      if (hop.active()) {
+        hop.attr("outcome", fr == ForwardResult::Skipped
+                                ? "skipped"
+                                : "transport_failure");
+      }
       continue;  // breaker open / transport failure: walk the ring
     }
     resp.shard = ring_.endpoint(idx);
     if (resp.status == "rejected") {
       // The shard is alive but full — remember its answer, try the next
       // successor rather than queueing behind it.
+      if (hop.active()) hop.attr("outcome", "rejected");
       saw_rejected = true;
       rejected = resp;
       continue;
     }
     // ok / error / timeout are this shard's authoritative answer.
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.routed;
-      if (i > 0) ++stats_.failovers;
+    if (hop.active()) hop.attr("outcome", resp.status);
+    c_.routed->inc();
+    if (i > 0) c_.failovers->inc();
+    shards_[idx]->c.served->inc();
+    if (replicate_ok && resp.status == "ok") {
+      replicate(key, idx, resp, trace);
     }
-    {
-      std::lock_guard<std::mutex> lock(shards_[idx]->mu);
-      ++shards_[idx]->stats.served;
-    }
-    if (replicate_ok && resp.status == "ok") replicate(key, idx, resp);
     return resp;
   }
   if (saw_rejected) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejected;
+    c_.rejected->inc();
     return rejected;
   }
   return all_down_response(req);
 }
 
 void Router::replicate(std::uint64_t key, std::size_t served_by,
-                       const Response& ok_resp) {
+                       const Response& ok_resp,
+                       const obs::SpanContext& trace) {
   if (opts_.replicas == 0) return;
   if (ok_resp.fingerprint == 0 || ok_resp.report_hex.empty()) return;
   Request put;
@@ -234,38 +308,47 @@ void Router::replicate(std::uint64_t key, std::size_t served_by,
   put.id = ok_resp.id;
   put.fingerprint = ok_resp.fingerprint;
   put.report_hex = ok_resp.report_hex;
-  const std::string line = format_request(put);
   // Best effort into the key's preference set (minus whoever already has
   // it): a down replica is skipped and counted, never waited on beyond
   // the breaker's verdict.
   for (const std::size_t idx : ring_.successors(key, opts_.replicas)) {
     if (idx == served_by) continue;
+    obs::Span rep(trace, "router.replicate");
+    Request attempt = put;
+    if (rep.active()) {
+      rep.attr("shard", ring_.endpoint(idx));
+      stamp_trace(attempt, rep.context());
+    }
     Response resp;
-    const ForwardResult fr = forward(idx, line, &resp);
-    std::lock_guard<std::mutex> lock(shards_[idx]->mu);
+    const ForwardResult fr = forward(idx, format_request(attempt), &resp);
     if (fr == ForwardResult::Skipped) {
-      ++shards_[idx]->stats.replication_skipped;
+      shards_[idx]->c.replication_skipped->inc();
+      if (rep.active()) rep.attr("outcome", "skipped");
     } else if (fr == ForwardResult::Answered && resp.status == "ok") {
-      ++shards_[idx]->stats.replications;
+      shards_[idx]->c.replications->inc();
+      if (rep.active()) rep.attr("outcome", "ok");
     } else {
-      ++shards_[idx]->stats.replication_failures;
+      shards_[idx]->c.replication_failures->inc();
+      if (rep.active()) rep.attr("outcome", "failed");
     }
   }
 }
 
-Response Router::route_eval(const Request& req, const std::string&) {
+Response Router::route_eval(const Request& req,
+                            const obs::SpanContext& trace) {
   Request fwd = req;
   // Replication needs the serialized report riding on the response; the
   // caller only sees it if they asked.
   if (opts_.replicas > 0) fwd.include_report = true;
   const std::uint64_t key = placement_key(req);
-  Response resp = route(req, key, format_request(fwd),
+  Response resp = route(req, key, fwd, trace,
                         /*replicate_ok=*/opts_.replicas > 0);
   if (!req.include_report) resp.report_hex.clear();
   return resp;
 }
 
-Response Router::route_put(const Request& req, const std::string& line) {
+Response Router::route_put(const Request& req,
+                           const obs::SpanContext& trace) {
   // A put targets the key's whole replica set, not one shard: ok when
   // any member accepted it.
   const std::uint64_t key = placement_key(req);
@@ -274,10 +357,20 @@ Response Router::route_put(const Request& req, const std::string& line) {
   bool any_answered = false;
   bool any_ok = false;
   for (const std::size_t idx : ring_.successors(key, opts_.replicas)) {
+    obs::Span hop(trace, "router.put");
+    Request attempt = req;
+    if (hop.active()) {
+      hop.attr("shard", ring_.endpoint(idx));
+      stamp_trace(attempt, hop.context());
+    }
     Response resp;
-    const ForwardResult fr = forward(idx, line, &resp);
-    if (fr != ForwardResult::Answered) continue;
+    const ForwardResult fr = forward(idx, format_request(attempt), &resp);
+    if (fr != ForwardResult::Answered) {
+      if (hop.active()) hop.attr("outcome", "unreachable");
+      continue;
+    }
     resp.shard = ring_.endpoint(idx);
+    if (hop.active()) hop.attr("outcome", resp.status);
     any_answered = true;
     last = resp;
     if (resp.status == "ok" && !any_ok) {
@@ -286,23 +379,18 @@ Response Router::route_put(const Request& req, const std::string& line) {
     }
   }
   if (any_ok) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.routed;
+    c_.routed->inc();
     return first_ok;
   }
   if (any_answered) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.routed;
+    c_.routed->inc();
     return last;
   }
   return all_down_response(req);
 }
 
 Response Router::all_down_response(const Request& req) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejected;
-  }
+  c_.rejected->inc();
   Response resp;
   resp.id = req.id;
   resp.status = "rejected";
@@ -311,28 +399,49 @@ Response Router::all_down_response(const Request& req) {
   return resp;
 }
 
+void Router::finish(Response& resp, Clock::time_point admitted,
+                    const std::string& type_label) {
+  const double seconds = seconds_since(admitted);
+  // Overwrites the shard's measurement on purpose: the router is the
+  // outermost layer, so the caller's number includes forwarding,
+  // failover walking and replication.
+  resp.elapsed_ms = seconds * 1e3;
+  metrics_
+      .histogram("router_request_seconds",
+                 {{"type", type_label}, {"status", resp.status}})
+      .record(seconds);
+}
+
+obs::SpanContext Router::trace_context(const Request& req) {
+  if (tracer_ == nullptr) return {};
+  if (req.trace != 0) return tracer_->join(req.trace, req.parent_span);
+  return tracer_->start_trace();
+}
+
 Response Router::handle(const std::string& line) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.received;
-  }
+  const Clock::time_point admitted = Clock::now();
+  c_.received->inc();
   Request req;
   try {
     req = parse_request(line);
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.errors;
+    c_.errors->inc();
     Response resp;
     resp.status = "error";
     resp.error = e.what();
+    finish(resp, admitted, "parse");
     return resp;
   }
-  if (req.type == "stats") return stats_response(req);
-  if (req.type == "status") return status_response(req);
-  if (req.type == "shutdown") {
+  Response resp;
+  if (req.type == "stats") {
+    resp = stats_response(req);
+  } else if (req.type == "status") {
+    resp = status_response(req);
+  } else if (req.type == "metrics") {
+    resp = metrics_response(req);
+  } else if (req.type == "shutdown") {
     // Stops the router's serving loop only — the backend shards keep
     // running (they belong to their own lifecycles).
-    Response resp;
     resp.id = req.id;
     resp.type = "bye";
     const Stats s = stats();
@@ -340,25 +449,49 @@ Response Router::handle(const std::string& line) {
     os << "{\"routed\": " << s.routed << ", \"failovers\": " << s.failovers
        << ", \"rejected\": " << s.rejected << "}";
     resp.payload_json = os.str();
-    return resp;
+  } else {
+    // eval / put cross the wire: this is the trace edge. The root span
+    // covers placement, every forward/failover hop and replication.
+    obs::Span root(trace_context(req), "router.request", admitted);
+    if (root.active()) {
+      if (!req.id.empty()) root.attr("id", req.id);
+      root.attr("type", req.type);
+    }
+    resp = req.type == "put" ? route_put(req, root.context())
+                             : route_eval(req, root.context());
+    if (root.active()) {
+      root.attr("status", resp.status);
+      if (!resp.shard.empty()) root.attr("shard", resp.shard);
+    }
   }
-  if (req.type == "put") return route_put(req, line);
-  return route_eval(req, line);
+  finish(resp, admitted, req.type);
+  return resp;
 }
 
 Router::Stats Router::stats() const {
   Stats out;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    out = stats_;
-  }
-  out.shards.clear();
+  out.received = c_.received->value();
+  out.routed = c_.routed->value();
+  out.failovers = c_.failovers->value();
+  out.rejected = c_.rejected->value();
+  out.errors = c_.errors->value();
   out.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    ShardStats s = shard->stats;
+    ShardStats s;
     s.endpoint = shard->endpoint;
-    s.health = shard->health;
+    s.forwards = shard->c.forwards->value();
+    s.served = shard->c.served->value();
+    s.failures = shard->c.failures->value();
+    s.skipped = shard->c.skipped->value();
+    s.replications = shard->c.replications->value();
+    s.replication_failures = shard->c.replication_failures->value();
+    s.replication_skipped = shard->c.replication_skipped->value();
+    s.probes = shard->c.probes->value();
+    s.recoveries = shard->c.recoveries->value();
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      s.health = shard->health;
+    }
     out.shards.push_back(std::move(s));
   }
   return out;
@@ -404,11 +537,48 @@ Response Router::status_response(const Request& req) const {
   resp.id = req.id;
   resp.type = "status";
   std::ostringstream os;
+  os.precision(10);
   os << "{\"shards\": " << s.shards.size() << ", \"up\": " << up
      << ", \"received\": " << s.received << ", \"routed\": " << s.routed
      << ", \"failovers\": " << s.failovers
-     << ", \"rejected\": " << s.rejected << "}";
+     << ", \"rejected\": " << s.rejected
+     // Provenance, mirroring the daemon's status fields.
+     << ", \"pid\": " << process_id()
+     << ", \"uptime_s\": " << seconds_since(started_)
+     << ", \"simd\": \"" << dataflow::simd_mode()
+     << "\", \"tracing\": " << (tracer_ != nullptr ? "true" : "false")
+     << ", \"schemas\": {\"metrics\": \"sparsetrain.metrics/v1\""
+     << ", \"stats\": \"router_stats/v1\"}}";
   resp.payload_json = os.str();
+  return resp;
+}
+
+Response Router::metrics_response(const Request& req) {
+  // Gauges sampled at snapshot time: breaker state per shard (1 = up,
+  // 0.5 = half-open probing, 0 = open) and process uptime.
+  for (const auto& shard : shards_) {
+    double v = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      v = shard->health == Health::Up
+              ? 1.0
+              : (shard->health == Health::HalfOpen ? 0.5 : 0.0);
+    }
+    metrics_.gauge("router_shard_healthy", {{"shard", shard->endpoint}})
+        .set(v);
+  }
+  metrics_.gauge("process_uptime_seconds").set(seconds_since(started_));
+
+  Response resp;
+  resp.id = req.id;
+  resp.type = "metrics";
+  resp.status = "ok";
+  if (req.format == "prometheus") {
+    resp.payload_json = "{\"format\": \"prometheus\", \"text\": \"" +
+                        json_escape(metrics_.prometheus()) + "\"}";
+  } else {
+    resp.payload_json = metrics_.json();
+  }
   return resp;
 }
 
@@ -436,9 +606,10 @@ void Router::probe(std::size_t shard) {
   Shard& s = *shards_[shard];
   std::lock_guard<std::mutex> lock(s.mu);
   const Clock::time_point now = Clock::now();
-  ++s.stats.probes;
+  s.c.probes->inc();
   // A probe deliberately ignores the breaker cooldown — recovery should
-  // not wait for live traffic to half-open the shard.
+  // not wait for live traffic to half-open the shard. No metrics on the
+  // throwaway ping client: its connects are not traffic.
   ClientOptions po = opts_.client;
   po.retries = 0;
   po.deadline_ms = opts_.probe_deadline_ms;

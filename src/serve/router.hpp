@@ -57,6 +57,8 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/ring.hpp"
@@ -88,6 +90,15 @@ struct RouterOptions {
   /// ServerOptions.
   std::size_t max_connections = 64;
   long idle_timeout_ms = 0;
+  /// JSONL trace log path; empty = tracing disabled. The router is the
+  /// usual trace edge: it mints ids for requests arriving without one
+  /// and propagates them to the shards as "trace"/"span" wire fields.
+  std::string trace_path;
+  /// Fraction of router-edge traces sampled (requests arriving WITH a
+  /// trace id are always recorded — the upstream edge already decided).
+  double trace_sample_rate = 0.0;
+  /// Seed of the trace-id sequence and sampling decision.
+  std::uint64_t trace_seed = 1;
 
   static ClientOptions client_defaults() {
     ClientOptions c;
@@ -109,9 +120,15 @@ class Router {
 
   const Ring& ring() const { return ring_; }
 
+  /// The router's metrics registry (router counters, per-shard counters
+  /// and forward-latency histograms, per-endpoint client counters).
+  obs::Registry& metrics() { return metrics_; }
+
   /// Breaker state of one shard, as exported in router_stats/v1.
   enum class Health { Up, Open, HalfOpen };
 
+  /// Per-shard view assembled from registry handles (plus the live
+  /// breaker state), so "stats" and "metrics" can never disagree.
   struct ShardStats {
     std::string endpoint;
     Health health = Health::Up;
@@ -155,14 +172,31 @@ class Router {
   void request_shutdown();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Shard {
     std::string endpoint;
     mutable std::mutex mu;  ///< guards everything below + the client
     std::unique_ptr<Client> client;
     Health health = Health::Up;
     int consecutive_failures = 0;
-    std::chrono::steady_clock::time_point open_until{};
-    ShardStats stats;  ///< endpoint/health fields unused (kept above)
+    Clock::time_point open_until{};
+    /// Handles into the router registry, labeled {shard=endpoint};
+    /// resolved once in the constructor. Counter increments are atomic,
+    /// so they need no mu (reads for the stats view neither).
+    struct Handles {
+      obs::Counter* forwards = nullptr;
+      obs::Counter* served = nullptr;
+      obs::Counter* failures = nullptr;
+      obs::Counter* skipped = nullptr;
+      obs::Counter* replications = nullptr;
+      obs::Counter* replication_failures = nullptr;
+      obs::Counter* replication_skipped = nullptr;
+      obs::Counter* probes = nullptr;
+      obs::Counter* recoveries = nullptr;
+      obs::Histogram* forward_seconds = nullptr;
+    };
+    Handles c;
   };
 
   /// One forward to one shard (takes the shard's mu, so per-shard
@@ -176,32 +210,56 @@ class Router {
                         Response* resp);
 
   /// Breaker admission for shard `s` (mu held by caller): true = send.
-  bool admit_locked(Shard& s, std::chrono::steady_clock::time_point now);
+  bool admit_locked(Shard& s, Clock::time_point now);
   void on_success_locked(Shard& s);
-  void on_failure_locked(Shard& s, std::chrono::steady_clock::time_point now);
+  void on_failure_locked(Shard& s, Clock::time_point now);
 
-  Response route_eval(const Request& req, const std::string& line);
-  Response route_put(const Request& req, const std::string& line);
-  Response route(const Request& req, std::uint64_t key,
-                 const std::string& line, bool replicate_ok);
+  Response route_eval(const Request& req, const obs::SpanContext& trace);
+  Response route_put(const Request& req, const obs::SpanContext& trace);
+  /// `fwd` is re-formatted per attempt so each hop carries its own span
+  /// id ("router.forward" for the preferred shard, "router.failover"
+  /// past it).
+  Response route(const Request& req, std::uint64_t key, const Request& fwd,
+                 const obs::SpanContext& trace, bool replicate_ok);
   void replicate(std::uint64_t key, std::size_t served_by,
-                 const Response& ok_resp);
+                 const Response& ok_resp, const obs::SpanContext& trace);
   Response stats_response(const Request& req) const;
   Response status_response(const Request& req) const;
+  Response metrics_response(const Request& req);
   Response all_down_response(const Request& req);
+
+  /// Stamps `elapsed_ms` (overwriting a shard's own measurement: the
+  /// router is the outermost layer, so its number includes the network)
+  /// and records router_request_seconds{type,status}.
+  void finish(Response& resp, Clock::time_point admitted,
+              const std::string& type_label);
+  /// Edge trace context: joins an incoming trace or mints a new one.
+  obs::SpanContext trace_context(const Request& req);
 
   void prober_loop();
   void probe(std::size_t shard);
 
   RouterOptions opts_;
   Ring ring_;
+  /// Declared before shards_ and tracer-using code: shards hold handles
+  /// into this registry.
+  obs::Registry metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;  ///< null = tracing disabled
   /// Placement-only session: fingerprints requests exactly as the shards
   /// do; never simulates (workers = 1, no store).
   core::Session session_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  Clock::time_point started_ = Clock::now();
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;  ///< shards vector unused here (assembled in stats())
+  /// Router-level counter handles, resolved once in the constructor.
+  struct CounterSet {
+    obs::Counter* received = nullptr;
+    obs::Counter* routed = nullptr;
+    obs::Counter* failovers = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* errors = nullptr;
+  };
+  CounterSet c_;
 
   std::atomic<Listener*> active_listener_{nullptr};
   std::atomic<bool> shutdown_requested_{false};

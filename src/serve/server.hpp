@@ -31,6 +31,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -41,6 +42,8 @@
 #include <unordered_map>
 
 #include "core/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "serve/transport.hpp"
 #include "util/thread_pool.hpp"
@@ -76,6 +79,16 @@ struct ServerOptions {
   /// Socket serving only: a connection that sends no complete request
   /// line for this long is told "idle timeout" and closed (0 = never).
   long idle_timeout_ms = 0;
+  /// JSONL trace log path; empty = tracing disabled (requests carrying a
+  /// trace id are still parsed, just not recorded).
+  std::string trace_path;
+  /// Fraction of daemon-edge traces sampled (requests arriving WITH a
+  /// trace id are always recorded — the edge already decided).
+  double trace_sample_rate = 0.0;
+  /// Seed of the trace-id sequence and sampling decision.
+  std::uint64_t trace_seed = 1;
+  /// Record per-stage exact-engine profiles into the metrics registry.
+  bool profile_engine = false;
   /// Test seam: runs in the evaluator thread right before the session
   /// submit (e.g. to hold an evaluation open while coalescers arrive).
   std::function<void()> before_eval;
@@ -92,7 +105,14 @@ class Server {
   core::Session& session() { return session_; }
   const core::Session& session() const { return session_; }
 
-  /// Request-level counters (evaluation-source breakdown included).
+  /// The daemon's metrics registry (everything the "metrics" request
+  /// snapshots: server counters, session phase histograms, store and
+  /// program-cache counters, engine profiles).
+  obs::Registry& metrics() { return metrics_; }
+
+  /// Request-level counters (evaluation-source breakdown included) — a
+  /// view assembled from the registry, so "stats"/"status" responses and
+  /// "metrics" snapshots can never disagree.
   struct Counters {
     std::uint64_t received = 0;   ///< lines read / handle() calls
     std::uint64_t completed = 0;  ///< ok eval responses
@@ -159,21 +179,52 @@ class Server {
   };
   using OutcomeFuture = std::shared_future<std::shared_ptr<const EvalOutcome>>;
 
-  Response process(const Request& req);
-  Response process_eval(const Request& req);
+  using Clock = std::chrono::steady_clock;
+
+  Response process(const Request& req, Clock::time_point admitted);
+  Response process_eval(const Request& req, Clock::time_point admitted);
   Response put_response(const Request& req);
   Response stats_response(const Request& req);
-  Response status_response(const Request& req) const;
+  Response status_response(const Request& req);
+  Response metrics_response(const Request& req);
   Response bye_response(const Request& req);
 
+  /// Stamps `elapsed_ms` (when not already set by an inner layer) and
+  /// records server_request_seconds{type,status}. Every response path
+  /// funnels through here exactly once.
+  void finish(Response& resp, Clock::time_point admitted,
+              const char* type_label);
+  /// Tracing context of an incoming request: joins a propagated trace,
+  /// or (for `edge` = true, i.e. eval requests) mints a new one.
+  obs::SpanContext trace_context(const Request& req, bool edge);
+
   ServerOptions opts_;
+  /// Declared before session_: the session instruments itself on this
+  /// registry, so it must outlive (construct before) the session.
+  obs::Registry metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;  ///< null = tracing disabled
   core::Session session_;
+  Clock::time_point started_ = Clock::now();
   std::atomic<std::size_t> pending_{0};
   std::atomic<Listener*> active_listener_{nullptr};
   std::atomic<bool> shutdown_requested_{false};
 
-  mutable std::mutex counters_mu_;
-  Counters counters_;
+  /// Counter handles into metrics_, resolved once in the constructor.
+  struct CounterSet {
+    obs::Counter* received = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* computed = nullptr;
+    obs::Counter* store_hits = nullptr;
+    obs::Counter* coalesced = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* timeouts = nullptr;
+    obs::Counter* overloaded = nullptr;
+    obs::Counter* idle_closed = nullptr;
+    obs::Counter* puts = nullptr;
+  };
+  CounterSet c_;
+  obs::Histogram* queue_hist_ = nullptr;  ///< server_queue_seconds
 
   std::mutex inflight_mu_;
   std::unordered_map<std::uint64_t, OutcomeFuture> inflight_;

@@ -119,6 +119,19 @@ ResultStore::ResultStore(std::string dir, StoreOptions opts)
   fs::create_directories(fs::path(dir_) / "tmp", ec);
   ST_REQUIRE(!ec, "cannot create store directory '" + dir_ + "': " +
                       ec.message());
+  obs::Registry* reg = opts_.metrics;
+  if (reg == nullptr) {
+    own_metrics_ = std::make_unique<obs::Registry>();
+    reg = own_metrics_.get();
+  }
+  c_.hits = &reg->counter("store_hits_total");
+  c_.misses = &reg->counter("store_misses_total");
+  c_.puts = &reg->counter("store_puts_total");
+  c_.evictions = &reg->counter("store_evictions_total");
+  c_.torn_skipped = &reg->counter("store_torn_skipped_total");
+  c_.tmp_cleaned = &reg->counter("store_tmp_cleaned_total");
+  c_.publish_failures = &reg->counter("store_publish_failures_total");
+  c_.dropped_publishes = &reg->counter("store_dropped_publishes_total");
   clean_tmp();
   scan_dir("results", "result");
   scan_dir("programs", "program");
@@ -140,7 +153,7 @@ void ResultStore::clean_tmp() {
   for (const auto& de : fs::directory_iterator(fs::path(dir_) / "tmp", ec)) {
     std::error_code rm;
     fs::remove(de.path(), rm);
-    if (!rm) ++stats_.tmp_cleaned;
+    if (!rm) c_.tmp_cleaned->inc();
   }
 }
 
@@ -167,7 +180,7 @@ void ResultStore::scan_dir(const char* subdir, const char* kind) {
                           parse_hex(name.substr(0, 16), fp);
     std::string payload;
     if (!named_ok || !read_record(de.path().string(), kind, fp, payload)) {
-      ++stats_.torn_skipped;
+      c_.torn_skipped->inc();
       std::error_code rm;
       fs::remove(de.path(), rm);
       continue;
@@ -231,7 +244,7 @@ std::uint64_t ResultStore::publish(const std::string& final_path,
 }
 
 void ResultStore::note_publish_failure(const std::string& cause) {
-  ++stats_.publish_failures;
+  c_.publish_failures->inc();
   last_publish_error_ = cause;
   ++consecutive_publish_failures_;
   if (opts_.read_only_after > 0 &&
@@ -269,7 +282,7 @@ bool ResultStore::get_result(std::uint64_t fp, sim::SimReport& out) {
   std::lock_guard lock(mu_);
   const auto it = results_.find(fp);
   if (it == results_.end()) {
-    ++stats_.misses;
+    c_.misses->inc();
     return false;
   }
   std::string payload;
@@ -277,7 +290,7 @@ bool ResultStore::get_result(std::uint64_t fp, sim::SimReport& out) {
     // Evicted/garbled behind our back (another process): drop and miss.
     bytes_ -= it->second.bytes;
     results_.erase(it);
-    ++stats_.misses;
+    c_.misses->inc();
     return false;
   }
   try {
@@ -285,11 +298,11 @@ bool ResultStore::get_result(std::uint64_t fp, sim::SimReport& out) {
   } catch (const ContractError&) {
     bytes_ -= it->second.bytes;
     results_.erase(it);
-    ++stats_.misses;
+    c_.misses->inc();
     return false;
   }
   it->second.seq = next_seq_++;
-  ++stats_.hits;
+  c_.hits->inc();
   return true;
 }
 
@@ -297,7 +310,7 @@ bool ResultStore::put_result(std::uint64_t fp, const sim::SimReport& report) {
   const std::string payload = serialize_report(report);
   std::lock_guard lock(mu_);
   if (read_only_) {
-    ++stats_.dropped_publishes;
+    c_.dropped_publishes->inc();
     return false;
   }
   std::uint64_t bytes = 0;
@@ -312,7 +325,7 @@ bool ResultStore::put_result(std::uint64_t fp, const sim::SimReport& report) {
   bytes_ += bytes - entry.bytes;  // overwrite replaces the old payload
   entry.bytes = bytes;
   entry.seq = next_seq_++;
-  ++stats_.puts;
+  c_.puts->inc();
   if (opts_.max_bytes > 0) evict_over_cap(fp);
   return true;
 }
@@ -330,7 +343,7 @@ void ResultStore::evict_over_cap(std::uint64_t keep_fp) {
     io_->remove(result_path(victim->first));  // failure: reopen reindexes it
     bytes_ -= victim->second.bytes;
     results_.erase(victim);
-    ++stats_.evictions;
+    c_.evictions->inc();
   }
 }
 
@@ -352,7 +365,7 @@ bool ResultStore::put_program(std::uint64_t fp, const ProgramMeta& meta) {
   const std::string payload = serialize_program_meta(meta);
   std::lock_guard lock(mu_);
   if (read_only_) {
-    ++stats_.dropped_publishes;
+    c_.dropped_publishes->inc();
     return false;
   }
   std::uint64_t bytes = 0;
@@ -389,7 +402,15 @@ std::string ResultStore::last_publish_error() const {
 
 StoreStats ResultStore::stats() const {
   std::lock_guard lock(mu_);
-  StoreStats s = stats_;
+  StoreStats s;
+  s.hits = c_.hits->value();
+  s.misses = c_.misses->value();
+  s.puts = c_.puts->value();
+  s.evictions = c_.evictions->value();
+  s.torn_skipped = c_.torn_skipped->value();
+  s.tmp_cleaned = c_.tmp_cleaned->value();
+  s.publish_failures = c_.publish_failures->value();
+  s.dropped_publishes = c_.dropped_publishes->value();
   s.read_only = read_only_;
   s.entries = results_.size();
   s.program_entries = programs_.size();
@@ -399,7 +420,14 @@ StoreStats ResultStore::stats() const {
 
 void ResultStore::reset_stats() {
   std::lock_guard lock(mu_);
-  stats_ = StoreStats{};
+  c_.hits->reset();
+  c_.misses->reset();
+  c_.puts->reset();
+  c_.evictions->reset();
+  c_.torn_skipped->reset();
+  c_.tmp_cleaned->reset();
+  c_.publish_failures->reset();
+  c_.dropped_publishes->reset();
 }
 
 }  // namespace sparsetrain::serve

@@ -52,6 +52,7 @@
 #include <unordered_map>
 
 #include "isa/instruction.hpp"
+#include "obs/metrics.hpp"
 #include "serve/io_hooks.hpp"
 #include "sim/report.hpp"
 
@@ -74,10 +75,16 @@ struct StoreOptions {
   int read_only_after = 3;
   /// File-I/O seam; nullptr = real file I/O (IoHooks::real()).
   std::shared_ptr<IoHooks> hooks;
+  /// Registry the store's counters live on (store_hits_total, ...); the
+  /// registry must outlive the store. nullptr = the store keeps a private
+  /// registry, and stats() works the same either way.
+  obs::Registry* metrics = nullptr;
 };
 
 /// Counter snapshot (process-lifetime for this instance, plus the
-/// resident index sizes).
+/// resident index sizes). A view assembled from the store's registry
+/// instruments, so a "stats" response and a "metrics" response can never
+/// disagree.
 struct StoreStats {
   std::size_t hits = 0;          ///< get_result found a record
   std::size_t misses = 0;        ///< get_result found nothing
@@ -181,7 +188,21 @@ class ResultStore {
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Entry> results_;
   std::unordered_map<std::uint64_t, Entry> programs_;
-  StoreStats stats_;
+  /// Counter handles, resolved in the constructor (before the recovery
+  /// scan, which already counts) from StoreOptions::metrics or the
+  /// private fallback registry.
+  struct Counters {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* puts = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* torn_skipped = nullptr;
+    obs::Counter* tmp_cleaned = nullptr;
+    obs::Counter* publish_failures = nullptr;
+    obs::Counter* dropped_publishes = nullptr;
+  };
+  std::unique_ptr<obs::Registry> own_metrics_;
+  Counters c_;
   int consecutive_publish_failures_ = 0;
   bool read_only_ = false;
   std::string last_publish_error_;

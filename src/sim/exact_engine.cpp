@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 
+#include "sim/profile_hook.hpp"
 #include "util/require.hpp"
 
 namespace sparsetrain::sim {
@@ -221,6 +223,20 @@ ExactStageResult ExactEngine::run_tasks(std::size_t task_count,
   ExactStageResult result;
   result.tasks = task_count;
 
+  // The profiler is the only source of timing in the engine: when it is
+  // null (the default) no clock is read anywhere on this path.
+  ExactProfiler* const profiler = opts_.profiler;
+  std::chrono::steady_clock::time_point prof_start{};
+  if (profiler != nullptr) prof_start = std::chrono::steady_clock::now();
+  const auto prof_record = [&](std::uint64_t tiles_used) {
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      prof_start)
+            .count();
+    profiler->record_stage(Kernel::kStage, seconds, result.tasks,
+                           result.row_ops, tiles_used);
+  };
+
   ArenaLease lease = acquire_arena();
   StageArena& arena = *lease.arena;
 
@@ -233,7 +249,10 @@ ExactStageResult ExactEngine::run_tasks(std::size_t task_count,
   }
   GroupHeap sched(arena.loads.data(), arena.heap.data(), cfg_.pe_groups);
 
-  if (task_count == 0) return result;
+  if (task_count == 0) {
+    if (profiler != nullptr) prof_record(0);
+    return result;
+  }
 
   util::ThreadPool* pool = worker_pool();
   const std::size_t tile = tile_for(task_count, est_ops_per_task);
@@ -336,6 +355,9 @@ ExactStageResult ExactEngine::run_tasks(std::size_t task_count,
   result.activity.macs = totals.macs;
   result.activity.reg_accesses = totals.reg;
   result.cycles = sched.max_load();
+  if (profiler != nullptr) {
+    prof_record(pool == nullptr || tiles <= 1 ? 1 : tiles);
+  }
   return result;
 }
 
@@ -352,6 +374,7 @@ namespace {
 /// identical PeCost sequence in the identical order, so every simulated
 /// field is byte-identical to the inline evaluation.
 struct ForwardKernel {
+  static constexpr const char* kStage = "forward";
   const PeCost* row_costs;
   const dataflow::ConvGeometry& geo;
   Shape in_shape;
@@ -386,6 +409,7 @@ struct ForwardKernel {
 /// position i): each op's window queries become two loads and a subtract
 /// instead of a per-window word-funnel popcount, identical counts.
 struct GtaKernel {
+  static constexpr const char* kStage = "gta";
   const CompressedRows& go_rows;
   const dataflow::ConvGeometry& geo;
   Shape out;
@@ -446,6 +470,7 @@ struct GtaKernel {
 /// GTW stage kernel: one task per (n, f, c) kernel slice, OH·K OSRC ops
 /// (zero dO rows schedule nothing).
 struct GtwKernel {
+  static constexpr const char* kStage = "gtw";
   const CompressedRows& go_rows;
   const CompressedRows& in_rows;
   const dataflow::ConvGeometry& geo;
@@ -486,6 +511,7 @@ struct GtwKernel {
 /// kernel preload — weight columns arrive from the buffer per ingested
 /// element).
 struct FcKernel {
+  static constexpr const char* kStage = "fc";
   const CompressedRows& rows;
   std::size_t groups_per_sample;
   std::size_t drain;

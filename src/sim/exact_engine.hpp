@@ -55,6 +55,8 @@
 
 namespace sparsetrain::sim {
 
+class ExactProfiler;
+
 /// Parallelism knobs of the exact engine. No field changes any simulated
 /// number — only wall-clock time.
 struct ExactOptions {
@@ -71,6 +73,10 @@ struct ExactOptions {
   /// core::Session shares its job pool this way, so program-level jobs
   /// and engine tiles form one two-level schedule on one set of threads.
   util::ThreadPool* shared_pool = nullptr;
+  /// Per-stage profiling hook (not owned — must outlive the engine; see
+  /// sim/profile_hook.hpp). Null = no timestamps are taken at all; set
+  /// or not, simulated results are byte-identical.
+  ExactProfiler* profiler = nullptr;
 };
 
 /// Outcome of one exactly-simulated layer stage.

@@ -51,6 +51,12 @@ const std::vector<Args::Flag> kFlags = {
      "connections beyond this are refused (0 = unlimited)", true},
     {"idle-timeout-ms",
      "close client connections idle this long (0 = never)", true},
+    {"trace", "append sampled request spans to this JSONL file", true},
+    {"trace-sample-rate",
+     "fraction of router-edge traces sampled (propagated traces always "
+     "record)",
+     true},
+    {"trace-seed", "trace-id / sampling seed (determinism)", true},
 };
 
 sparsetrain::serve::Router* g_router = nullptr;
@@ -103,6 +109,10 @@ int main(int argc, char** argv) {
     opts.max_connections =
         static_cast<std::size_t>(args.get("max-connections", 64L));
     opts.idle_timeout_ms = args.get("idle-timeout-ms", 0L);
+    opts.trace_path = args.get("trace", std::string{});
+    opts.trace_sample_rate = args.get("trace-sample-rate", 1.0);
+    opts.trace_seed =
+        static_cast<std::uint64_t>(args.get("trace-seed", 1L));
 
     sparsetrain::serve::Router router(opts);
     g_router = &router;

@@ -80,6 +80,16 @@ const std::vector<Args::Flag> kFlags = {
     {"timeout-ms", "default per-request timeout (0 = none)", true},
     {"seed", "session base seed", true},
     {"batch", "session default batch size", true},
+    // observability
+    {"trace", "append sampled request spans to this JSONL file", true},
+    {"trace-sample-rate",
+     "fraction of daemon-edge traces sampled (propagated traces always "
+     "record)",
+     true},
+    {"trace-seed", "trace-id / sampling seed (determinism)", true},
+    {"profile-engine",
+     "record per-stage exact-engine profiles into the metrics registry",
+     false},
     // client mode
     {"connect",
      "act as a client of the daemon at this endpoint (host:port or path)",
@@ -89,6 +99,9 @@ const std::vector<Args::Flag> kFlags = {
      true},
     {"stats", "client: request the store/cache stats report", false},
     {"status", "client: request the liveness counters", false},
+    {"metrics", "client: request the metrics registry snapshot", false},
+    {"metrics-format",
+     "client: metrics snapshot format, json (default) or prometheus", true},
     {"shutdown", "client: ask the daemon to drain and exit", false},
     {"retries", "client: retry failed exchanges this many times", true},
     {"deadline-ms",
@@ -125,13 +138,21 @@ int run_client(const Args& args) {
     std::cout << client.request_raw("{\"type\":\"status\"}") << '\n';
     did = true;
   }
+  if (args.has("metrics")) {
+    sparsetrain::serve::Request req;
+    req.type = "metrics";
+    req.format = args.get("metrics-format", std::string{"json"});
+    std::cout << client.request_raw(sparsetrain::serve::format_request(req))
+              << '\n';
+    did = true;
+  }
   if (args.has("shutdown")) {
     std::cout << client.request_raw("{\"type\":\"shutdown\"}") << '\n';
     did = true;
   }
   if (!did) {
     std::cerr << "sparsetrain_serve: --connect needs one of --submit/"
-                 "--stats/--status/--shutdown\n";
+                 "--stats/--status/--metrics/--shutdown\n";
     return 1;
   }
   return 0;
@@ -164,6 +185,11 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get("max-connections", 64L));
     opts.idle_timeout_ms = args.get("idle-timeout-ms", 0L);
     opts.default_timeout_ms = args.get("timeout-ms", 0L);
+    opts.trace_path = args.get("trace", std::string{});
+    opts.trace_sample_rate = args.get("trace-sample-rate", 1.0);
+    opts.trace_seed =
+        static_cast<std::uint64_t>(args.get("trace-seed", 1L));
+    opts.profile_engine = args.has("profile-engine");
 
     sparsetrain::serve::Server server(opts);
     g_server = &server;
